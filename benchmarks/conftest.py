@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one of the paper's tables/figures end-to-end and
+asserts the claim that figure makes, so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction harness.
+"""

@@ -1,0 +1,24 @@
+"""Scale bench: simulate and profile a full day of usage.
+
+Measures (a) the wall cost of generating + simulating an 8-hour day of
+app hopping with three live malware, and (b) the cost of producing the
+E-Android report over that day's full trace.
+"""
+
+from repro.workloads import run_day
+
+
+def test_bench_simulate_infected_day(benchmark):
+    day = benchmark.pedantic(
+        lambda: run_day(seed=42, hours=8.0, with_malware=True),
+        rounds=3,
+        iterations=1,
+    )
+    assert day.log.sessions > 10
+    assert day.system.battery.percent() < 100.0
+
+
+def test_bench_report_over_day_trace(benchmark):
+    day = run_day(seed=42, hours=8.0, with_malware=True)
+    report = benchmark(day.eandroid.report)
+    assert report.total_energy_j() > 0

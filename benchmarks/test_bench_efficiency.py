@@ -1,0 +1,13 @@
+"""Bench: regenerate the §VI-B energy-efficiency parity check.
+
+Reproduction target: bit-identical battery drain with and without
+E-Android attached, for every scenario.
+"""
+
+from repro.experiments import run_efficiency
+
+
+def test_bench_efficiency(benchmark):
+    result = benchmark(run_efficiency)
+    print("\n" + result.render_text())
+    assert result.all_identical

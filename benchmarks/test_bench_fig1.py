@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 1 (BatteryStats view while filming in Message).
+
+Reproduction target: the stock view blames the Camera and shows the
+Message near zero, despite the Message having driven the filming.
+"""
+
+from repro.experiments import run_fig1
+
+
+def test_bench_fig1(benchmark):
+    result = benchmark(run_fig1)
+    print("\n" + result.render_text())
+    assert result.camera_blamed
+    assert result.camera_percent > 30.0
+    assert result.message_percent < 10.0

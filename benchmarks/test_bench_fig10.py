@@ -1,0 +1,14 @@
+"""Bench: regenerate Table I / Fig. 10 (micro-operation overhead).
+
+Reproduction targets: hooks-only E-Android performs like Android on
+every operation; complete E-Android stays within a few milliseconds.
+"""
+
+from repro.experiments import run_fig10
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    print("\n" + result.render_text())
+    assert result.framework_overhead_small
+    assert result.complete_overhead_bounded

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 11 (AnTuTu-style scores, Android vs E-Android).
+
+Reproduction target: similar scores under both configurations.
+"""
+
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    print("\n" + result.render_text())
+    assert result.similar_performance
+
+
+def test_bench_memory_overhead(benchmark):
+    """§VI-B memory comparison (tracemalloc heap growth, both configs)."""
+    from repro.workloads import measure_memory_overhead
+
+    reports = benchmark.pedantic(measure_memory_overhead, rounds=1, iterations=1)
+    print()
+    for report in reports.values():
+        print(report.render_text())
+    extra = (
+        reports["eandroid"].heap_growth_kib - reports["android"].heap_growth_kib
+    )
+    assert extra < 512.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 2 (the 1,124-app Play census).
+
+Reproduction target: exported ~= 72%, WAKE_LOCK ~= 81%,
+WRITE_SETTINGS ~= 21% (within 3 points).
+"""
+
+from repro.experiments import run_fig2
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark(run_fig2)
+    print("\n" + result.render_text())
+    assert result.max_deviation_pct() < 3.0

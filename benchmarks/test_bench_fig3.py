@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 3 (battery depletion curves).
+
+Reproduction target: full brightness drains fastest, the lowest-
+brightness baseline slowest, bind_service / brightness_10 /
+interrupt_app strictly between.
+"""
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark(run_fig3)
+    print("\n" + result.render_text())
+    assert result.ordering_holds
+    hours = result.hours()
+    assert 3.0 < hours["brightness_full"] < hours["brightness_low"] < 30.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figs. 6 & 7 (multi-collateral and hybrid chains).
+
+Reproduction targets: Fig. 6 — simultaneous attacks on one victim charge
+the union of windows (never more than the victim's ground truth);
+Fig. 7 — the chain root is charged for B, C, and the screen.
+"""
+
+from repro.experiments import run_fig6, run_fig7
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark(run_fig6)
+    print("\n" + result.render_text())
+    assert result.union_not_sum
+    assert len(result.links) >= 3
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark(run_fig7)
+    print("\n" + result.render_text())
+    assert result.chain_complete

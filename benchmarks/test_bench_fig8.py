@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 8 (E-Android + revised PowerTutor breakdown).
+
+Reproduction target: Contacts' inventory itemises Message and Camera
+collateral; Message's itemises Camera.
+"""
+
+from repro.experiments import run_fig8
+
+
+def test_bench_fig8(benchmark):
+    result = benchmark(run_fig8)
+    print("\n" + result.render_text())
+    assert result.breakdown_complete
+    assert result.contacts.energy_j > result.contacts.own_energy_j

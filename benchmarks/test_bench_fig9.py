@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 9 (effectiveness, all six panels).
+
+Reproduction targets: every attack is invisible (<2% share) to stock
+Android; E-Android attributes collateral energy to every malware; the
+9e/9f attacks burn more screen energy than their normal-usage controls.
+"""
+
+from repro.experiments import run_fig9
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    print("\n" + result.render_text())
+    assert len(result.panels) == 6
+    assert result.all_attacks_stealthy_on_android
+    assert result.all_attacks_detected_by_eandroid

@@ -1,0 +1,57 @@
+"""Ablation bench: collateral charge policies (DESIGN.md design choice).
+
+Compares the paper's full-charge strategy against the two
+"sophisticated" alternatives on the brightness attack: proportional
+split and screen-delta.  Checks the expected ordering —
+delta < split(0.5) < full — and measures report-generation cost under
+each policy.
+"""
+
+from repro.android import AndroidSystem, SCREEN_BRIGHTNESS
+from repro.apps import build_victim_app
+from repro.attacks import BRIGHTNESS_PACKAGE, build_brightness_malware
+from repro.core import (
+    FullCharge,
+    ProportionalSplit,
+    SCREEN_TARGET,
+    ScreenDelta,
+    attach_eandroid,
+)
+from repro.power import NEXUS4
+
+
+def _run_brightness_attack(policy):
+    system = AndroidSystem()
+    system.install(build_victim_app())
+    system.install(build_brightness_malware(target_level=255))
+    system.boot()
+    # Screen forced on (the paper's setup) so the whole 60 s window is
+    # lit and the delta policy's baseline discount is meaningful.
+    from repro.android import SCREEN_BRIGHT_WAKE_LOCK
+
+    system.power_manager.acquire(
+        system.package_manager.system_uid, SCREEN_BRIGHT_WAKE_LOCK, "bench"
+    )
+    eandroid = attach_eandroid(system, policy=policy)
+    system.launch_app(BRIGHTNESS_PACKAGE)
+    system.run_for(60.0)
+    malware = system.uid_of(BRIGHTNESS_PACKAGE)
+    return eandroid.accounting.collateral_breakdown(malware).get(SCREEN_TARGET, 0.0)
+
+
+def test_bench_policy_ablation(benchmark):
+    policies = {
+        "full": FullCharge(),
+        "split": ProportionalSplit(0.5),
+        "delta": ScreenDelta(NEXUS4.screen, baseline_brightness=102),
+    }
+
+    def run_all():
+        return {name: _run_brightness_attack(p) for name, p in policies.items()}
+
+    charges = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\npolicy ablation (screen J charged to malware over 60 s):")
+    for name, joules in charges.items():
+        print(f"  {name:<6} {joules:8.2f} J")
+    assert charges["delta"] < charges["split"] < charges["full"]
+    assert charges["split"] == 0.5 * charges["full"]

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 3: how fast each simple attack kills the battery.
+
+Five configurations drain a full 2100 mAh battery in virtual time:
+lowest brightness (baseline), brightness 10, full brightness, a
+bound-forever victim service, and an interrupted app.  Hours of battery
+life are computed analytically from the steady-state power draw — no
+need to wait 17 hours.
+
+Run:  python examples/battery_drain_study.py
+"""
+
+from repro.experiments import run_fig3
+
+
+def main() -> None:
+    result = run_fig3()
+    print(result.render_text())
+    hours = result.hours()
+    baseline = hours["brightness_low"]
+    print("\nbattery-life cost of each attack vs the baseline:")
+    for name, value in sorted(hours.items(), key=lambda kv: kv[1]):
+        lost = baseline - value
+        print(
+            f"  {name:<16} {value:5.2f} h  "
+            f"({'-' if lost > 0 else ''}{abs(lost):.2f} h vs baseline)"
+        )
+    print(
+        "\npaper's observation reproduced: 'a small increase of brightness,"
+        "\nwhich brings little visual effect, can increase battery drain'"
+        f" — brightness 10 alone costs {baseline - hours['brightness_10']:.2f} h."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Reproduce the Fig. 2 Google-Play census.
+
+Generates the seeded synthetic 1,124-app corpus, reverse-engineers every
+APK's manifest with the APKTool-style extractor, and answers the paper's
+three questions: exported components, WAKE_LOCK, WRITE_SETTINGS.
+
+Run:  python examples/corpus_census.py [seed]
+"""
+
+import sys
+
+from repro.apps import generate_corpus, run_census
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    corpus = generate_corpus(seed=seed)
+    census = run_census(corpus)
+    print(census.render_text())
+    print("\nper-category detail (top 10 by size):")
+    rows = sorted(census.by_category.values(), key=lambda r: -r.total)[:10]
+    for row in rows:
+        print(
+            f"  {row.category:<18} n={row.total:<4} "
+            f"exported={row.exported_pct:5.1f}%  "
+            f"wakelock={row.wake_lock_pct:5.1f}%  "
+            f"settings={row.write_settings_pct:5.1f}%"
+        )
+    sample = corpus[0]
+    print(f"\nsample packed manifest ({sample.package}):")
+    print(" ", sample.manifest_xml[:240], "...")
+
+
+if __name__ == "__main__":
+    main()

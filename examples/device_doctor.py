@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diagnose a misbehaving device: dumpsys + the collateral detector.
+
+A phone is draining inexplicably: the user installed a "QR scanner"
+(attack #6 malware) and a "cleaner" (attack #3 malware) alongside their
+real apps.  Stock Android's battery view points at the victim and the
+screen; this script shows the diagnostic workflow E-Android enables —
+inspect device state with dumpsys, then let the detector rank suspects
+by hidden (collateral) energy.
+
+Run:  python examples/device_doctor.py
+"""
+
+from repro import AndroidSystem, BatteryStats, attach_eandroid
+from repro.android import dumpsys_power, dumpsys_services, explicit
+from repro.apps import VICTIM_PACKAGE, build_message_app, build_victim_app
+from repro.attacks import (
+    BIND_PACKAGE,
+    WAKELOCK_PACKAGE,
+    build_bind_malware,
+    build_wakelock_malware,
+)
+from repro.core import CollateralEnergyDetector
+
+
+def main() -> None:
+    device = AndroidSystem()
+    device.install_all(
+        [
+            build_victim_app(),
+            build_message_app(),
+            build_bind_malware(),
+            build_wakelock_malware(),
+        ]
+    )
+    device.boot()
+    eandroid = attach_eandroid(device)
+
+    # A day in the life: the user opens both "tools" once (payloads arm),
+    # works in the victim app, then leaves the phone on the desk.
+    device.launch_app(BIND_PACKAGE)
+    device.press_home()
+    device.launch_app(WAKELOCK_PACKAGE)
+    device.press_home()
+    victim_uid = device.uid_of(VICTIM_PACKAGE)
+    device.launch_app(VICTIM_PACKAGE)
+    svc = explicit(VICTIM_PACKAGE, "VictimWorkService")
+    device.am.start_service(victim_uid, svc)
+    device.run_for(1.0)  # the cleaner binds it
+    device.am.stop_service(victim_uid, svc)  # ...and keeps it alive
+    device.press_home()
+    device.run_for(600.0)  # ten idle minutes that aren't idle at all
+
+    print("Ten minutes later the battery has dropped to "
+          f"{device.battery.percent():.2f}% and the phone is warm.\n")
+
+    print("Step 1 — stock Android's view (nothing looks guilty):\n")
+    print(BatteryStats(device).report().render_text())
+
+    print("\nStep 2 — dumpsys shows the mechanics:\n")
+    print(dumpsys_services(device))
+    print()
+    print(dumpsys_power(device))
+
+    print("\nStep 3 — the E-Android detector ranks hidden drains:\n")
+    detector = CollateralEnergyDetector(device, eandroid.accounting)
+    for suspicion in detector.rank_suspects():
+        print(suspicion.render_text())
+        print()
+
+    flagged = detector.flag()
+    print("Verdict: " + ", ".join(s.label for s in flagged)
+          + " exceed the collateral thresholds.")
+    print("Both 'tools' are exposed — and so is the Victim itself, whose")
+    print("own no-sleep bug (wakelock only released in onDestroy) keeps")
+    print("the screen burning from the background: E-Android surfaces")
+    print("genuine energy bugs, not just malice (§IV).")
+
+
+if __name__ == "__main__":
+    main()

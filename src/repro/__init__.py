@@ -1,0 +1,73 @@
+"""E-Android reproduction — collateral energy profiling for Android.
+
+A full-system reproduction of *E-Android: A New Energy Profiling Tool
+for Smartphones* (Gao, Liu, Liu, Wang, Stavrou — ICDCS 2017) on a
+simulated device:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel (virtual time).
+* :mod:`repro.power` — hardware power models, ground-truth energy meter,
+  battery.
+* :mod:`repro.android` — the Android 5-era framework: activities,
+  services, intents, task stacks, Binder link-to-death, wakelocks,
+  screen/brightness policy, settings, SurfaceFlinger side channel.
+* :mod:`repro.accounting` — the baseline profilers (BatteryStats,
+  PowerTutor).
+* :mod:`repro.core` — **E-Android itself**: the framework monitor, the
+  attack-lifecycle trackers (Fig. 5), collateral energy maps with chain
+  propagation (Algorithm 1), and the revised battery interface.
+* :mod:`repro.apps` — demo apps, the synthetic Play corpus, APKTool.
+* :mod:`repro.attacks` — the paper's six collateral energy attacks plus
+  multi/hybrid variants.
+* :mod:`repro.workloads` / :mod:`repro.experiments` — the evaluation.
+
+Quickstart::
+
+    from repro import AndroidSystem, attach_eandroid
+    from repro.apps import build_message_app, build_camera_app
+
+    device = AndroidSystem()
+    device.install_all([build_message_app(), build_camera_app()])
+    device.boot()
+    eandroid = attach_eandroid(device)
+
+    message = device.launch_app("com.app.message")
+    message.instance.record_video(duration_s=30)
+    device.run_for(31)
+
+    print(eandroid.report().render_text())
+"""
+
+from .accounting import BatteryStats, PowerTutor, ProfilerReport
+from .android import AndroidSystem, App, Intent, explicit, implicit
+from .core import (
+    AttackKind,
+    EAndroid,
+    attach_eandroid,
+    attach_eandroid_powertutor,
+)
+from .power import NEXUS4, Battery, DevicePowerProfile, EnergyMeter
+from .sim import Kernel, SeededRng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndroidSystem",
+    "App",
+    "Intent",
+    "explicit",
+    "implicit",
+    "attach_eandroid",
+    "attach_eandroid_powertutor",
+    "EAndroid",
+    "AttackKind",
+    "BatteryStats",
+    "PowerTutor",
+    "ProfilerReport",
+    "Kernel",
+    "SeededRng",
+    "EnergyMeter",
+    "Battery",
+    "DevicePowerProfile",
+    "NEXUS4",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baseline energy profilers the paper compares E-Android against."""
+
+from .base import AppEnergyEntry, EnergyProfiler, ProfilerReport
+from .batterystats import SCREEN_LABEL, SYSTEM_LABEL, BatteryStats
+from .power_signature import (
+    PowerSignature,
+    PowerSignatureDetector,
+    SignatureVerdict,
+)
+from .powertutor import PowerTutor
+
+__all__ = [
+    "AppEnergyEntry",
+    "EnergyProfiler",
+    "ProfilerReport",
+    "BatteryStats",
+    "PowerTutor",
+    "PowerSignatureDetector",
+    "PowerSignature",
+    "SignatureVerdict",
+    "SCREEN_LABEL",
+    "SYSTEM_LABEL",
+]

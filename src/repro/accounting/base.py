@@ -1,0 +1,109 @@
+"""Profiler interfaces and report structures.
+
+A *profiler* is an attribution policy over the hardware meter's ground
+truth.  The meter never lies about how much energy each hardware channel
+drew; the profilers differ only in **who they blame** — which is the
+paper's entire subject:
+
+* BatteryStats (Android official): screen is its own line item;
+* PowerTutor: screen energy goes to the foreground app;
+* E-Android (:mod:`repro.core`): either baseline plus collateral
+  attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class AppEnergyEntry:
+    """One row in a battery interface."""
+
+    uid: Optional[int]
+    label: str
+    energy_j: float
+    percent: float = 0.0
+    is_screen: bool = False
+    is_system: bool = False
+    # E-Android extension: collateral contributions keyed by contributor
+    # label ("Camera", "Screen", ...) -> joules.
+    collateral_j: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def own_energy_j(self) -> float:
+        """Energy minus collateral additions."""
+        return self.energy_j - sum(self.collateral_j.values())
+
+
+@dataclass
+class ProfilerReport:
+    """A battery-interface snapshot over a time window."""
+
+    profiler: str
+    start: float
+    end: float
+    entries: List[AppEnergyEntry] = field(default_factory=list)
+
+    def finalize(self) -> "ProfilerReport":
+        """Sort rows by energy and compute percentages."""
+        self.entries.sort(key=lambda e: e.energy_j, reverse=True)
+        total = sum(e.energy_j for e in self.entries)
+        for entry in self.entries:
+            entry.percent = 100.0 * entry.energy_j / total if total > 0 else 0.0
+        return self
+
+    def entry_for(self, label: str) -> Optional[AppEnergyEntry]:
+        """Row lookup by label."""
+        for entry in self.entries:
+            if entry.label == label:
+                return entry
+        return None
+
+    def entry_for_uid(self, uid: int) -> Optional[AppEnergyEntry]:
+        """Row lookup by uid."""
+        for entry in self.entries:
+            if entry.uid == uid:
+                return entry
+        return None
+
+    def energy_of(self, label: str) -> float:
+        """Energy of a row (0 if absent)."""
+        entry = self.entry_for(label)
+        return entry.energy_j if entry else 0.0
+
+    def percent_of(self, label: str) -> float:
+        """Percentage of a row (0 if absent)."""
+        entry = self.entry_for(label)
+        return entry.percent if entry else 0.0
+
+    def total_energy_j(self) -> float:
+        """Sum over all rows."""
+        return sum(e.energy_j for e in self.entries)
+
+    def render_text(self, top: int = 12) -> str:
+        """ASCII battery-interface view (the figures' textual twin)."""
+        lines = [
+            f"=== {self.profiler} battery view "
+            f"[{self.start:.0f}s, {self.end:.0f}s] ===",
+        ]
+        for entry in self.entries[:top]:
+            lines.append(
+                f"  {entry.label:<24} {entry.energy_j:>9.2f} J  {entry.percent:5.1f}%"
+            )
+            for source, joules in sorted(
+                entry.collateral_j.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"      +{source:<20} {joules:>9.2f} J (collateral)")
+        return "\n".join(lines)
+
+
+class EnergyProfiler:
+    """Interface every profiler implements."""
+
+    name = "abstract"
+
+    def report(self, start: float = 0.0, end: Optional[float] = None) -> ProfilerReport:
+        """Produce a battery-interface snapshot for [start, end)."""
+        raise NotImplementedError

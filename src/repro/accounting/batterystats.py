@@ -1,0 +1,65 @@
+"""Android's official BatteryStats attribution policy.
+
+"Another policy is to treat screen as an independent part, where the
+energy consumed by screen is always displayed in total.  Such a method
+is used by the Android official battery interface." (§II)
+
+Per-app rows carry only the hardware energy the kernel can attribute to
+the uid (CPU time, radio traffic, camera/GPS/audio sessions).  Screen is
+one aggregate row; platform base draw is an "Android OS" row.  No IPC
+awareness whatsoever — which is what every attack in §III exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..power.meter import SCREEN_OWNER, SYSTEM_OWNER
+from .base import AppEnergyEntry, EnergyProfiler, ProfilerReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..android.framework import AndroidSystem
+
+SCREEN_LABEL = "Screen"
+SYSTEM_LABEL = "Android OS"
+
+
+class BatteryStats(EnergyProfiler):
+    """The stock Android battery interface."""
+
+    name = "BatteryStats (Android)"
+
+    def __init__(self, system: "AndroidSystem") -> None:
+        self._system = system
+
+    def report(self, start: float = 0.0, end: Optional[float] = None) -> ProfilerReport:
+        """Per-app direct energy; screen and OS as standalone rows."""
+        meter = self._system.hardware.meter
+        pm = self._system.package_manager
+        window_end = self._system.kernel.now if end is None else end
+        report = ProfilerReport(profiler=self.name, start=start, end=window_end)
+        for owner, energy in meter.energy_by_owner(start, window_end).items():
+            if energy <= 0:
+                continue
+            if owner == SCREEN_OWNER:
+                report.entries.append(
+                    AppEnergyEntry(
+                        uid=None, label=SCREEN_LABEL, energy_j=energy, is_screen=True
+                    )
+                )
+            elif owner == SYSTEM_OWNER:
+                report.entries.append(
+                    AppEnergyEntry(
+                        uid=None, label=SYSTEM_LABEL, energy_j=energy, is_system=True
+                    )
+                )
+            else:
+                report.entries.append(
+                    AppEnergyEntry(
+                        uid=owner,
+                        label=pm.label_for_uid(owner),
+                        energy_j=energy,
+                        is_system=pm.is_system_uid(owner),
+                    )
+                )
+        return report.finalize()

@@ -1,0 +1,132 @@
+"""Power-signature anomaly detection (the Kim et al. baseline).
+
+Related work (§VII): "Kim et al. proposed power signatures to detect
+energy malware.  While they achieved promising results ... power
+signature cannot tackle collateral energy malware that drains energy via
+an indirect approach."
+
+This module implements that baseline so the claim is demonstrable: a
+per-app *power signature* is the distribution of the app's own
+instantaneous draw over time; an app is flagged when its draw
+persistently exceeds a trained threshold.  Collateral malware defeats it
+by construction — its own draw is negligible; everything it causes lands
+on other apps' signatures.  See ``tests/test_signature_baseline.py`` for
+the head-to-head with E-Android's detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..power.meter import SCREEN_OWNER, SYSTEM_OWNER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..android.framework import AndroidSystem
+
+
+@dataclass
+class PowerSignature:
+    """One app's observed own-draw statistics over a window."""
+
+    uid: int
+    label: str
+    mean_mw: float
+    peak_mw: float
+    duty_cycle: float  # fraction of sampled time with any draw
+
+    def exceeds(self, threshold_mw: float) -> bool:
+        """The baseline's alarm condition."""
+        return self.mean_mw > threshold_mw
+
+
+@dataclass
+class SignatureVerdict:
+    """The baseline detector's output."""
+
+    flagged: List[PowerSignature] = field(default_factory=list)
+    signatures: Dict[int, PowerSignature] = field(default_factory=dict)
+
+    def is_flagged(self, uid: int) -> bool:
+        """Whether the baseline flagged this uid."""
+        return any(s.uid == uid for s in self.flagged)
+
+
+class PowerSignatureDetector:
+    """Flags apps whose *own* draw looks anomalous.
+
+    ``threshold_mw`` plays the role of the trained normal-behaviour
+    envelope; apps whose mean own draw over the analysis window exceeds
+    it are reported as energy-greedy.
+    """
+
+    def __init__(
+        self,
+        system: "AndroidSystem",
+        threshold_mw: float = 150.0,
+        sample_period_s: float = 1.0,
+    ) -> None:
+        self._system = system
+        self.threshold_mw = threshold_mw
+        self.sample_period_s = sample_period_s
+
+    def signature_of(
+        self, uid: int, start: float = 0.0, end: Optional[float] = None
+    ) -> PowerSignature:
+        """Build one app's signature from the meter's trace history."""
+        meter = self._system.hardware.meter
+        window_end = self._system.kernel.now if end is None else end
+        duration = max(window_end - start, self.sample_period_s)
+        mean_mw = meter.energy_j(owner=uid, start=start, end=window_end) / duration * 1000.0
+        peak = 0.0
+        active = 0.0
+        steps = max(1, int(duration / self.sample_period_s))
+        step = duration / steps
+        for i in range(steps):
+            t = start + (i + 0.5) * step
+            draw = sum(
+                trace.power_at(t)
+                for (owner, _), trace in (
+                    (key, meter.trace(*key))
+                    for key in meter.channels()
+                    if key[0] == uid
+                )
+                if trace is not None
+            )
+            peak = max(peak, draw)
+            if draw > 0:
+                active += step
+        return PowerSignature(
+            uid=uid,
+            label=self._system.package_manager.label_for_uid(uid),
+            mean_mw=mean_mw,
+            peak_mw=peak,
+            duty_cycle=active / duration,
+        )
+
+    def scan(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> SignatureVerdict:
+        """Signature every app uid that ever drew power; flag outliers."""
+        meter = self._system.hardware.meter
+        verdict = SignatureVerdict()
+        # Every installed app gets a signature (a silent app's flat
+        # signature is the interesting case), plus any uid the meter saw.
+        app_uids = {
+            owner
+            for owner in meter.owners()
+            if owner not in (SCREEN_OWNER, SYSTEM_OWNER)
+            and not self._system.package_manager.is_system_uid(owner)
+        }
+        for app in self._system.package_manager.installed_apps():
+            if app.uid is not None and not self._system.package_manager.is_system_uid(
+                app.uid
+            ):
+                app_uids.add(app.uid)
+        for uid in sorted(app_uids):
+            signature = self.signature_of(uid, start, end)
+            verdict.signatures[uid] = signature
+            if signature.exceeds(self.threshold_mw):
+                verdict.flagged.append(signature)
+        verdict.flagged.sort(key=lambda s: s.mean_mw, reverse=True)
+        return verdict

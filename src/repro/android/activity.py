@@ -1,0 +1,151 @@
+"""Activities and their lifecycle.
+
+Implements the Android activity lifecycle the paper's attacks exploit:
+
+* ``onPause`` fires when a *transparent* activity covers the current one
+  (the dialog/cover trick of malware #4);
+* ``onStop`` fires when the activity leaves the screen entirely — e.g.
+  the home UI comes up — and an app that only releases its wakelock in
+  ``onDestroy`` keeps draining power from the stop state (§III-A);
+* ``onDestroy`` fires only when the activity is finished or its process
+  dies.
+
+App code subclasses :class:`Activity` and overrides the ``on_*`` hooks;
+the :class:`~repro.android.activity_manager.ActivityManager` drives the
+transitions and keeps per-instance :class:`ActivityRecord` bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .app import Context
+    from .intent import Intent
+
+
+class ActivityState(Enum):
+    """Lifecycle states, in forward order."""
+
+    INITIALIZED = "initialized"
+    CREATED = "created"
+    STARTED = "started"
+    RESUMED = "resumed"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+
+
+class Activity:
+    """Base class for app-defined activities.
+
+    Subclasses override lifecycle hooks.  ``self.context`` exposes the
+    framework API (start_activity, bind_service, wakelocks, workload
+    knobs) and ``self.intent`` the intent that started the activity.
+    """
+
+    #: Declared transparent (Theme.Translucent): covering another
+    #: activity only pauses it instead of stopping it.
+    transparent: bool = False
+
+    def __init__(self) -> None:
+        self.context: Optional["Context"] = None
+        self.intent: Optional["Intent"] = None
+        self.record: Optional["ActivityRecord"] = None
+        self.dialog: Optional[str] = None
+
+    # -- lifecycle hooks (override in subclasses) -----------------------
+    def on_create(self) -> None:
+        """Called once when the instance is created."""
+
+    def on_start(self) -> None:
+        """Called when the activity becomes visible."""
+
+    def on_resume(self) -> None:
+        """Called when the activity takes the foreground."""
+
+    def on_pause(self) -> None:
+        """Called when the activity loses focus but may stay visible."""
+
+    def on_stop(self) -> None:
+        """Called when the activity is no longer visible."""
+
+    def on_restart(self) -> None:
+        """Called when a stopped activity is coming back."""
+
+    def on_destroy(self) -> None:
+        """Called before the instance is discarded."""
+
+    # -- conveniences -----------------------------------------------------
+    def finish(self) -> None:
+        """Ask the ActivityManager to finish this activity."""
+        if self.record is None or self.context is None:
+            raise RuntimeError("activity is not attached to the framework")
+        self.context.finish_activity(self.record)
+
+    def show_dialog(self, name: str) -> None:
+        """Display a modal dialog (e.g. the exit-confirmation dialog).
+
+        Dialogs are not activities, but they change the rendered UI — so
+        SurfaceFlinger's shared memory shifts, which is exactly the side
+        channel malware #4 uses to detect the exit dialog.
+        """
+        self.dialog = name
+        if self.context is not None:
+            self.context.ui_changed()
+
+    def dismiss_dialog(self) -> None:
+        """Remove the current dialog."""
+        self.dialog = None
+        if self.context is not None:
+            self.context.ui_changed()
+
+    @property
+    def class_name(self) -> str:
+        """The component class name used in intents/manifests."""
+        return type(self).__name__
+
+
+class ActivityRecord:
+    """Framework-side bookkeeping for one live activity instance."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        instance: Activity,
+        uid: int,
+        package: str,
+        component_name: str,
+        transparent: bool,
+        launched_by_uid: int,
+        launch_time: float,
+    ) -> None:
+        self.record_id = next(self._ids)
+        self.instance = instance
+        self.uid = uid
+        self.package = package
+        self.component_name = component_name
+        self.transparent = transparent
+        self.launched_by_uid = launched_by_uid
+        self.launch_time = launch_time
+        self.state = ActivityState.INITIALIZED
+        self.finishing = False
+
+    @property
+    def is_foreground(self) -> bool:
+        """Whether this record currently holds the RESUMED state."""
+        return self.state == ActivityState.RESUMED
+
+    @property
+    def visible(self) -> bool:
+        """Whether the activity is on screen (resumed or paused-under-transparent)."""
+        return self.state in (ActivityState.RESUMED, ActivityState.PAUSED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ActivityRecord({self.package}/{self.component_name}, "
+            f"uid={self.uid}, state={self.state.value})"
+        )

@@ -1,0 +1,248 @@
+"""Apps and the Context API handed to their components.
+
+An :class:`App` bundles a manifest with the Python classes implementing
+its components.  The framework instantiates components on demand and
+injects a :class:`Context` — the only door app code has into the system
+(start/bind components, wakelocks, settings, hardware workloads), with
+permission checks enforced at this boundary exactly where Android
+enforces them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from .errors import ComponentNotFoundError, SecurityException
+from .manifest import (
+    ACCESS_FINE_LOCATION,
+    CAMERA,
+    AndroidManifest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.event_queue import ScheduledEvent
+    from ..sim.process import ProcessRecord
+    from .activity import ActivityRecord
+    from .framework import AndroidSystem
+    from .intent import Intent
+    from .power_manager import WakeLock
+    from .service import ServiceConnection, ServiceRecord
+
+
+class App:
+    """One installed application: manifest + component implementations."""
+
+    def __init__(
+        self,
+        manifest: AndroidManifest,
+        component_classes: Optional[Dict[str, type]] = None,
+    ) -> None:
+        self.manifest = manifest
+        self.component_classes: Dict[str, type] = dict(component_classes or {})
+        self.uid: Optional[int] = None
+        self.system: Optional["AndroidSystem"] = None
+        self.process: Optional["ProcessRecord"] = None
+
+    @property
+    def package(self) -> str:
+        """The app's package name."""
+        return self.manifest.package
+
+    @property
+    def label(self) -> str:
+        """Human-readable name (last package segment, title-cased)."""
+        return self.package.rsplit(".", 1)[-1].capitalize()
+
+    def component_class(self, name: str) -> type:
+        """The Python class implementing a declared component."""
+        try:
+            return self.component_classes[name]
+        except KeyError:
+            raise ComponentNotFoundError(
+                f"{self.package} declares no implementation for {name!r}"
+            ) from None
+
+    def register_component(self, cls: type) -> type:
+        """Register (or override) a component implementation by class name."""
+        self.component_classes[cls.__name__] = cls
+        return cls
+
+    def on_installed(self, system: "AndroidSystem", uid: int) -> None:
+        """Framework callback when the package manager installs the app."""
+        self.system = system
+        self.uid = uid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"App({self.package}, uid={self.uid})"
+
+
+class Context:
+    """Per-component handle to framework services and hardware workloads."""
+
+    def __init__(self, system: "AndroidSystem", app: App) -> None:
+        self._system = system
+        self._app = app
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def app(self) -> App:
+        """The owning app."""
+        return self._app
+
+    @property
+    def uid(self) -> int:
+        """The owning app's uid."""
+        assert self._app.uid is not None
+        return self._app.uid
+
+    @property
+    def package(self) -> str:
+        """The owning app's package name."""
+        return self._app.package
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._system.kernel.now
+
+    @property
+    def system(self) -> "AndroidSystem":
+        """The whole-device facade (tests and scenario drivers use this)."""
+        return self._system
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], name: str = ""
+    ) -> "ScheduledEvent":
+        """Schedule app code to run after ``delay`` virtual seconds."""
+        return self._system.kernel.call_later(delay, callback, name=name)
+
+    # ------------------------------------------------------------------
+    # component IPC
+    # ------------------------------------------------------------------
+    def start_activity(self, intent: "Intent") -> "ActivityRecord":
+        """Start an activity (explicit or implicit intent)."""
+        return self._system.am.start_activity(self.uid, intent)
+
+    def finish_activity(self, record: "ActivityRecord") -> None:
+        """Finish one of this app's activities."""
+        self._system.am.finish_activity(record)
+
+    def start_service(self, intent: "Intent") -> "ServiceRecord":
+        """startService()."""
+        return self._system.am.start_service(self.uid, intent)
+
+    def stop_service(self, intent: "Intent") -> bool:
+        """stopService(); returns whether a service was found."""
+        return self._system.am.stop_service(self.uid, intent)
+
+    def stop_self(self, record: "ServiceRecord") -> None:
+        """stopSelf() for a service owned by this app."""
+        self._system.am.stop_self(record)
+
+    def bind_service(self, intent: "Intent") -> "ServiceConnection":
+        """bindService(); the connection keeps the service alive."""
+        return self._system.am.bind_service(self.uid, intent)
+
+    def unbind_service(self, connection: "ServiceConnection") -> None:
+        """unbindService()."""
+        self._system.am.unbind_service(connection)
+
+    def move_task_to_front(self, package: str) -> None:
+        """Reorder another task to the front (REORDER_TASKS territory)."""
+        self._system.am.move_task_to_front(self.uid, package)
+
+    def send_broadcast(self, intent: "Intent") -> int:
+        """Broadcast an intent; returns the number of receivers reached."""
+        return self._system.am.send_broadcast(self.uid, intent)
+
+    def register_receiver(
+        self, action: str, callback: Callable[["Intent"], None]
+    ) -> None:
+        """Register a runtime broadcast receiver."""
+        self._system.am.register_receiver(self.uid, action, callback)
+
+    # ------------------------------------------------------------------
+    # power & display
+    # ------------------------------------------------------------------
+    def acquire_wakelock(self, lock_type: str, tag: str) -> "WakeLock":
+        """Acquire a wakelock (requires WAKE_LOCK permission)."""
+        return self._system.power_manager.acquire(self.uid, lock_type, tag)
+
+    def put_setting(self, key: str, value: Any) -> None:
+        """Write a system setting (requires WRITE_SETTINGS for app uids)."""
+        self._system.settings.put(self.uid, key, value)
+
+    def get_setting(self, key: str, default: Any = None) -> Any:
+        """Read a system setting."""
+        return self._system.settings.get(key, default)
+
+    def set_window_brightness(self, level: Optional[int]) -> None:
+        """Set this app's window brightness attribute.
+
+        Only takes effect while the app is foreground — which is why
+        malware #5 needs its transparent self-close activity trick.
+        """
+        self._system.display.set_window_brightness(self.uid, level)
+
+    def ui_changed(self) -> None:
+        """Tell SurfaceFlinger this app's UI re-rendered."""
+        self._system.surfaceflinger.invalidate()
+
+    # ------------------------------------------------------------------
+    # hardware workloads (with permission checks)
+    # ------------------------------------------------------------------
+    def set_cpu_load(self, fraction: float, routine: str = "main") -> None:
+        """Set this app's CPU demand (fraction of one core).
+
+        Passing a ``routine`` label splits the demand onto an eprof-style
+        per-routine meter channel (``cpu:<routine>``)."""
+        self._system.hardware.cpu.set_utilization(self.uid, fraction, routine=routine)
+
+    def open_camera(self) -> None:
+        """Open a camera session (requires CAMERA permission)."""
+        self._check_permission(CAMERA)
+        self._system.hardware.camera.open(self.uid)
+
+    def start_recording(self) -> None:
+        """Record video on the open camera session."""
+        self._system.hardware.camera.start_recording()
+
+    def stop_recording(self) -> None:
+        """Stop recording, back to preview."""
+        self._system.hardware.camera.stop_recording()
+
+    def close_camera(self) -> None:
+        """Release the camera."""
+        self._system.hardware.camera.close()
+
+    def start_gps(self) -> None:
+        """Request location updates (requires ACCESS_FINE_LOCATION)."""
+        self._check_permission(ACCESS_FINE_LOCATION)
+        self._system.hardware.gps.start(self.uid)
+
+    def stop_gps(self) -> None:
+        """Stop location updates."""
+        self._system.hardware.gps.stop(self.uid)
+
+    def set_network_activity(self, level: int) -> None:
+        """Set radio traffic level (RadioModel.IDLE/LOW/HIGH)."""
+        self._system.hardware.radio.set_activity(self.uid, level)
+
+    def start_audio(self) -> None:
+        """Start audio playback."""
+        self._system.hardware.audio.start(self.uid)
+
+    def stop_audio(self) -> None:
+        """Stop audio playback."""
+        self._system.hardware.audio.stop(self.uid)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_permission(self, permission: str) -> None:
+        if not self._system.package_manager.check_permission(self.uid, permission):
+            raise SecurityException(
+                f"{self.package} (uid {self.uid}) lacks {permission}"
+            )

@@ -1,0 +1,84 @@
+"""Binder IPC substrate.
+
+Real Android routes every cross-process call through the Binder kernel
+driver, which also delivers *death notifications*: a process can link a
+callback to another process's death.  PowerManagerService uses this to
+release wakelocks of crashed apps; ActivityManager uses it to tear down
+service bindings.  The paper's wakelock attacks live in the gap this
+creates — a wakelock is only force-released when the owning *process*
+dies, not when its activity merely stops.
+
+The simulator's Binder wraps the process table's link-to-death and adds
+transaction accounting so the micro-benchmark (Fig. 10) can report IPC
+counts alongside timings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..sim.process import ProcessRecord, ProcessTable
+
+
+@dataclass
+class DeathToken:
+    """Handle for a registered death link (mirrors ``IBinder.DeathRecipient``)."""
+
+    token_id: int
+    pid: int
+    active: bool = True
+
+
+class Binder:
+    """Cross-process call bookkeeping and death notification routing."""
+
+    def __init__(self, processes: ProcessTable) -> None:
+        self._processes = processes
+        self._token_ids = itertools.count(1)
+        self._tokens: Dict[int, DeathToken] = {}
+        self._unlink_callbacks: Dict[int, Callable[[], None]] = {}
+        self._transaction_count = 0
+
+    @property
+    def transaction_count(self) -> int:
+        """Number of binder transactions recorded so far."""
+        return self._transaction_count
+
+    def transact(self, caller_uid: int, target_uid: int) -> None:
+        """Record one cross-process transaction (no-op for same uid).
+
+        Only the count matters to the reproduction; payload marshalling
+        is irrelevant to energy attribution.
+        """
+        if caller_uid != target_uid:
+            self._transaction_count += 1
+
+    def link_to_death(
+        self, pid: int, recipient: Callable[[ProcessRecord], None]
+    ) -> DeathToken:
+        """Run ``recipient`` when ``pid`` dies; returns a cancellable token."""
+        record = self._processes.get(pid)
+        token = DeathToken(token_id=next(self._token_ids), pid=pid)
+
+        def observer(dead: ProcessRecord) -> None:
+            if token.active:
+                token.active = False
+                recipient(dead)
+
+        record.link_to_death(observer)
+        self._tokens[token.token_id] = token
+        self._unlink_callbacks[token.token_id] = lambda: record.unlink_to_death(observer)
+        return token
+
+    def unlink_to_death(self, token: DeathToken) -> bool:
+        """Cancel a death link; returns whether it was still active."""
+        if not token.active:
+            return False
+        token.active = False
+        unlink = self._unlink_callbacks.pop(token.token_id, None)
+        if unlink is not None:
+            unlink()
+        self._tokens.pop(token.token_id, None)
+        return True

@@ -1,0 +1,120 @@
+"""``dumpsys``-style textual diagnostics for a simulated device.
+
+Real Android debugging leans on ``adb shell dumpsys <service>``; this
+module provides the same affordance for the simulator — task stacks,
+services with their bindings, wakelocks, and battery/power state — which
+the examples and failure-investigation tests use liberally.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .framework import AndroidSystem
+
+
+def dumpsys_activity(system: "AndroidSystem") -> str:
+    """Task stacks, back to front, with per-activity lifecycle states."""
+    lines = ["ACTIVITY MANAGER (dumpsys activity)"]
+    supervisor = system.am.supervisor
+    tasks = supervisor.tasks
+    if not tasks:
+        lines.append("  (no tasks)")
+    for task in reversed(tasks):  # front task first, like the real dump
+        front_marker = " [front]" if task is supervisor.front_task else ""
+        lines.append(f"  Task #{task.task_id} affinity={task.affinity}{front_marker}")
+        for record in reversed(task.activities):
+            lines.append(
+                f"    {record.package}/{record.component_name} "
+                f"state={record.state.value} "
+                f"launchedBy=uid:{record.launched_by_uid}"
+                f"{' transparent' if record.transparent else ''}"
+            )
+    foreground = system.am.foreground_record()
+    lines.append(
+        f"  mFocusedActivity: "
+        f"{foreground.package + '/' + foreground.component_name if foreground else 'null'}"
+    )
+    return "\n".join(lines)
+
+
+def dumpsys_services(system: "AndroidSystem") -> str:
+    """Running services with started flags and live bindings."""
+    lines = ["ACTIVE SERVICES (dumpsys activity services)"]
+    records = system.am.running_services()
+    if not records:
+        lines.append("  (none)")
+    for record in records:
+        lines.append(
+            f"  {record.package}/{record.component_name} uid={record.uid} "
+            f"started={record.started} bindings={len(record.connections)}"
+        )
+        for connection in record.connections:
+            lines.append(
+                f"    ConnectionRecord #{connection.connection_id} "
+                f"client=uid:{connection.client_uid} pid={connection.client_pid}"
+            )
+    return "\n".join(lines)
+
+
+def dumpsys_power(system: "AndroidSystem") -> str:
+    """Wakelocks, interactivity, screen and suspend state."""
+    power = system.power_manager
+    lines = [
+        "POWER MANAGER (dumpsys power)",
+        f"  mInteractive={power.is_interactive}",
+        f"  mScreenOn={system.display.is_screen_on} "
+        f"brightness={system.display.brightness} "
+        f"auto={system.display.is_auto_mode}",
+        f"  mDeviceSuspended={system.hardware.suspended}",
+        f"  screenOffTimeout={power.screen_timeout_s():.0f}s",
+        "  Wake Locks:",
+    ]
+    locks = power.held_locks()
+    if not locks:
+        lines.append("    (none)")
+    for lock in locks:
+        lines.append(
+            f"    {lock.lock_type} '{lock.tag}' uid={lock.uid} "
+            f"acquired@{lock.acquire_time:.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def dumpsys_battery(system: "AndroidSystem") -> str:
+    """Battery level plus instantaneous per-owner draw."""
+    meter = system.hardware.meter
+    pm = system.package_manager
+    lines = [
+        "BATTERY (dumpsys battery)",
+        f"  level: {system.battery.percent():.2f}%",
+        f"  draw: {meter.current_power_mw():.1f} mW",
+        "  per-owner draw:",
+    ]
+    draws: List[tuple] = []
+    for owner in meter.owners():
+        power = meter.current_power_mw(owner)
+        if power > 0:
+            if owner == -100:
+                label = "Screen"
+            elif owner == -1:
+                label = "System"
+            else:
+                label = pm.label_for_uid(owner)
+            draws.append((power, label))
+    for power, label in sorted(draws, reverse=True):
+        lines.append(f"    {label:<16} {power:8.1f} mW")
+    return "\n".join(lines)
+
+
+def dumpsys(system: "AndroidSystem") -> str:
+    """Every section, concatenated."""
+    return "\n\n".join(
+        [
+            dumpsys_activity(system),
+            dumpsys_services(system),
+            dumpsys_power(system),
+            dumpsys_battery(system),
+        ]
+    )

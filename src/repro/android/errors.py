@@ -1,0 +1,31 @@
+"""Exception hierarchy for the Android framework simulator."""
+
+from __future__ import annotations
+
+
+class AndroidError(Exception):
+    """Base class for framework errors."""
+
+
+class SecurityException(AndroidError):
+    """Permission denial — mirrors android.os.SecurityException."""
+
+
+class ActivityNotFoundError(AndroidError):
+    """No component resolves the given intent."""
+
+
+class PackageNotFoundError(AndroidError):
+    """The referenced package is not installed."""
+
+
+class ComponentNotFoundError(AndroidError):
+    """The package exists but the component does not."""
+
+
+class NotExportedError(SecurityException):
+    """A caller from another app targeted a non-exported component."""
+
+
+class BadStateError(AndroidError):
+    """An operation was attempted in an invalid lifecycle state."""

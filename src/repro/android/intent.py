@@ -1,0 +1,104 @@
+"""Intents — the currency of Android IPC.
+
+An :class:`Intent` either names its target component explicitly
+(``component=("com.example.app", "MainActivity")``) or declares a general
+``action`` to be resolved against installed apps' intent filters, in
+which case the system shows the resolver UI for the user to pick a
+handler.  The paper's IPC-based attack vector (§III-A) rides exactly
+this mechanism: any app can send an intent that makes *another* app do
+energy-expensive work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional
+
+# Well-known actions used by the demo apps and malware.
+ACTION_MAIN = "android.intent.action.MAIN"
+ACTION_VIEW = "android.intent.action.VIEW"
+ACTION_SEND = "android.intent.action.SEND"
+ACTION_VIDEO_CAPTURE = "android.media.action.VIDEO_CAPTURE"
+ACTION_IMAGE_CAPTURE = "android.media.action.IMAGE_CAPTURE"
+ACTION_USER_PRESENT = "android.intent.action.USER_PRESENT"
+ACTION_SCREEN_ON = "android.intent.action.SCREEN_ON"
+ACTION_SCREEN_OFF = "android.intent.action.SCREEN_OFF"
+ACTION_BOOT_COMPLETED = "android.intent.action.BOOT_COMPLETED"
+
+CATEGORY_LAUNCHER = "android.intent.category.LAUNCHER"
+CATEGORY_DEFAULT = "android.intent.category.DEFAULT"
+CATEGORY_HOME = "android.intent.category.HOME"
+
+# Flag mirroring Intent.FLAG_ACTIVITY_EXCLUDE_FROM_RECENTS — used by the
+# paper's malware to hide from the recent-apps list (§V).
+FLAG_EXCLUDE_FROM_RECENTS = 1 << 0
+FLAG_ACTIVITY_NEW_TASK = 1 << 1
+
+
+@dataclass(frozen=True)
+class ComponentName:
+    """Fully-qualified component reference: (package, class name)."""
+
+    package: str
+    class_name: str
+
+    def flatten(self) -> str:
+        """The ``pkg/Class`` shorthand used by ``am`` tooling."""
+        return f"{self.package}/{self.class_name}"
+
+    @staticmethod
+    def parse(flat: str) -> "ComponentName":
+        """Inverse of :meth:`flatten`."""
+        package, _, class_name = flat.partition("/")
+        if not package or not class_name:
+            raise ValueError(f"malformed component name {flat!r}")
+        return ComponentName(package, class_name)
+
+
+@dataclass
+class Intent:
+    """A request for another component to perform an action."""
+
+    action: Optional[str] = None
+    component: Optional[ComponentName] = None
+    categories: FrozenSet[str] = frozenset()
+    extras: Dict[str, Any] = field(default_factory=dict)
+    flags: int = 0
+
+    @property
+    def is_explicit(self) -> bool:
+        """Explicit intents name their target component directly."""
+        return self.component is not None
+
+    def with_component(self, component: ComponentName) -> "Intent":
+        """A copy of this intent pinned to a resolved component.
+
+        Resolution of an implicit intent dispatches a *new explicit*
+        intent (as the paper notes for the resolver flow), so this
+        returns a fresh object rather than mutating.
+        """
+        return Intent(
+            action=self.action,
+            component=component,
+            categories=self.categories,
+            extras=dict(self.extras),
+            flags=self.flags,
+        )
+
+    def has_flag(self, flag: int) -> bool:
+        """Whether a flag bit is set."""
+        return bool(self.flags & flag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = self.component.flatten() if self.component else f"action={self.action}"
+        return f"Intent({target})"
+
+
+def explicit(package: str, class_name: str, **extras: Any) -> Intent:
+    """Convenience constructor for an explicit intent."""
+    return Intent(component=ComponentName(package, class_name), extras=extras)
+
+
+def implicit(action: str, *categories: str, **extras: Any) -> Intent:
+    """Convenience constructor for an implicit intent."""
+    return Intent(action=action, categories=frozenset(categories), extras=extras)

@@ -1,0 +1,202 @@
+"""AndroidManifest model with an XML round-trip.
+
+The manifest captures everything the paper's Google-Play census (Fig. 2)
+inspects via APKTool: declared permissions, exported components, and
+intent filters.  :meth:`AndroidManifest.to_xml` emits a faithful subset
+of real manifest XML so the :mod:`repro.apps.apktool` inspector has
+something genuine to parse, rather than peeking at Python objects.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, List, Optional, Tuple
+
+ANDROID_NS = "http://schemas.android.com/apk/res/android"
+ET.register_namespace("android", ANDROID_NS)
+
+
+def _a(attr: str) -> str:
+    """Clark-notation key for an android: namespaced attribute."""
+    return f"{{{ANDROID_NS}}}{attr}"
+
+
+# Permissions relevant to the paper's threat model (§III-B).
+WAKE_LOCK = "android.permission.WAKE_LOCK"
+WRITE_SETTINGS = "android.permission.WRITE_SETTINGS"
+CAMERA = "android.permission.CAMERA"
+INTERNET = "android.permission.INTERNET"
+ACCESS_FINE_LOCATION = "android.permission.ACCESS_FINE_LOCATION"
+RECORD_AUDIO = "android.permission.RECORD_AUDIO"
+REORDER_TASKS = "android.permission.REORDER_TASKS"
+SYSTEM_ALERT_WINDOW = "android.permission.SYSTEM_ALERT_WINDOW"
+
+
+class ComponentKind(Enum):
+    """The four Android component types."""
+
+    ACTIVITY = "activity"
+    SERVICE = "service"
+    RECEIVER = "receiver"
+    PROVIDER = "provider"
+
+
+@dataclass(frozen=True)
+class IntentFilterDecl:
+    """A manifest ``<intent-filter>``: actions plus categories."""
+
+    actions: FrozenSet[str] = frozenset()
+    categories: FrozenSet[str] = frozenset()
+
+    def matches(self, action: Optional[str], categories: FrozenSet[str]) -> bool:
+        """Android's filter test: action must be declared; every category
+        requested by the intent must be declared by the filter."""
+        if action is None or action not in self.actions:
+            return False
+        return categories <= self.categories or not categories
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    """A manifest component declaration."""
+
+    name: str
+    kind: ComponentKind
+    exported: bool = False
+    intent_filters: Tuple[IntentFilterDecl, ...] = ()
+    # Mirrors android:theme="@android:style/Theme.Translucent" — the
+    # transparent-cover trick malware #4/#5 relies on.
+    transparent: bool = False
+
+    def handles(self, action: Optional[str], categories: FrozenSet[str]) -> bool:
+        """Whether any of this component's filters match."""
+        return any(f.matches(action, categories) for f in self.intent_filters)
+
+
+@dataclass
+class AndroidManifest:
+    """The parsed content of one app's AndroidManifest.xml."""
+
+    package: str
+    category: str = "tools"  # Google Play category, for the Fig. 2 census
+    uses_permissions: FrozenSet[str] = frozenset()
+    components: Tuple[ComponentDecl, ...] = ()
+
+    # ------------------------------------------------------------------
+    # queries used by the framework and by the Fig. 2 census
+    # ------------------------------------------------------------------
+    def requests_permission(self, permission: str) -> bool:
+        """Whether the app declares ``<uses-permission>`` for it."""
+        return permission in self.uses_permissions
+
+    def has_exported_component(self) -> bool:
+        """Whether any component is reachable from other apps."""
+        return any(c.exported for c in self.components)
+
+    def component(self, name: str) -> Optional[ComponentDecl]:
+        """Look up a component declaration by class name."""
+        for decl in self.components:
+            if decl.name == name:
+                return decl
+        return None
+
+    def components_of_kind(self, kind: ComponentKind) -> List[ComponentDecl]:
+        """All declared components of one kind."""
+        return [c for c in self.components if c.kind == kind]
+
+    def launcher_activity(self) -> Optional[ComponentDecl]:
+        """The activity filtered on MAIN/LAUNCHER, if any."""
+        from .intent import ACTION_MAIN, CATEGORY_LAUNCHER
+
+        for decl in self.components_of_kind(ComponentKind.ACTIVITY):
+            for filt in decl.intent_filters:
+                if ACTION_MAIN in filt.actions and CATEGORY_LAUNCHER in filt.categories:
+                    return decl
+        return None
+
+    # ------------------------------------------------------------------
+    # XML round-trip (consumed by repro.apps.apktool)
+    # ------------------------------------------------------------------
+    def to_xml(self) -> str:
+        """Serialise to (a subset of) AndroidManifest.xml."""
+        root = ET.Element("manifest", {"package": self.package})
+        root.set("playCategory", self.category)
+        for permission in sorted(self.uses_permissions):
+            ET.SubElement(root, "uses-permission", {_a("name"): permission})
+        application = ET.SubElement(root, "application")
+        for decl in self.components:
+            attrs = {
+                _a("name"): decl.name,
+                _a("exported"): "true" if decl.exported else "false",
+            }
+            if decl.transparent:
+                attrs[_a("theme")] = "@android:style/Theme.Translucent"
+            element = ET.SubElement(application, decl.kind.value, attrs)
+            for filt in decl.intent_filters:
+                filter_el = ET.SubElement(element, "intent-filter")
+                for action in sorted(filt.actions):
+                    ET.SubElement(filter_el, "action", {_a("name"): action})
+                for category in sorted(filt.categories):
+                    ET.SubElement(filter_el, "category", {_a("name"): category})
+        return ET.tostring(root, encoding="unicode")
+
+    @staticmethod
+    def from_xml(xml_text: str) -> "AndroidManifest":
+        """Parse a manifest serialised by :meth:`to_xml`."""
+        root = ET.fromstring(xml_text)
+        if root.tag != "manifest":
+            raise ValueError(f"not a manifest document (root tag {root.tag!r})")
+        package = root.get("package")
+        if not package:
+            raise ValueError("manifest missing package attribute")
+        category = root.get("playCategory", "tools")
+        permissions = frozenset(
+            el.get(_a("name"), "") for el in root.findall("uses-permission")
+        )
+        components: List[ComponentDecl] = []
+        application = root.find("application")
+        if application is not None:
+            for element in application:
+                try:
+                    kind = ComponentKind(element.tag)
+                except ValueError:
+                    continue
+                filters = tuple(
+                    IntentFilterDecl(
+                        actions=frozenset(
+                            a.get(_a("name"), "")
+                            for a in filter_el.findall("action")
+                        ),
+                        categories=frozenset(
+                            c.get(_a("name"), "")
+                            for c in filter_el.findall("category")
+                        ),
+                    )
+                    for filter_el in element.findall("intent-filter")
+                )
+                components.append(
+                    ComponentDecl(
+                        name=element.get(_a("name"), ""),
+                        kind=kind,
+                        exported=element.get(_a("exported")) == "true",
+                        intent_filters=filters,
+                        transparent="Translucent" in element.get(_a("theme"), ""),
+                    )
+                )
+        return AndroidManifest(
+            package=package,
+            category=category,
+            uses_permissions=permissions,
+            components=tuple(components),
+        )
+
+
+def launcher_filter() -> IntentFilterDecl:
+    """The MAIN/LAUNCHER intent filter every launchable app declares."""
+    from .intent import ACTION_MAIN, CATEGORY_LAUNCHER
+
+    return IntentFilterDecl(
+        actions=frozenset({ACTION_MAIN}), categories=frozenset({CATEGORY_LAUNCHER})
+    )

@@ -1,0 +1,144 @@
+"""Framework observation interface.
+
+E-Android's first component is "an extension of the Android framework to
+record all events that potentially invoke collateral energy bugs"
+(§IV).  In the simulator those extension points are expressed as an
+observer interface: the ActivityManager, PowerManagerService, display
+manager and settings provider publish every relevant event to registered
+:class:`FrameworkObserver` instances.  Stock "Android" runs with no
+observers; E-Android attaches its monitor; tests attach recorders.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .activity import ActivityRecord
+    from .intent import Intent
+    from .service import ServiceRecord
+
+
+class FrameworkObserver:
+    """Base observer; every hook is a no-op so subclasses override à la carte.
+
+    Hook arguments use uids (Android's per-app identity) because that is
+    what the paper's E-Android records: "E-Android collects apps' user
+    IDs and the type of operations".
+    """
+
+    # -- activities -----------------------------------------------------
+    def on_activity_start(
+        self,
+        time: float,
+        caller_uid: int,
+        target_uid: int,
+        record: "ActivityRecord",
+        intent: "Intent",
+        user_initiated: bool,
+    ) -> None:
+        """An activity was started (explicit or resolved implicit intent)."""
+
+    def on_activity_move_to_front(
+        self, time: float, caller_uid: int, target_uid: int, user_initiated: bool
+    ) -> None:
+        """An existing task was reordered to the front without a start."""
+
+    def on_activity_finished(self, time: float, record: "ActivityRecord") -> None:
+        """An activity was destroyed."""
+
+    def on_foreground_changed(
+        self,
+        time: float,
+        previous_uid: Optional[int],
+        new_uid: Optional[int],
+        cause: str,
+        initiator_uid: Optional[int],
+    ) -> None:
+        """The foreground app changed.
+
+        ``cause`` is one of ``start``, ``finish``, ``home``, ``back``,
+        ``move_front``, ``screen_off``; ``initiator_uid`` is who drove
+        the change (None for direct user input).
+        """
+
+    # -- services ---------------------------------------------------------
+    def on_service_start(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        """startService() reached a service."""
+
+    def on_service_stop(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        """stopService() was called."""
+
+    def on_service_stop_self(self, time: float, record: "ServiceRecord") -> None:
+        """The service stopped itself."""
+
+    def on_service_bind(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        """bindService() created a connection."""
+
+    def on_service_unbind(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        """A connection was unbound (explicitly or by client death)."""
+
+    # -- wakelocks --------------------------------------------------------
+    def on_wakelock_acquire(
+        self, time: float, uid: int, lock_type: str, tag: str
+    ) -> None:
+        """A wakelock was acquired."""
+
+    def on_wakelock_release(
+        self, time: float, uid: int, lock_type: str, tag: str, by_death: bool
+    ) -> None:
+        """A wakelock was released (possibly by link-to-death)."""
+
+    # -- screen -------------------------------------------------------------
+    def on_brightness_change(
+        self,
+        time: float,
+        caller_uid: Optional[int],
+        old_level: int,
+        new_level: int,
+        via: str,
+    ) -> None:
+        """Effective brightness changed. ``via``: settings/systemui/window/auto."""
+
+    def on_brightness_mode_change(
+        self, time: float, caller_uid: Optional[int], manual: bool, via: str
+    ) -> None:
+        """Auto/manual brightness mode toggled."""
+
+    def on_screen_state(self, time: float, is_on: bool) -> None:
+        """The panel turned on or off."""
+
+
+class ObserverRegistry:
+    """Fan-out helper the framework services publish through."""
+
+    def __init__(self) -> None:
+        self._observers: List[FrameworkObserver] = []
+
+    def register(self, observer: FrameworkObserver) -> None:
+        """Attach an observer; events fan out in registration order."""
+        self._observers.append(observer)
+
+    def unregister(self, observer: FrameworkObserver) -> bool:
+        """Detach an observer; returns whether it was registered."""
+        try:
+            self._observers.remove(observer)
+            return True
+        except ValueError:
+            return False
+
+    def notify(self, method: str, *args, **kwargs) -> None:
+        """Invoke ``method`` on every registered observer."""
+        for observer in self._observers:
+            getattr(observer, method)(*args, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self._observers)

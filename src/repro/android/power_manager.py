@@ -1,0 +1,268 @@
+"""PowerManagerService: wakelocks, screen timeout, and suspend.
+
+Implements the behaviour §III-A builds the wakelock attack vector on:
+
+* four wakelock types; the three screen types force the panel on;
+* a wakelock is only force-released through *link-to-death* when the
+  owning process dies — merely stopping an activity leaves it held,
+  which is the no-sleep-bug gap malware #4/#6 exploit;
+* without a screen wakelock, the screen times out (default 30 s) and
+  the device then suspends unless a PARTIAL wakelock is held.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from .errors import BadStateError, SecurityException
+from .manifest import WAKE_LOCK
+from .observers import ObserverRegistry
+from .settings import SCREEN_OFF_TIMEOUT, SettingsProvider
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..power.components import HardwarePlatform
+    from ..sim.event_queue import ScheduledEvent
+    from ..sim.kernel import Kernel
+    from ..sim.process import ProcessRecord
+    from .binder import Binder, DeathToken
+    from .display import DisplayManager
+    from .package_manager import PackageManager
+
+# Wakelock types (PowerManager constants).
+PARTIAL_WAKE_LOCK = "PARTIAL_WAKE_LOCK"
+SCREEN_DIM_WAKE_LOCK = "SCREEN_DIM_WAKE_LOCK"
+SCREEN_BRIGHT_WAKE_LOCK = "SCREEN_BRIGHT_WAKE_LOCK"
+FULL_WAKE_LOCK = "FULL_WAKE_LOCK"
+
+SCREEN_LOCK_TYPES = frozenset(
+    {SCREEN_DIM_WAKE_LOCK, SCREEN_BRIGHT_WAKE_LOCK, FULL_WAKE_LOCK}
+)
+ALL_LOCK_TYPES = SCREEN_LOCK_TYPES | {PARTIAL_WAKE_LOCK}
+
+
+@dataclass
+class WakeLock:
+    """A held wakelock; release through :meth:`release`."""
+
+    lock_id: int
+    uid: int
+    lock_type: str
+    tag: str
+    acquire_time: float
+    held: bool = True
+    _service: Optional["PowerManagerService"] = field(default=None, repr=False)
+    _death_token: Optional["DeathToken"] = field(default=None, repr=False)
+
+    def release(self) -> None:
+        """Release the lock (idempotence is an error, as on Android)."""
+        if self._service is None:
+            raise BadStateError("wakelock not registered with PowerManagerService")
+        self._service.release(self)
+
+    @property
+    def keeps_screen_on(self) -> bool:
+        """Whether this lock's type forces the panel on."""
+        return self.lock_type in SCREEN_LOCK_TYPES
+
+
+class PowerManagerService:
+    """Wakelock registry plus screen-timeout and suspend policy."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        hardware: "HardwarePlatform",
+        display: "DisplayManager",
+        settings: SettingsProvider,
+        package_manager: "PackageManager",
+        binder: "Binder",
+        process_of_uid: Callable[[int], Optional["ProcessRecord"]],
+        observers: ObserverRegistry,
+    ) -> None:
+        self._kernel = kernel
+        self._hardware = hardware
+        self._display = display
+        self._settings = settings
+        self._package_manager = package_manager
+        self._binder = binder
+        self._process_of_uid = process_of_uid
+        self._observers = observers
+        self._lock_ids = itertools.count(1)
+        self._locks: Dict[int, WakeLock] = {}
+        self._timeout_event: Optional["ScheduledEvent"] = None
+        self._interactive = False
+
+    # ------------------------------------------------------------------
+    # wakelocks
+    # ------------------------------------------------------------------
+    def acquire(self, uid: int, lock_type: str, tag: str) -> WakeLock:
+        """Acquire a wakelock for ``uid`` (requires WAKE_LOCK permission)."""
+        if lock_type not in ALL_LOCK_TYPES:
+            raise ValueError(f"unknown wakelock type {lock_type!r}")
+        if not self._package_manager.check_permission(uid, WAKE_LOCK):
+            raise SecurityException(f"uid {uid} lacks {WAKE_LOCK}")
+        lock = WakeLock(
+            lock_id=next(self._lock_ids),
+            uid=uid,
+            lock_type=lock_type,
+            tag=tag,
+            acquire_time=self._kernel.now,
+            _service=self,
+        )
+        self._locks[lock.lock_id] = lock
+        # Link-to-death: only the process's death auto-releases the lock.
+        process = self._process_of_uid(uid)
+        if process is not None:
+            lock._death_token = self._binder.link_to_death(
+                process.pid, lambda _dead, lock=lock: self._release_by_death(lock)
+            )
+        self._observers.notify(
+            "on_wakelock_acquire", self._kernel.now, uid, lock_type, tag
+        )
+        if lock.keeps_screen_on:
+            self.wake_up()
+            self._cancel_timeout()
+            self._update_dim_state()
+        elif not self._hardware.suspended:
+            pass  # partial lock on an awake device changes nothing yet
+        else:
+            # Acquiring a partial lock from suspend is impossible in
+            # practice (CPU halted) but harmless in simulation: wake.
+            self._resume_cpu_only()
+        return lock
+
+    def release(self, lock: WakeLock) -> None:
+        """Explicitly release a held lock."""
+        if not lock.held:
+            raise BadStateError(f"wakelock {lock.tag!r} is not held")
+        self._finish_release(lock, by_death=False)
+
+    def _release_by_death(self, lock: WakeLock) -> None:
+        if lock.held:
+            self._finish_release(lock, by_death=True)
+
+    def _finish_release(self, lock: WakeLock, by_death: bool) -> None:
+        lock.held = False
+        self._locks.pop(lock.lock_id, None)
+        if lock._death_token is not None and not by_death:
+            self._binder.unlink_to_death(lock._death_token)
+        lock._death_token = None
+        self._observers.notify(
+            "on_wakelock_release",
+            self._kernel.now,
+            lock.uid,
+            lock.lock_type,
+            lock.tag,
+            by_death,
+        )
+        if not self._screen_locks() and self._interactive:
+            self._restart_timeout()
+        self._update_dim_state()
+        if not self._partial_locks() and not self._interactive:
+            self._suspend()
+
+    def held_locks(self, uid: Optional[int] = None) -> List[WakeLock]:
+        """All held locks, optionally filtered by uid."""
+        return [
+            lock
+            for lock in self._locks.values()
+            if uid is None or lock.uid == uid
+        ]
+
+    def holds_screen_lock(self, uid: int) -> bool:
+        """Whether ``uid`` holds any screen-type lock."""
+        return any(lock.keeps_screen_on for lock in self.held_locks(uid))
+
+    def _screen_locks(self) -> List[WakeLock]:
+        return [lock for lock in self._locks.values() if lock.keeps_screen_on]
+
+    def _partial_locks(self) -> List[WakeLock]:
+        return [
+            lock
+            for lock in self._locks.values()
+            if lock.lock_type == PARTIAL_WAKE_LOCK
+        ]
+
+    # ------------------------------------------------------------------
+    # interactivity / screen policy
+    # ------------------------------------------------------------------
+    @property
+    def is_interactive(self) -> bool:
+        """Whether the device is awake with the screen on."""
+        return self._interactive
+
+    def wake_up(self) -> None:
+        """Turn the device interactive: resume CPU, light the panel."""
+        if self._hardware.suspended:
+            self._hardware.resume()
+        if not self._interactive:
+            self._interactive = True
+        self._display.screen_on()
+        if not self._screen_locks():
+            self._restart_timeout()
+        self._update_dim_state()
+
+    def _update_dim_state(self) -> None:
+        """SCREEN_DIM locks hold the panel on only at the dim level;
+        any BRIGHT/FULL lock (or plain interactivity) keeps it bright."""
+        screen_locks = self._screen_locks()
+        only_dim = bool(screen_locks) and all(
+            lock.lock_type == SCREEN_DIM_WAKE_LOCK for lock in screen_locks
+        )
+        if only_dim and not self._interactive_brightness_override():
+            self._display.dim()
+        else:
+            self._display.undim()
+
+    def _interactive_brightness_override(self) -> bool:
+        # User interaction always restores full brightness; in the
+        # simulator interactivity alone does not force bright when a
+        # dim lock is the only thing keeping the panel alive after the
+        # timeout would have fired.
+        return self._timeout_event is not None
+
+    def user_activity(self) -> None:
+        """User touched the device: wake and reset the timeout."""
+        self.wake_up()
+
+    def go_to_sleep(self) -> None:
+        """Screen off now; suspend unless a partial lock forbids it."""
+        self._cancel_timeout()
+        self._interactive = False
+        self._display.screen_off()
+        if not self._partial_locks():
+            self._suspend()
+
+    def screen_timeout_s(self) -> float:
+        """The configured screen-off timeout."""
+        return float(self._settings.get(SCREEN_OFF_TIMEOUT, 30.0))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _restart_timeout(self) -> None:
+        self._cancel_timeout()
+        self._timeout_event = self._kernel.call_later(
+            self.screen_timeout_s(), self._on_timeout, name="screen-timeout"
+        )
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_event is not None:
+            self._kernel.cancel(self._timeout_event)
+            self._timeout_event = None
+
+    def _on_timeout(self) -> None:
+        self._timeout_event = None
+        if self._screen_locks():
+            return  # a screen lock arrived meanwhile; stay on
+        self.go_to_sleep()
+
+    def _suspend(self) -> None:
+        self._hardware.suspend()
+
+    def _resume_cpu_only(self) -> None:
+        self._hardware.resume()
+        if not self._interactive:
+            self._display.screen_off()

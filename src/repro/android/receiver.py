@@ -1,0 +1,30 @@
+"""Broadcast receivers.
+
+Manifest-declared receivers let an app run code without being open —
+the paper notes malware listens for intents such as ACTION_USER_PRESENT
+"to automatically launch" (§V).  App code subclasses
+:class:`BroadcastReceiver` and registers the class in its manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .app import Context
+    from .intent import Intent
+
+
+class BroadcastReceiver:
+    """Base class for manifest-declared broadcast receivers."""
+
+    def __init__(self) -> None:
+        self.context: Optional["Context"] = None
+
+    def on_receive(self, intent: "Intent") -> None:
+        """Handle one delivered broadcast."""
+
+    @property
+    def class_name(self) -> str:
+        """The component class name used in manifests."""
+        return type(self).__name__

@@ -1,0 +1,106 @@
+"""System settings provider.
+
+Holds the global settings table (brightness level, brightness mode,
+screen-off timeout) with WRITE_SETTINGS enforcement for app uids and a
+change-observer interface — the hook E-Android's screen-attack tracker
+listens on, with the *caller uid* attached to every change so the
+accounting can tell a SystemUI (user) adjustment from a background app's
+stealthy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, TYPE_CHECKING
+
+from .errors import SecurityException
+from .manifest import WRITE_SETTINGS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .package_manager import PackageManager
+
+# Keys mirroring android.provider.Settings.System.
+SCREEN_BRIGHTNESS = "screen_brightness"
+SCREEN_BRIGHTNESS_MODE = "screen_brightness_mode"
+SCREEN_OFF_TIMEOUT = "screen_off_timeout"
+
+BRIGHTNESS_MODE_MANUAL = 0
+BRIGHTNESS_MODE_AUTOMATIC = 1
+
+
+@dataclass(frozen=True)
+class SettingChange:
+    """One observed settings write."""
+
+    time: float
+    caller_uid: int
+    key: str
+    old_value: Any
+    new_value: Any
+
+
+SettingObserver = Callable[[SettingChange], None]
+
+
+class SettingsProvider:
+    """The global settings table with permission-checked writes."""
+
+    def __init__(
+        self,
+        package_manager: "PackageManager",
+        clock: Callable[[], float],
+    ) -> None:
+        self._package_manager = package_manager
+        self._clock = clock
+        self._values: Dict[str, Any] = {
+            SCREEN_BRIGHTNESS: 102,
+            SCREEN_BRIGHTNESS_MODE: BRIGHTNESS_MODE_MANUAL,
+            SCREEN_OFF_TIMEOUT: 30.0,
+        }
+        self._observers: List[SettingObserver] = []
+        self._history: List[SettingChange] = []
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a setting."""
+        return self._values.get(key, default)
+
+    def put(self, caller_uid: int, key: str, value: Any) -> None:
+        """Write a setting as ``caller_uid``.
+
+        System uids bypass the permission check (SystemUI adjusting
+        brightness is the user acting); app uids need WRITE_SETTINGS.
+        """
+        if not self._package_manager.is_system_uid(caller_uid):
+            if not self._package_manager.check_permission(caller_uid, WRITE_SETTINGS):
+                raise SecurityException(
+                    f"uid {caller_uid} lacks {WRITE_SETTINGS} for key {key!r}"
+                )
+        self._apply(caller_uid, key, value)
+
+    def put_as_system(self, key: str, value: Any) -> None:
+        """Privileged write used by system services themselves."""
+        self._apply(self._package_manager.system_uid, key, value)
+
+    def add_observer(self, observer: SettingObserver) -> None:
+        """Subscribe to settings changes."""
+        self._observers.append(observer)
+
+    def history(self) -> List[SettingChange]:
+        """All observed changes (copy)."""
+        return list(self._history)
+
+    def _apply(self, caller_uid: int, key: str, value: Any) -> None:
+        old = self._values.get(key)
+        if old == value:
+            return
+        self._values[key] = value
+        change = SettingChange(
+            time=self._clock(),
+            caller_uid=caller_uid,
+            key=key,
+            old_value=old,
+            new_value=value,
+        )
+        self._history.append(change)
+        for observer in list(self._observers):
+            observer(change)

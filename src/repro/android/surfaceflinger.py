@@ -1,0 +1,78 @@
+"""SurfaceFlinger and its shared-memory side channel.
+
+The paper's malware #4 infers UI state "like the technique used in the
+UI inference attack [8]": SurfaceFlinger's shared virtual memory size
+changes when the rendered UI changes, and the offset is stable enough to
+recognise a specific app's exit dialog.  The simulator models a
+deterministic mapping from the rendered UI (foreground activity plus any
+dialog) to a shared-VM size, and exposes the same world-readable size
+that ``/proc`` exposes on a real device — no permission required, which
+is what makes the attack stealthy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .activity import ActivityRecord
+
+UiStateProvider = Callable[[], Optional["ActivityRecord"]]
+
+_BASE_SHARED_VM = 8_192  # KiB: SurfaceFlinger's floor with an empty display
+
+
+def _ui_signature(package: str, component: str, dialog: Optional[str]) -> int:
+    """Deterministic per-UI shared-VM contribution in KiB."""
+    digest = hashlib.sha256(
+        f"{package}/{component}/{dialog or ''}".encode("utf-8")
+    ).digest()
+    return 256 + int.from_bytes(digest[:2], "big") % 4096
+
+
+class SurfaceFlinger:
+    """Tracks rendered-UI state and the derived shared-VM size."""
+
+    def __init__(self, front_provider: UiStateProvider) -> None:
+        self._front_provider = front_provider
+        self._history: List[Tuple[str, int]] = []
+
+    def invalidate(self) -> None:
+        """The UI re-rendered; recompute (history kept for debugging)."""
+        self._history.append((self.current_ui_key(), self.shared_vm_size_kib()))
+        if len(self._history) > 256:
+            del self._history[: len(self._history) - 256]
+
+    def current_ui_key(self) -> str:
+        """Opaque description of what is on screen (internal)."""
+        record = self._front_provider()
+        if record is None:
+            return "<none>"
+        dialog = record.instance.dialog
+        return f"{record.package}/{record.component_name}/{dialog or ''}"
+
+    def shared_vm_size_kib(self) -> int:
+        """The world-readable shared-VM size of the render process.
+
+        This is the malware-visible value: it leaks *which* UI is being
+        rendered without leaking why, exactly like the real side channel.
+        """
+        record = self._front_provider()
+        if record is None:
+            return _BASE_SHARED_VM
+        return _BASE_SHARED_VM + _ui_signature(
+            record.package, record.component_name, record.instance.dialog
+        )
+
+    @staticmethod
+    def expected_size_for(
+        package: str, component: str, dialog: Optional[str]
+    ) -> int:
+        """What the shared-VM size would be for a given UI.
+
+        Malware precomputes this offline ("the attacker can easily
+        understand [UI states] by either installing the app or reverse
+        engineering the app", §III-B) and compares at runtime.
+        """
+        return _BASE_SHARED_VM + _ui_signature(package, component, dialog)

@@ -1,0 +1,174 @@
+"""Built-in system apps: Launcher, SystemUI, and the resolver.
+
+"In Android, the home UI is essentially the launcher app ... Another key
+app is the system UI [which] allows users to customize a device's
+characteristics, such as screen brightness.  The 'resolverActivity' is
+used for users to select an app responding to an implicit intent.
+E-Android treats these built-in apps and internal apps as system apps
+and excludes them from the collateral energy attack list" (§IV-A).
+
+They install with system uids (< 10000), which is how both E-Android's
+monitor and the settings provider recognise them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .activity import Activity
+from .app import App
+from .intent import ACTION_MAIN, CATEGORY_HOME, CATEGORY_LAUNCHER
+from .manifest import (
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    IntentFilterDecl,
+)
+from .settings import (
+    BRIGHTNESS_MODE_AUTOMATIC,
+    BRIGHTNESS_MODE_MANUAL,
+    SCREEN_BRIGHTNESS,
+    SCREEN_BRIGHTNESS_MODE,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .framework import AndroidSystem
+
+LAUNCHER_PACKAGE = "com.android.launcher"
+SYSTEMUI_PACKAGE = "com.android.systemui"
+RESOLVER_PACKAGE = "com.android.resolver"
+PHONE_PACKAGE = "com.android.phone"
+
+
+class HomeActivity(Activity):
+    """The launcher's home screen; idles with negligible load."""
+
+    def on_resume(self) -> None:
+        if self.context is not None:
+            self.context.ui_changed()
+
+    def on_back_pressed(self) -> bool:
+        """The home screen swallows back presses (as on real Android —
+        there is nowhere further back to go)."""
+        return True
+
+
+class ResolverActivity(Activity):
+    """Shown when several handlers match an implicit intent.
+
+    In the simulator the resolution decision itself happens through the
+    ActivityManager's resolver policy; this activity exists so the task
+    stacks and SurfaceFlinger state look like the real flow.
+    """
+
+    transparent = True
+
+
+def build_launcher() -> App:
+    """The home/launcher system app."""
+    manifest = AndroidManifest(
+        package=LAUNCHER_PACKAGE,
+        category="system",
+        components=(
+            ComponentDecl(
+                name="HomeActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(
+                    IntentFilterDecl(
+                        actions=frozenset({ACTION_MAIN}),
+                        categories=frozenset({CATEGORY_HOME, CATEGORY_LAUNCHER}),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return App(manifest, {"HomeActivity": HomeActivity})
+
+
+class IncomingCallActivity(Activity):
+    """The popup a ringing phone throws over the foreground app.
+
+    §III-A: "a foreground activity could be easily interrupted by popup
+    activities, e.g., the activity invoked by a notification, an
+    incoming call or an alarm" — the canonical *unintentional* trigger
+    of the wakelock collateral bug.  Transparent: the app underneath is
+    only paused.
+    """
+
+    transparent = True
+
+    def on_resume(self) -> None:
+        if self.context is not None:
+            self.context.start_audio()  # ringtone
+
+    def on_pause(self) -> None:
+        if self.context is not None:
+            self.context.stop_audio()
+
+
+def build_phone() -> App:
+    """The dialer/telephony system app."""
+    manifest = AndroidManifest(
+        package=PHONE_PACKAGE,
+        category="system",
+        components=(
+            ComponentDecl(
+                name="IncomingCallActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                transparent=True,
+            ),
+        ),
+    )
+    return App(manifest, {"IncomingCallActivity": IncomingCallActivity})
+
+
+def build_systemui() -> App:
+    """The status-bar/quick-settings system app."""
+    manifest = AndroidManifest(package=SYSTEMUI_PACKAGE, category="system")
+    return App(manifest, {})
+
+
+def build_resolver() -> App:
+    """The implicit-intent resolver dialog app."""
+    manifest = AndroidManifest(
+        package=RESOLVER_PACKAGE,
+        category="system",
+        components=(
+            ComponentDecl(
+                name="ResolverActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                transparent=True,
+            ),
+        ),
+    )
+    return App(manifest, {"ResolverActivity": ResolverActivity})
+
+
+class SystemUi:
+    """User-facing controls routed through the SystemUI uid.
+
+    Calls here model the *user* adjusting the device, which E-Android's
+    screen tracker treats as attack-window terminators (Fig. 5d:
+    "brightness changed by system UI (i.e., operated by users)").
+    """
+
+    def __init__(self, system: "AndroidSystem", uid: int) -> None:
+        self._system = system
+        self._uid = uid
+
+    @property
+    def uid(self) -> int:
+        """SystemUI's (system) uid."""
+        return self._uid
+
+    def user_set_brightness(self, level: int) -> None:
+        """User drags the brightness slider."""
+        self._system.settings.put(self._uid, SCREEN_BRIGHTNESS, int(level))
+
+    def user_set_auto_mode(self, enabled: bool) -> None:
+        """User toggles automatic brightness."""
+        mode = BRIGHTNESS_MODE_AUTOMATIC if enabled else BRIGHTNESS_MODE_MANUAL
+        self._system.settings.put(self._uid, SCREEN_BRIGHTNESS_MODE, mode)

@@ -1,0 +1,67 @@
+"""Demo applications, the synthetic Play corpus, and the APKTool census."""
+
+from .apktool import ApkTool, CensusResult, CensusRow, has_attackable_export, run_census
+from .corpus import (
+    CATEGORY_PROFILES,
+    PAPER_CATEGORY_COUNT,
+    PAPER_CORPUS_SIZE,
+    SyntheticApk,
+    generate_corpus,
+)
+from .testkit import (
+    PlainActivity,
+    PlainService,
+    TransparentActivity,
+    booted_system,
+    make_app,
+)
+from .extras import (
+    BROWSER_PACKAGE,
+    MAPS_PACKAGE,
+    build_browser_app,
+    build_maps_app,
+)
+from .demo import (
+    CAMERA_PACKAGE,
+    CONTACTS_PACKAGE,
+    MESSAGE_PACKAGE,
+    MUSIC_PACKAGE,
+    VICTIM_PACKAGE,
+    build_camera_app,
+    build_contacts_app,
+    build_message_app,
+    build_music_app,
+    build_victim_app,
+)
+
+__all__ = [
+    "build_camera_app",
+    "build_message_app",
+    "build_contacts_app",
+    "build_victim_app",
+    "build_music_app",
+    "build_maps_app",
+    "build_browser_app",
+    "MAPS_PACKAGE",
+    "BROWSER_PACKAGE",
+    "CAMERA_PACKAGE",
+    "MESSAGE_PACKAGE",
+    "CONTACTS_PACKAGE",
+    "VICTIM_PACKAGE",
+    "MUSIC_PACKAGE",
+    "generate_corpus",
+    "SyntheticApk",
+    "PAPER_CORPUS_SIZE",
+    "PAPER_CATEGORY_COUNT",
+    "CATEGORY_PROFILES",
+    "ApkTool",
+    "run_census",
+    "CensusResult",
+    "CensusRow",
+    "has_attackable_export",
+    "make_app",
+    "booted_system",
+    "PlainActivity",
+    "TransparentActivity",
+    "PlainService",
+]

@@ -1,0 +1,181 @@
+"""Synthetic Google-Play corpus for the Fig. 2 census.
+
+The paper collected 1,124 popular apps across 28 categories and found
+72% with exported components, 81% requesting WAKE_LOCK, and 21%
+requesting WRITE_SETTINGS.  With no Play Store offline, we generate a
+seeded synthetic corpus: each category has a feature-probability profile
+(games lean on wakelocks, tools on WRITE_SETTINGS, ...), calibrated so
+the aggregate rates land on the paper's numbers.  Each app materialises
+as a real serialized AndroidManifest.xml inside a :class:`SyntheticApk`,
+which :mod:`repro.apps.apktool` then reverse-engineers — the census runs
+on parsed XML, exercising the same pipeline as the paper's APKTool study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..android.intent import ACTION_SEND, ACTION_VIEW, CATEGORY_DEFAULT
+from ..android.manifest import (
+    ACCESS_FINE_LOCATION,
+    CAMERA,
+    INTERNET,
+    RECORD_AUDIO,
+    WAKE_LOCK,
+    WRITE_SETTINGS,
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    IntentFilterDecl,
+    launcher_filter,
+)
+from ..sim.rng import SeededRng
+
+PAPER_CORPUS_SIZE = 1124
+PAPER_CATEGORY_COUNT = 28
+
+# (category, share-weight, P(exported), P(WAKE_LOCK), P(WRITE_SETTINGS))
+# Calibrated so the weighted aggregates sit at ~72% / ~81% / ~21%.
+CATEGORY_PROFILES: List[Tuple[str, float, float, float, float]] = [
+    ("game_action", 2.0, 0.62, 0.94, 0.16),
+    ("game_casual", 2.0, 0.60, 0.93, 0.14),
+    ("game_puzzle", 1.5, 0.58, 0.92, 0.12),
+    ("business", 1.2, 0.80, 0.78, 0.18),
+    ("finance", 1.2, 0.78, 0.72, 0.10),
+    ("communication", 1.4, 0.90, 0.95, 0.30),
+    ("social", 1.4, 0.88, 0.92, 0.22),
+    ("productivity", 1.2, 0.82, 0.83, 0.33),
+    ("tools", 1.6, 0.76, 0.85, 0.48),
+    ("personalization", 1.0, 0.70, 0.70, 0.52),
+    ("photography", 1.0, 0.74, 0.82, 0.20),
+    ("music_audio", 1.2, 0.78, 0.95, 0.24),
+    ("video_players", 1.0, 0.76, 0.94, 0.28),
+    ("entertainment", 1.4, 0.72, 0.84, 0.16),
+    ("shopping", 1.0, 0.80, 0.74, 0.08),
+    ("travel_local", 1.0, 0.78, 0.76, 0.10),
+    ("maps_navigation", 0.8, 0.76, 0.88, 0.18),
+    ("news_magazines", 1.0, 0.74, 0.72, 0.08),
+    ("books_reference", 1.0, 0.66, 0.74, 0.26),
+    ("education", 1.0, 0.64, 0.70, 0.10),
+    ("health_fitness", 1.0, 0.72, 0.86, 0.16),
+    ("medical", 0.6, 0.62, 0.64, 0.08),
+    ("lifestyle", 1.0, 0.70, 0.72, 0.12),
+    ("sports", 0.8, 0.72, 0.78, 0.10),
+    ("weather", 0.6, 0.68, 0.80, 0.22),
+    ("food_drink", 0.6, 0.70, 0.66, 0.06),
+    ("house_home", 0.5, 0.64, 0.62, 0.08),
+    ("libraries_demo", 0.5, 0.52, 0.54, 0.14),
+]
+
+assert len(CATEGORY_PROFILES) == PAPER_CATEGORY_COUNT
+
+
+@dataclass(frozen=True)
+class SyntheticApk:
+    """One 'downloaded' app: package id plus its packed manifest XML."""
+
+    package: str
+    category: str
+    manifest_xml: str
+
+
+def _category_sizes(rng: SeededRng, total: int) -> Dict[str, int]:
+    """Split ``total`` apps across categories by weight (exact sum)."""
+    weights = [w for _, w, _, _, _ in CATEGORY_PROFILES]
+    weight_sum = sum(weights)
+    sizes: Dict[str, int] = {}
+    allocated = 0
+    for name, weight, _, _, _ in CATEGORY_PROFILES[:-1]:
+        count = int(round(total * weight / weight_sum))
+        sizes[name] = count
+        allocated += count
+    sizes[CATEGORY_PROFILES[-1][0]] = total - allocated
+    return sizes
+
+
+def _build_components(
+    rng: SeededRng, exported: bool, index: int
+) -> Tuple[ComponentDecl, ...]:
+    """Component set for one app: a launcher activity plus extras."""
+    components = [
+        ComponentDecl(
+            name="MainActivity",
+            kind=ComponentKind.ACTIVITY,
+            exported=True,  # launcher activities are exported by filter
+            intent_filters=(launcher_filter(),),
+        )
+    ]
+    if exported:
+        # An additional deliberately exported component — the attack
+        # surface Fig. 2 counts.
+        kind = rng.weighted_choice(
+            [ComponentKind.ACTIVITY, ComponentKind.SERVICE, ComponentKind.RECEIVER],
+            [0.45, 0.35, 0.20],
+        )
+        action = rng.choice([ACTION_VIEW, ACTION_SEND])
+        components.append(
+            ComponentDecl(
+                name=f"Exported{kind.value.capitalize()}{index}",
+                kind=kind,
+                exported=True,
+                intent_filters=(
+                    IntentFilterDecl(
+                        actions=frozenset({action}),
+                        categories=frozenset({CATEGORY_DEFAULT}),
+                    ),
+                ),
+            )
+        )
+    if rng.bernoulli(0.6):
+        components.append(
+            ComponentDecl(
+                name="SyncService", kind=ComponentKind.SERVICE, exported=False
+            )
+        )
+    return tuple(components)
+
+
+def generate_corpus(
+    seed: int = 7, size: int = PAPER_CORPUS_SIZE
+) -> List[SyntheticApk]:
+    """Generate the synthetic Play corpus as packed APK manifests.
+
+    Note: Fig. 2 counts apps that "contain an exported component" beyond
+    the implicit launcher entry point, so the census flag is driven by
+    the extra exported components, not MainActivity.
+    """
+    rng = SeededRng(seed)
+    apks: List[SyntheticApk] = []
+    sizes = _category_sizes(rng, size)
+    app_index = 0
+    for name, _, p_exported, p_wakelock, p_settings in CATEGORY_PROFILES:
+        for _ in range(sizes[name]):
+            app_index += 1
+            exported = rng.bernoulli(p_exported)
+            permissions = {INTERNET}
+            if rng.bernoulli(p_wakelock):
+                permissions.add(WAKE_LOCK)
+            if rng.bernoulli(p_settings):
+                permissions.add(WRITE_SETTINGS)
+            if rng.bernoulli(0.35):
+                permissions.add(ACCESS_FINE_LOCATION)
+            if rng.bernoulli(0.30):
+                permissions.add(CAMERA)
+            if rng.bernoulli(0.20):
+                permissions.add(RECORD_AUDIO)
+            package = f"com.play.{name}.app{app_index:04d}"
+            manifest = AndroidManifest(
+                package=package,
+                category=name,
+                uses_permissions=frozenset(permissions),
+                components=_build_components(rng, exported, app_index),
+            )
+            apks.append(
+                SyntheticApk(
+                    package=package,
+                    category=name,
+                    manifest_xml=manifest.to_xml(),
+                )
+            )
+    return apks

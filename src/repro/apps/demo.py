@@ -1,0 +1,353 @@
+"""Demo applications used throughout the paper's scenarios.
+
+These are the cast of §III and §VI:
+
+* **Camera** — the energy hog; its exported video-capture activity draws
+  camera + CPU power while recording (Fig. 1's villain-by-appearance).
+* **Message** — opens the Camera through an implicit VIDEO_CAPTURE
+  intent to film a clip inside the messaging UI (scene #1).
+* **Contacts** — opens Message, which opens Camera (scene #2, the
+  legitimate hybrid chain of Fig. 7).
+* **Victim** — a no-sleep-bug app for attacks #3/#4: its root activity
+  acquires a screen wakelock that is only released in ``onDestroy`` (the
+  §III-A misuse), shows an exit-confirmation dialog on back, runs an
+  exported service with real CPU load, and keeps a small background load
+  while stopped-but-alive.
+* **Music** — audio playback with an exported playback service.
+
+Power numbers are expressed as CPU-fractions/hardware sessions on the
+simulated platform; see :mod:`repro.power.profiles` for the wattage.
+"""
+
+from __future__ import annotations
+
+from ..android.activity import Activity
+from ..android.app import App
+from ..android.intent import (
+    ACTION_VIDEO_CAPTURE,
+    CATEGORY_DEFAULT,
+    ComponentName,
+    Intent,
+    implicit,
+)
+from ..android.manifest import (
+    CAMERA,
+    INTERNET,
+    RECORD_AUDIO,
+    WAKE_LOCK,
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    IntentFilterDecl,
+    launcher_filter,
+)
+from ..android.power_manager import SCREEN_BRIGHT_WAKE_LOCK
+from ..android.service import Service
+
+CAMERA_PACKAGE = "com.app.camera"
+MESSAGE_PACKAGE = "com.app.message"
+CONTACTS_PACKAGE = "com.app.contacts"
+VICTIM_PACKAGE = "com.app.victim"
+MUSIC_PACKAGE = "com.app.music"
+
+# CPU demand while each app's UI is active (fraction of one core).
+MESSAGE_FG_CPU = 0.06
+CONTACTS_FG_CPU = 0.04
+CAMERA_RECORD_CPU = 0.45
+VICTIM_FG_CPU = 0.25
+VICTIM_BG_CPU = 0.08
+VICTIM_SERVICE_CPU = 0.30
+MUSIC_SERVICE_CPU = 0.05
+
+
+# ----------------------------------------------------------------------
+# Camera
+# ----------------------------------------------------------------------
+class RecordVideoActivity(Activity):
+    """Exported VIDEO_CAPTURE handler: preview on resume, record for the
+    intent-requested duration, then finish and 'return' the clip."""
+
+    def on_resume(self) -> None:
+        context = self.context
+        assert context is not None and self.intent is not None
+        context.open_camera()
+        context.start_recording()
+        context.set_cpu_load(CAMERA_RECORD_CPU)
+        duration = float(self.intent.extras.get("duration_s", 30.0))
+        context.schedule(duration, self._finish_recording, name="camera-finish")
+
+    def _finish_recording(self) -> None:
+        if self.record is not None and self.record.is_foreground:
+            self.finish()
+
+    def on_pause(self) -> None:
+        context = self.context
+        assert context is not None
+        context.stop_recording()
+        context.close_camera()
+        context.set_cpu_load(0.0)
+
+
+def build_camera_app() -> App:
+    """The Camera app."""
+    manifest = AndroidManifest(
+        package=CAMERA_PACKAGE,
+        category="photography",
+        uses_permissions=frozenset({CAMERA, WAKE_LOCK}),
+        components=(
+            ComponentDecl(
+                name="RecordVideoActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(
+                    IntentFilterDecl(
+                        actions=frozenset({ACTION_VIDEO_CAPTURE}),
+                        categories=frozenset({CATEGORY_DEFAULT}),
+                    ),
+                    launcher_filter(),
+                ),
+            ),
+        ),
+    )
+    return App(manifest, {"RecordVideoActivity": RecordVideoActivity})
+
+
+# ----------------------------------------------------------------------
+# Message
+# ----------------------------------------------------------------------
+class MessageMainActivity(Activity):
+    """The messaging UI; ``record_video`` embeds a camera capture."""
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(MESSAGE_FG_CPU)
+
+    def on_pause(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.0)
+
+    def record_video(self, duration_s: float = 30.0) -> None:
+        """User taps 'Record Video' — fires the implicit capture intent."""
+        assert self.context is not None
+        intent = implicit(ACTION_VIDEO_CAPTURE, CATEGORY_DEFAULT)
+        intent.extras["duration_s"] = duration_s
+        self.context.start_activity(intent)
+
+
+def build_message_app() -> App:
+    """The Message app."""
+    manifest = AndroidManifest(
+        package=MESSAGE_PACKAGE,
+        category="communication",
+        uses_permissions=frozenset({INTERNET}),
+        components=(
+            ComponentDecl(
+                name="MessageMainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+        ),
+    )
+    return App(manifest, {"MessageMainActivity": MessageMainActivity})
+
+
+# ----------------------------------------------------------------------
+# Contacts
+# ----------------------------------------------------------------------
+class ContactsMainActivity(Activity):
+    """Contact list; can hand off to Message for a conversation."""
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(CONTACTS_FG_CPU)
+
+    def on_pause(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.0)
+
+    def open_message(self) -> None:
+        """User taps a contact's message button."""
+        assert self.context is not None
+        self.context.start_activity(
+            Intent(component=ComponentName(MESSAGE_PACKAGE, "MessageMainActivity"))
+        )
+
+
+def build_contacts_app() -> App:
+    """The Contacts app."""
+    manifest = AndroidManifest(
+        package=CONTACTS_PACKAGE,
+        category="communication",
+        components=(
+            ComponentDecl(
+                name="ContactsMainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+        ),
+    )
+    return App(manifest, {"ContactsMainActivity": ContactsMainActivity})
+
+
+# ----------------------------------------------------------------------
+# Victim
+# ----------------------------------------------------------------------
+class VictimMainActivity(Activity):
+    """Root activity with the paper's wakelock misuse.
+
+    Acquires a SCREEN_BRIGHT wakelock on resume and releases it only in
+    ``on_destroy`` — never in ``on_pause``/``on_stop`` — exactly the
+    developer error of Pathak et al. the paper builds attack #4 on.
+    On back-press it shows an exit-confirmation dialog; tapping OK
+    destroys the app.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._wakelock = None
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(VICTIM_FG_CPU)
+        if self._wakelock is None or not self._wakelock.held:
+            self._wakelock = self.context.acquire_wakelock(
+                SCREEN_BRIGHT_WAKE_LOCK, "victim-ui"
+            )
+
+    def on_pause(self) -> None:
+        pass  # BUG (intentional): wakelock not released here
+
+    def on_stop(self) -> None:
+        # BUG (intentional): wakelock not released here either; keep a
+        # small background load while the process lives.
+        assert self.context is not None
+        self.context.set_cpu_load(VICTIM_BG_CPU)
+
+    def on_restart(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(VICTIM_FG_CPU)
+
+    def on_destroy(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.0)
+        if self._wakelock is not None and self._wakelock.held:
+            self._wakelock.release()
+            self._wakelock = None
+
+    def on_back_pressed(self) -> bool:
+        """Most apps confirm before exiting (§V)."""
+        self.show_dialog("exit")
+        return True
+
+    def on_dialog_ok(self) -> None:
+        """User confirmed the exit dialog: destroy the app."""
+        self.dismiss_dialog()
+        self.finish()
+
+
+class VictimWorkService(Service):
+    """Exported service with a heavy computational workload."""
+
+    def on_create(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(VICTIM_SERVICE_CPU)
+
+    def on_destroy(self) -> None:
+        assert self.context is not None
+        # Restore the activity's load if the UI is still alive.
+        uid = self.context.uid
+        records = self.context.system.am.supervisor.records_of_uid(uid)
+        resumed = any(r.is_foreground for r in records)
+        if resumed:
+            self.context.set_cpu_load(VICTIM_FG_CPU)
+        elif records:
+            self.context.set_cpu_load(VICTIM_BG_CPU)
+        else:
+            self.context.set_cpu_load(0.0)
+
+
+def build_victim_app(package: str = VICTIM_PACKAGE) -> App:
+    """A victim app instance (package name overridable to install many)."""
+    manifest = AndroidManifest(
+        package=package,
+        category="productivity",
+        uses_permissions=frozenset({WAKE_LOCK, INTERNET}),
+        components=(
+            ComponentDecl(
+                name="VictimMainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+            ComponentDecl(
+                name="VictimWorkService",
+                kind=ComponentKind.SERVICE,
+                exported=True,
+            ),
+        ),
+    )
+    return App(
+        manifest,
+        {
+            "VictimMainActivity": VictimMainActivity,
+            "VictimWorkService": VictimWorkService,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Music
+# ----------------------------------------------------------------------
+class MusicMainActivity(Activity):
+    """Playback UI; starts the playback service."""
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.start_service(
+            Intent(component=ComponentName(MUSIC_PACKAGE, "PlaybackService"))
+        )
+
+
+class PlaybackService(Service):
+    """Foreground-style audio playback service."""
+
+    def on_create(self) -> None:
+        assert self.context is not None
+        self.context.start_audio()
+        self.context.set_cpu_load(MUSIC_SERVICE_CPU)
+
+    def on_destroy(self) -> None:
+        assert self.context is not None
+        self.context.stop_audio()
+        self.context.set_cpu_load(0.0)
+
+
+def build_music_app() -> App:
+    """The Music app."""
+    manifest = AndroidManifest(
+        package=MUSIC_PACKAGE,
+        category="music_audio",
+        uses_permissions=frozenset({WAKE_LOCK, RECORD_AUDIO}),
+        components=(
+            ComponentDecl(
+                name="MusicMainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+            ComponentDecl(
+                name="PlaybackService",
+                kind=ComponentKind.SERVICE,
+                exported=True,
+            ),
+        ),
+    )
+    return App(
+        manifest,
+        {
+            "MusicMainActivity": MusicMainActivity,
+            "PlaybackService": PlaybackService,
+        },
+    )

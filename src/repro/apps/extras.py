@@ -1,0 +1,156 @@
+"""Additional realistic demo apps: Maps (GPS) and Browser (radio).
+
+These widen the hardware coverage of the attack scenarios beyond
+CPU/camera/screen: a navigation session holds the GPS receiver on (a
+classic tail-energy hog), and the browser drives the radio between
+high-traffic bursts and tail states — the component set the energy-
+modeling literature the paper builds on (PowerTutor, AppScope) centres
+on.
+"""
+
+from __future__ import annotations
+
+from ..android.activity import Activity
+from ..android.app import App
+from ..android.intent import ACTION_VIEW, CATEGORY_DEFAULT
+from ..android.manifest import (
+    ACCESS_FINE_LOCATION,
+    INTERNET,
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    IntentFilterDecl,
+    launcher_filter,
+)
+from ..android.service import Service
+
+MAPS_PACKAGE = "com.app.maps"
+BROWSER_PACKAGE = "com.app.browser"
+
+MAPS_FG_CPU = 0.20
+BROWSER_FG_CPU = 0.12
+NAVIGATION_CPU = 0.15
+
+
+class MapsMainActivity(Activity):
+    """Map view: GPS on while visible, exported navigation entry point."""
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(MAPS_FG_CPU)
+        self.context.start_gps()
+
+    def on_pause(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.0)
+        self.context.stop_gps()
+
+
+class NavigationService(Service):
+    """Turn-by-turn navigation: GPS + CPU even in the background.
+
+    Exported — which makes it a textbook energy-hog component for the
+    paper's attack #1/#3 patterns (start or bind it from another app and
+    the GPS burns on the Maps app's ledger).
+    """
+
+    def on_create(self) -> None:
+        assert self.context is not None
+        self.context.start_gps()
+        self.context.set_cpu_load(NAVIGATION_CPU)
+
+    def on_destroy(self) -> None:
+        assert self.context is not None
+        self.context.stop_gps()
+        self.context.set_cpu_load(0.0)
+
+
+def build_maps_app() -> App:
+    """The Maps app."""
+    manifest = AndroidManifest(
+        package=MAPS_PACKAGE,
+        category="maps_navigation",
+        uses_permissions=frozenset({ACCESS_FINE_LOCATION, INTERNET}),
+        components=(
+            ComponentDecl(
+                name="MapsMainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+            ComponentDecl(
+                name="NavigationService",
+                kind=ComponentKind.SERVICE,
+                exported=True,
+            ),
+        ),
+    )
+    return App(
+        manifest,
+        {
+            "MapsMainActivity": MapsMainActivity,
+            "NavigationService": NavigationService,
+        },
+    )
+
+
+class BrowserActivity(Activity):
+    """Web browsing: radio bursts while loading, tail after.
+
+    Exported with a VIEW filter, so any app can hand it a URL — another
+    legitimate IPC pattern an energy attacker can lean on.
+    """
+
+    page_load_seconds: float = 3.0
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(BROWSER_FG_CPU)
+        self.load_page()
+
+    def load_page(self) -> None:
+        """Fetch a page: radio HIGH for the load, then back to idle
+        (the radio model adds the post-burst tail draw itself)."""
+        context = self.context
+        assert context is not None
+        radio = context.system.hardware.radio
+        context.set_network_activity(radio.HIGH)
+        context.schedule(
+            self.page_load_seconds, self._load_finished, name="page-load"
+        )
+
+    def _load_finished(self) -> None:
+        context = self.context
+        assert context is not None
+        radio = context.system.hardware.radio
+        context.set_network_activity(radio.IDLE)
+
+    def on_pause(self) -> None:
+        context = self.context
+        assert context is not None
+        context.set_cpu_load(0.0)
+        context.set_network_activity(context.system.hardware.radio.IDLE)
+
+
+def build_browser_app() -> App:
+    """The Browser app."""
+    manifest = AndroidManifest(
+        package=BROWSER_PACKAGE,
+        category="communication",
+        uses_permissions=frozenset({INTERNET}),
+        components=(
+            ComponentDecl(
+                name="BrowserActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(
+                    launcher_filter(),
+                    IntentFilterDecl(
+                        actions=frozenset({ACTION_VIEW}),
+                        categories=frozenset({CATEGORY_DEFAULT}),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return App(manifest, {"BrowserActivity": BrowserActivity})

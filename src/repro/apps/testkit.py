@@ -1,0 +1,139 @@
+"""Test kit: minimal instrumented apps for writing scenarios and tests.
+
+Downstream users exploring their own attack or accounting ideas need
+lightweight apps whose lifecycle transitions are observable; these
+builders provide exactly that — a generic app with a launchable
+activity, a transparent cover, an exported service, and a non-exported
+activity, every component recording its lifecycle events.  The repo's
+own test suite is built on this kit (``tests/helpers.py`` re-exports it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.android import (
+    Activity,
+    AndroidManifest,
+    App,
+    AndroidSystem,
+    ComponentDecl,
+    ComponentKind,
+    REORDER_TASKS,
+    Service,
+    WAKE_LOCK,
+    WRITE_SETTINGS,
+    launcher_filter,
+)
+
+
+class PlainActivity(Activity):
+    """Records its lifecycle transitions for assertions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[str] = []
+
+    def on_create(self) -> None:
+        self.events.append("create")
+
+    def on_start(self) -> None:
+        self.events.append("start")
+
+    def on_resume(self) -> None:
+        self.events.append("resume")
+
+    def on_pause(self) -> None:
+        self.events.append("pause")
+
+    def on_stop(self) -> None:
+        self.events.append("stop")
+
+    def on_restart(self) -> None:
+        self.events.append("restart")
+
+    def on_destroy(self) -> None:
+        self.events.append("destroy")
+
+
+class TransparentActivity(PlainActivity):
+    """A Theme.Translucent activity (covers pause, not stop)."""
+
+    transparent = True
+
+
+class PlainService(Service):
+    """Records its lifecycle transitions for assertions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[str] = []
+
+    def on_create(self) -> None:
+        self.events.append("create")
+
+    def on_start_command(self, intent) -> None:
+        self.events.append("start_command")
+
+    def on_bind(self, intent) -> None:
+        self.events.append("bind")
+
+    def on_unbind(self) -> None:
+        self.events.append("unbind")
+
+    def on_destroy(self) -> None:
+        self.events.append("destroy")
+
+
+def make_app(
+    package: str,
+    permissions: Tuple[str, ...] = (WAKE_LOCK, WRITE_SETTINGS, REORDER_TASKS),
+    exported: bool = True,
+) -> App:
+    """A generic app with one launchable activity, a cover, and a service."""
+    manifest = AndroidManifest(
+        package=package,
+        uses_permissions=frozenset(permissions),
+        components=(
+            ComponentDecl(
+                name="PlainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=exported,
+                intent_filters=(launcher_filter(),),
+            ),
+            ComponentDecl(
+                name="TransparentActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=exported,
+                transparent=True,
+            ),
+            ComponentDecl(
+                name="PlainService",
+                kind=ComponentKind.SERVICE,
+                exported=exported,
+            ),
+            ComponentDecl(
+                name="PrivateActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=False,
+            ),
+        ),
+    )
+    return App(
+        manifest,
+        {
+            "PlainActivity": PlainActivity,
+            "TransparentActivity": TransparentActivity,
+            "PlainService": PlainService,
+            "PrivateActivity": PlainActivity,
+        },
+    )
+
+
+def booted_system(*apps: App) -> AndroidSystem:
+    """A booted device with the given apps installed."""
+    system = AndroidSystem()
+    for app in apps:
+        system.install(app)
+    system.boot()
+    return system

@@ -1,0 +1,77 @@
+"""The paper's six collateral energy attacks plus multi/hybrid variants."""
+
+from .background import BACKGROUND_PACKAGE, BackgroundService, build_background_malware
+from .base import (
+    AutoStartReceiver,
+    MalwareMainActivity,
+    MalwareService,
+    build_malware_app,
+    build_malware_manifest,
+)
+from .bind_service import BIND_PACKAGE, BindService, build_bind_malware
+from .brightness import (
+    BRIGHTNESS_PACKAGE,
+    DEFAULT_DELTA_LEVELS,
+    BrightnessService,
+    SelfCloseActivity,
+    build_brightness_malware,
+)
+from .gps_hog import GPS_HOG_PACKAGE, GpsHogService, build_gps_hog_malware
+from .hijack import HIJACK_PACKAGE, HijackService, build_hijack_malware
+from .hybrid import (
+    HYBRID_PACKAGE,
+    MULTI_PACKAGE,
+    RELAY_B_PACKAGE,
+    RELAY_C_PACKAGE,
+    build_hybrid_malware,
+    build_multi_malware,
+    build_relay_b,
+    build_relay_c,
+)
+from .interrupt import (
+    INTERRUPT_PACKAGE,
+    CoverActivity,
+    InterruptService,
+    build_interrupt_malware,
+)
+from .wakelock import WAKELOCK_PACKAGE, WakelockService, build_wakelock_malware
+
+__all__ = [
+    "build_hijack_malware",
+    "build_gps_hog_malware",
+    "GpsHogService",
+    "GPS_HOG_PACKAGE",
+    "build_background_malware",
+    "build_bind_malware",
+    "build_interrupt_malware",
+    "build_brightness_malware",
+    "build_wakelock_malware",
+    "build_multi_malware",
+    "build_hybrid_malware",
+    "build_relay_b",
+    "build_relay_c",
+    "build_malware_app",
+    "build_malware_manifest",
+    "MalwareService",
+    "MalwareMainActivity",
+    "AutoStartReceiver",
+    "HijackService",
+    "BackgroundService",
+    "BindService",
+    "InterruptService",
+    "CoverActivity",
+    "BrightnessService",
+    "SelfCloseActivity",
+    "WakelockService",
+    "HIJACK_PACKAGE",
+    "BACKGROUND_PACKAGE",
+    "BIND_PACKAGE",
+    "INTERRUPT_PACKAGE",
+    "BRIGHTNESS_PACKAGE",
+    "WAKELOCK_PACKAGE",
+    "MULTI_PACKAGE",
+    "HYBRID_PACKAGE",
+    "RELAY_B_PACKAGE",
+    "RELAY_C_PACKAGE",
+    "DEFAULT_DELTA_LEVELS",
+]

@@ -1,0 +1,58 @@
+"""Attack #2 — trigger background apps.
+
+"When malware is launched, malware can open other apps concurrently and
+make them run in background ... triggering background apps is a very
+effective way to drain battery" (§III-B).  The payload starts each
+victim's activity, then immediately covers it with the next one (and
+finally with its own UI), leaving every victim paused/stopped in the
+background where it keeps draining — charged to the victims by every
+baseline profiler.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..android.app import App
+from ..android.intent import ComponentName, Intent
+from ..apps.demo import VICTIM_PACKAGE
+from .base import MalwareService, build_malware_app
+
+BACKGROUND_PACKAGE = "com.fun.wallpaper"  # camouflage
+
+
+class BackgroundService(MalwareService):
+    """Opens victims concurrently, then buries them in the background."""
+
+    #: (package, launcher activity) victims to open.
+    targets: Tuple[Tuple[str, str], ...] = (
+        (VICTIM_PACKAGE, "VictimMainActivity"),
+    )
+
+    def run_payload(self, intent: Intent) -> None:
+        assert self.context is not None
+        for package, activity in self.targets:
+            self.context.start_activity(
+                Intent(component=ComponentName(package, activity))
+            )
+        # Cover everything with the malware's own (idle) UI so each
+        # victim drops to the background.
+        self.context.start_activity(
+            Intent(
+                component=ComponentName(self.context.package, "MalwareMainActivity")
+            )
+        )
+
+
+def build_background_malware(
+    targets: Tuple[Tuple[str, str], ...] = BackgroundService.targets,
+) -> App:
+    """Attack #2 malware for the given victim list (no permissions)."""
+
+    class ConfiguredBackgroundService(BackgroundService):
+        pass
+
+    ConfiguredBackgroundService.targets = targets
+    return build_malware_app(
+        BACKGROUND_PACKAGE, ConfiguredBackgroundService, permissions=()
+    )

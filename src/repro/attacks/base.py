@@ -1,0 +1,129 @@
+"""Shared malware scaffolding.
+
+Every attack app in this package follows the paper's §V implementation
+notes: it camouflages as a useful tool (benign-looking package name and
+category), sets FLAG_EXCLUDE_FROM_RECENTS so it hides from the recents
+list, and registers a manifest receiver on ACTION_USER_PRESENT so it
+auto-launches its payload service when the user unlocks the screen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..android.activity import Activity
+from ..android.app import App
+from ..android.intent import (
+    ACTION_USER_PRESENT,
+    ComponentName,
+    Intent,
+)
+from ..android.manifest import (
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    IntentFilterDecl,
+    launcher_filter,
+)
+from ..android.receiver import BroadcastReceiver
+from ..android.service import Service
+
+
+class MalwareMainActivity(Activity):
+    """Innocent-looking launcher activity: starts the payload and bows out."""
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.start_service(
+            Intent(
+                component=ComponentName(self.context.package, "MalwareService")
+            )
+        )
+
+
+class AutoStartReceiver(BroadcastReceiver):
+    """Launches the payload whenever the user unlocks the device (§V)."""
+
+    def on_receive(self, intent: Intent) -> None:
+        assert self.context is not None
+        self.context.start_service(
+            Intent(component=ComponentName(self.context.package, "MalwareService"))
+        )
+
+
+def build_malware_manifest(
+    package: str,
+    permissions: Tuple[str, ...],
+    extra_components: Tuple[ComponentDecl, ...] = (),
+) -> AndroidManifest:
+    """Manifest template shared by every attack app."""
+    return AndroidManifest(
+        package=package,
+        category="tools",  # camouflaged as a useful tool (§III-B)
+        uses_permissions=frozenset(permissions),
+        components=(
+            ComponentDecl(
+                name="MalwareMainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+            ComponentDecl(
+                name="MalwareService",
+                kind=ComponentKind.SERVICE,
+                exported=False,
+            ),
+            ComponentDecl(
+                name="AutoStartReceiver",
+                kind=ComponentKind.RECEIVER,
+                exported=True,
+                intent_filters=(
+                    IntentFilterDecl(actions=frozenset({ACTION_USER_PRESENT})),
+                ),
+            ),
+        )
+        + extra_components,
+    )
+
+
+def build_malware_app(
+    package: str,
+    service_class: type,
+    permissions: Tuple[str, ...],
+    extra_components: Tuple[ComponentDecl, ...] = (),
+    extra_classes: Optional[Dict[str, type]] = None,
+) -> App:
+    """Assemble a malware app around its payload service class."""
+    classes: Dict[str, type] = {
+        "MalwareMainActivity": MalwareMainActivity,
+        "MalwareService": service_class,
+        "AutoStartReceiver": AutoStartReceiver,
+    }
+    if extra_classes:
+        classes.update(extra_classes)
+    return App(
+        build_malware_manifest(package, permissions, extra_components), classes
+    )
+
+
+class MalwareService(Service):
+    """Base payload service; subclasses implement :meth:`run_payload`."""
+
+    #: Polling interval for payloads that watch system state.
+    poll_interval_s: float = 0.5
+    #: Fire the payload only on the first start (several triggers —
+    #: launcher tap, unlock broadcast — may hit the same service).
+    run_once: bool = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._payload_fired = False
+
+    def on_start_command(self, intent: Intent) -> None:
+        if self.run_once and self._payload_fired:
+            return
+        self._payload_fired = True
+        self.run_payload(intent)
+
+    def run_payload(self, intent: Intent) -> None:
+        """Launch the attack (override)."""

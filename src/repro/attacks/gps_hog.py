@@ -1,0 +1,43 @@
+"""Extension attack — GPS hogging through an exported navigation service.
+
+Not one of the paper's six, but a direct corollary of its attack-vector
+analysis: attack #3's bind-without-unbind pattern pointed at a *GPS* hog
+instead of a CPU hog.  The Maps app's exported ``NavigationService``
+holds the 430 mW GPS receiver while alive; malware binding it without
+unbinding burns ~1.5 kJ/hour on the Maps app's ledger.  Included to
+demonstrate the attack pattern generalises across hardware components
+(and that E-Android's accounting needs no per-component special cases).
+"""
+
+from __future__ import annotations
+
+from ..android.app import App
+from ..android.intent import ComponentName, Intent
+from ..apps.extras import MAPS_PACKAGE
+from .base import MalwareService, build_malware_app
+
+GPS_HOG_PACKAGE = "com.fun.unitconverter"  # camouflage
+
+
+class GpsHogService(MalwareService):
+    """Binds the navigation service once and keeps the handle forever."""
+
+    victim_package: str = MAPS_PACKAGE
+    victim_service: str = "NavigationService"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.connection = None
+
+    def run_payload(self, intent: Intent) -> None:
+        assert self.context is not None
+        self.connection = self.context.bind_service(
+            Intent(
+                component=ComponentName(self.victim_package, self.victim_service)
+            )
+        )
+
+
+def build_gps_hog_malware() -> App:
+    """The GPS-hog malware (no permissions: the service is exported)."""
+    return build_malware_app(GPS_HOG_PACKAGE, GpsHogService, permissions=())

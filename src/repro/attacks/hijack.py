@@ -1,0 +1,38 @@
+"""Attack #1 — component hijacking through IPC.
+
+"Malware hijacks components belonging to other apps ... malware could
+choose the energy hog component to launch an attack" (§III-B).  The
+payload fires an intent at the Camera app's exported video-capture
+activity — a long recording whose camera+CPU energy lands on the Camera
+in every baseline profiler, while the malware's own ledger stays clean.
+No permissions are needed: the component is exported.
+"""
+
+from __future__ import annotations
+
+from ..android.app import App
+from ..android.intent import ComponentName, Intent
+from ..apps.demo import CAMERA_PACKAGE
+from .base import MalwareService, build_malware_app
+
+HIJACK_PACKAGE = "com.fun.flashlight"  # camouflage
+
+
+class HijackService(MalwareService):
+    """Starts the victim's energy-hog component with a long workload."""
+
+    #: How long a recording the hijacked component is asked for.
+    record_duration_s: float = 300.0
+    #: The hijacked component; defaults to the Camera's capture activity.
+    target = ComponentName(CAMERA_PACKAGE, "RecordVideoActivity")
+
+    def run_payload(self, intent: Intent) -> None:
+        assert self.context is not None
+        hijack = Intent(component=self.target)
+        hijack.extras["duration_s"] = self.record_duration_s
+        self.context.start_activity(hijack)
+
+
+def build_hijack_malware() -> App:
+    """Attack #1 malware: needs no permissions at all."""
+    return build_malware_app(HIJACK_PACKAGE, HijackService, permissions=())

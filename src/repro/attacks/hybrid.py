@@ -1,0 +1,166 @@
+"""Multi- and hybrid collateral attacks (§III-B, Figs. 6-7).
+
+* **Multi-collateral** (Fig. 6): one malware mounts several simultaneous
+  attacks — bind, start, interrupt — on the *same* victim.  E-Android
+  must charge the union of the windows, not the sum.
+* **Hybrid chain** (Fig. 7): the attack spreads across apps — A binds a
+  service of B, B starts an activity of C, C changes the brightness —
+  and the root of the chain is charged for everything downstream.
+
+The chain's middle/leaf apps here are *relay* apps whose components
+genuinely (if naively) perform the next step, matching the paper's note
+that chains arise "in both malware and legitimate apps".
+"""
+
+from __future__ import annotations
+
+from ..android.activity import Activity
+from ..android.app import App
+from ..android.intent import ComponentName, Intent
+from ..android.manifest import (
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    WRITE_SETTINGS,
+)
+from ..android.service import Service
+from ..android.settings import SCREEN_BRIGHTNESS
+from ..apps.demo import VICTIM_PACKAGE
+from .base import MalwareService, build_malware_app
+
+MULTI_PACKAGE = "com.fun.stepcounter"
+RELAY_B_PACKAGE = "com.chain.relayb"
+RELAY_C_PACKAGE = "com.chain.relayc"
+
+
+# ----------------------------------------------------------------------
+# Multi-collateral attack (Fig. 6)
+# ----------------------------------------------------------------------
+class MultiAttackService(MalwareService):
+    """Binds + starts + interrupts the same victim concurrently."""
+
+    victim_package: str = VICTIM_PACKAGE
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.connection = None
+
+    def run_payload(self, intent: Intent) -> None:
+        context = self.context
+        assert context is not None
+        service = ComponentName(self.victim_package, "VictimWorkService")
+        # Bind and start the victim's service...
+        self.connection = context.bind_service(Intent(component=service))
+        context.start_service(Intent(component=service))
+        # ...start the victim's activity...
+        context.start_activity(
+            Intent(component=ComponentName(self.victim_package, "VictimMainActivity"))
+        )
+        # ...then interrupt it straight back to the background with the
+        # malware's own UI.
+        context.start_activity(
+            Intent(
+                component=ComponentName(context.package, "MalwareMainActivity")
+            )
+        )
+
+
+def build_multi_malware(victim_package: str = VICTIM_PACKAGE) -> App:
+    """Fig. 6 malware."""
+
+    class ConfiguredMultiService(MultiAttackService):
+        pass
+
+    ConfiguredMultiService.victim_package = victim_package
+    return build_malware_app(MULTI_PACKAGE, ConfiguredMultiService, permissions=())
+
+
+# ----------------------------------------------------------------------
+# Hybrid chain (Fig. 7): A --bind--> B --start--> C --brightness--> screen
+# ----------------------------------------------------------------------
+class RelayBService(Service):
+    """B's exported service: when bound, it starts C's activity."""
+
+    def on_bind(self, intent: Intent) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.10)
+        self.context.start_activity(
+            Intent(component=ComponentName(RELAY_C_PACKAGE, "RelayCActivity"))
+        )
+
+    def on_destroy(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.0)
+
+
+class RelayCActivity(Activity):
+    """C's exported activity: stealthily raises the brightness."""
+
+    brightness_level: int = 255
+
+    def on_resume(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.15)
+        self.context.put_setting(SCREEN_BRIGHTNESS, self.brightness_level)
+
+    def on_pause(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.05)
+
+    def on_destroy(self) -> None:
+        assert self.context is not None
+        self.context.set_cpu_load(0.0)
+
+
+def build_relay_b() -> App:
+    """Chain middleman B."""
+    manifest = AndroidManifest(
+        package=RELAY_B_PACKAGE,
+        category="productivity",
+        components=(
+            ComponentDecl(
+                name="RelayBService", kind=ComponentKind.SERVICE, exported=True
+            ),
+        ),
+    )
+    return App(manifest, {"RelayBService": RelayBService})
+
+
+def build_relay_c() -> App:
+    """Chain leaf C (holds WRITE_SETTINGS)."""
+    manifest = AndroidManifest(
+        package=RELAY_C_PACKAGE,
+        category="personalization",
+        uses_permissions=frozenset({WRITE_SETTINGS}),
+        components=(
+            ComponentDecl(
+                name="RelayCActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                transparent=True,
+            ),
+        ),
+    )
+    return App(manifest, {"RelayCActivity": RelayCActivity})
+
+
+class HybridChainService(MalwareService):
+    """A's payload: a single bind that sets the whole chain in motion."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.connection = None
+
+    def run_payload(self, intent: Intent) -> None:
+        assert self.context is not None
+        self.connection = self.context.bind_service(
+            Intent(component=ComponentName(RELAY_B_PACKAGE, "RelayBService"))
+        )
+
+
+HYBRID_PACKAGE = "com.fun.weatherpro"
+
+
+def build_hybrid_malware() -> App:
+    """Fig. 7 chain root A."""
+    return build_malware_app(HYBRID_PACKAGE, HybridChainService, permissions=())

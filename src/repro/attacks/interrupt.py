@@ -1,0 +1,112 @@
+"""Attack #4 — interrupt the victim to the background at quit time.
+
+The paper's most elaborate malware (§V): the victim only releases its
+screen wakelock in ``onDestroy``; most apps confirm exit with a dialog
+on the root activity.  The malware
+
+1. polls SurfaceFlinger's shared virtual-memory size — the UI-inference
+   side channel — until it recognises the victim's exit dialog;
+2. covers the dialog with a *transparent* activity;
+3. when the user taps where "OK" sits, the tap lands on the cover, which
+   starts the home UI and finishes itself.
+
+The user saw the app "close"; in reality it only reached ``onStop``, so
+the wakelock stays held, the screen stays on, and every baseline
+profiler taxes the *victim* (or the foreground app) for the burn.
+"""
+
+from __future__ import annotations
+
+from ..android.activity import Activity
+from ..android.app import App
+from ..android.intent import ComponentName, Intent
+from ..android.manifest import ComponentDecl, ComponentKind
+from ..android.surfaceflinger import SurfaceFlinger
+from ..apps.demo import VICTIM_PACKAGE
+from .base import MalwareService, build_malware_app
+
+INTERRUPT_PACKAGE = "com.fun.compass"  # camouflage
+LAUNCHER_PACKAGE = "com.android.launcher"
+
+
+class CoverActivity(Activity):
+    """The transparent overlay placed over the victim's exit dialog."""
+
+    transparent = True
+
+    def on_dialog_ok(self) -> None:
+        """The user's OK tap, hijacked by the cover.
+
+        "Malware sends an intent to start home UI" (§V) — a plain
+        exported-activity start needing no permission — then removes the
+        cover so "the user feels no difference".
+        """
+        assert self.context is not None
+        self.context.start_activity(
+            Intent(component=ComponentName(LAUNCHER_PACKAGE, "HomeActivity"))
+        )
+        self.finish()
+
+
+class InterruptService(MalwareService):
+    """Watches the shared-VM side channel for the victim's exit dialog."""
+
+    victim_package: str = VICTIM_PACKAGE
+    victim_root_activity: str = "VictimMainActivity"
+    exit_dialog_name: str = "exit"
+    watch_duration_s: float = 3600.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._elapsed = 0.0
+        # Precomputed offline by reverse-engineering the victim (§III-B).
+        self._dialog_signature = SurfaceFlinger.expected_size_for(
+            self.victim_package, self.victim_root_activity, self.exit_dialog_name
+        )
+
+    def run_payload(self, intent: Intent) -> None:
+        self._poll()
+
+    def _poll(self) -> None:
+        assert self.context is not None
+        size = self.context.system.surfaceflinger.shared_vm_size_kib()
+        if size == self._dialog_signature:
+            # Exit dialog detected: cover it with the transparent page.
+            self.context.start_activity(
+                Intent(
+                    component=ComponentName(self.context.package, "CoverActivity")
+                )
+            )
+            return
+        self._elapsed += self.poll_interval_s
+        if self._elapsed < self.watch_duration_s:
+            self.context.schedule(
+                self.poll_interval_s, self._poll, name="surfaceflinger-poll"
+            )
+
+
+def build_interrupt_malware(
+    victim_package: str = VICTIM_PACKAGE,
+    victim_root_activity: str = "VictimMainActivity",
+) -> App:
+    """Attack #4 malware (no permissions; the side channel is free)."""
+
+    class ConfiguredInterruptService(InterruptService):
+        pass
+
+    ConfiguredInterruptService.victim_package = victim_package
+    ConfiguredInterruptService.victim_root_activity = victim_root_activity
+    return build_malware_app(
+        INTERRUPT_PACKAGE,
+        ConfiguredInterruptService,
+        permissions=(),
+        extra_components=(
+            ComponentDecl(
+                name="CoverActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=False,
+                transparent=True,
+            ),
+        ),
+        extra_classes={"CoverActivity": CoverActivity},
+    )

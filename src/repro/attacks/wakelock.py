@@ -1,0 +1,41 @@
+"""Attack #6 — acquire a screen wakelock without releasing.
+
+"Malware could easily keep screen on by intentionally acquiring but not
+releasing the wakelock.  The wakelock could even be acquired by
+services.  The consumed screen energy will be wrongly attributed to the
+foreground app or Android launcher, rather than malware" (§III-B).
+Needs WAKE_LOCK.
+"""
+
+from __future__ import annotations
+
+from ..android.app import App
+from ..android.intent import Intent
+from ..android.manifest import WAKE_LOCK
+from ..android.power_manager import SCREEN_BRIGHT_WAKE_LOCK
+from .base import MalwareService, build_malware_app
+
+WAKELOCK_PACKAGE = "com.fun.qrscanner"  # camouflage
+
+
+class WakelockService(MalwareService):
+    """Acquires a screen-bright wakelock from the background, forever."""
+
+    lock_type: str = SCREEN_BRIGHT_WAKE_LOCK
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lock = None
+
+    def run_payload(self, intent: Intent) -> None:
+        assert self.context is not None
+        if self.lock is None or not self.lock.held:
+            self.lock = self.context.acquire_wakelock(self.lock_type, "sync")
+        # No release() anywhere — the whole attack.
+
+
+def build_wakelock_malware() -> App:
+    """Attack #6 malware (requires WAKE_LOCK)."""
+    return build_malware_app(
+        WAKELOCK_PACKAGE, WakelockService, permissions=(WAKE_LOCK,)
+    )

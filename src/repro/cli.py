@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments [NAME ...]`` — regenerate evaluation tables/figures
+  (default: all, in paper order);
+* ``attack NAME`` — run one attack scenario and print the Android vs
+  E-Android views plus the detector's verdict;
+* ``census [--seed N]`` — the Fig. 2 corpus census;
+* ``drain`` — the Fig. 3 battery study;
+* ``dumpsys`` — boot a demo device, run scene #1, dump all services;
+* ``trace NAME --out FILE`` — run an attack, capture the device trace to
+  JSON, and verify the offline analyzer reproduces the live report;
+* ``chains NAME`` — run an attack and print the attack-graph analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+EXPERIMENT_RUNNERS: Dict[str, Callable[[], object]] = {}
+
+
+def _experiment_runners() -> Dict[str, Callable[[], object]]:
+    from .experiments import (
+        run_efficiency,
+        run_fig1,
+        run_fig2,
+        run_fig3,
+        run_fig6,
+        run_fig7,
+        run_fig8,
+        run_fig9,
+        run_fig10,
+        run_fig11,
+    )
+
+    return {
+        "fig1": run_fig1,
+        "fig2": run_fig2,
+        "fig3": run_fig3,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+        "fig10": run_fig10,
+        "fig11": run_fig11,
+        "efficiency": run_efficiency,
+    }
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    runners = _experiment_runners()
+    names = args.names or list(runners)
+    unknown = [name for name in names if name not in runners]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(runners)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"\n=== {name} ===")
+        result = runners[name]()
+        print(result.render_text())
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .core import CollateralEnergyDetector
+
+    runners = _attack_runners()
+    if args.name not in runners:
+        print(f"unknown attack {args.name!r}; available: {', '.join(runners)}",
+              file=sys.stderr)
+        return 2
+    run = runners[args.name](args.duration)
+    print(f"--- stock Android view ({run.name}) ---")
+    print(run.android_report().render_text())
+    print("\n--- E-Android view ---")
+    print(run.eandroid_report().render_text())
+    print("\n--- detector ---")
+    detector = CollateralEnergyDetector(run.system, run.eandroid.accounting)
+    print(detector.render_text(run.start, run.end))
+    return 0
+
+
+def _attack_runners():
+    from .workloads import ALL_ATTACKS, run_hybrid_attack, run_multi_attack
+
+    runners = dict(ALL_ATTACKS)
+    runners["multi"] = run_multi_attack
+    runners["hybrid"] = run_hybrid_attack
+    return runners
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .offline import OfflineAnalyzer, DeviceTrace, capture_trace
+
+    runners = _attack_runners()
+    if args.name not in runners:
+        print(f"unknown attack {args.name!r}; available: {', '.join(runners)}",
+              file=sys.stderr)
+        return 2
+    run = runners[args.name](args.duration)
+    trace = capture_trace(run.system, run.eandroid)
+    text = trace.to_json(indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"trace written to {args.out} ({len(text)} bytes)")
+    analyzer = OfflineAnalyzer(DeviceTrace.from_json(text))
+    print("\n--- offline E-Android reconstruction ---")
+    print(analyzer.eandroid_report(run.start, run.end).render_text())
+    return 0
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    from .core import AttackGraphAnalyzer
+
+    runners = _attack_runners()
+    if args.name not in runners:
+        print(f"unknown attack {args.name!r}; available: {', '.join(runners)}",
+              file=sys.stderr)
+        return 2
+    run = runners[args.name](args.duration)
+    analyzer = AttackGraphAnalyzer(run.eandroid.accounting)
+    print(analyzer.render_text(system=run.system))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from .apps import generate_corpus, run_census
+
+    print(run_census(generate_corpus(seed=args.seed)).render_text())
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from .experiments import run_fig3
+
+    print(run_fig3().render_text())
+    return 0
+
+
+def _cmd_dumpsys(args: argparse.Namespace) -> int:
+    from .android import dumpsys
+    from .workloads import run_scene1
+
+    run = run_scene1()
+    print(dumpsys(run.system))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E-Android reproduction: run experiments, attacks, and tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate evaluation tables/figures"
+    )
+    experiments.add_argument("names", nargs="*", help="fig1..fig11, efficiency")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    attack = sub.add_parser("attack", help="run one attack scenario")
+    attack.add_argument(
+        "name", help="attack1..attack6, multi, hybrid"
+    )
+    attack.add_argument(
+        "--duration", type=float, default=60.0, help="attack window (virtual s)"
+    )
+    attack.set_defaults(func=_cmd_attack)
+
+    census = sub.add_parser("census", help="the Fig. 2 corpus census")
+    census.add_argument("--seed", type=int, default=7)
+    census.set_defaults(func=_cmd_census)
+
+    drain = sub.add_parser("drain", help="the Fig. 3 battery study")
+    drain.set_defaults(func=_cmd_drain)
+
+    dump = sub.add_parser("dumpsys", help="dump a demo device's state")
+    dump.set_defaults(func=_cmd_dumpsys)
+
+    trace = sub.add_parser("trace", help="capture a device trace to JSON")
+    trace.add_argument("name", help="attack1..attack6, multi, hybrid")
+    trace.add_argument("--duration", type=float, default=60.0)
+    trace.add_argument("--out", default="", help="write the JSON trace here")
+    trace.set_defaults(func=_cmd_trace)
+
+    chains = sub.add_parser("chains", help="attack-graph analysis of a run")
+    chains.add_argument("name", help="attack1..attack6, multi, hybrid")
+    chains.add_argument("--duration", type=float, default=60.0)
+    chains.set_defaults(func=_cmd_chains)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,75 @@
+"""The assembled E-Android profiler.
+
+:func:`attach_eandroid` is the public one-call entry point: given a
+simulated device and a baseline interface choice, it builds the
+accounting module, registers the monitor as a framework observer, and
+returns an :class:`EAndroid` bundle exposing the revised battery
+interface — the same "modify the framework, keep the interface" shape
+as the paper's implementation on Android 5.0.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from ..accounting.base import EnergyProfiler
+from ..accounting.batterystats import BatteryStats
+from ..accounting.powertutor import PowerTutor
+from .accounting import EAndroidAccounting
+from .interface import EAndroidBatteryInterface
+from .policy import ChargePolicy
+from .monitor import EAndroidMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..android.framework import AndroidSystem
+
+
+@dataclass
+class EAndroid:
+    """A live E-Android installation on one simulated device."""
+
+    system: "AndroidSystem"
+    accounting: EAndroidAccounting
+    monitor: EAndroidMonitor
+    interface: EAndroidBatteryInterface
+
+    def report(self, start: float = 0.0, end: Optional[float] = None):
+        """The revised battery interface's snapshot."""
+        return self.interface.report(start, end)
+
+    def detach(self) -> None:
+        """Unhook the monitor (used by the overhead ablations)."""
+        self.system.observers.unregister(self.monitor)
+
+
+def attach_eandroid(
+    system: "AndroidSystem",
+    baseline: Optional[EnergyProfiler] = None,
+    policy: Optional[ChargePolicy] = None,
+) -> EAndroid:
+    """Install E-Android onto a simulated device.
+
+    Args:
+        system: the device to instrument.
+        baseline: the interface to revise; defaults to the Android
+            official BatteryStats policy (pass a
+            :class:`~repro.accounting.PowerTutor` instance for the
+            revised-PowerTutor variant of Fig. 8).
+        policy: the collateral charge policy; defaults to the paper's
+            full-charge strategy (see :mod:`repro.core.policy`).
+    """
+    if baseline is None:
+        baseline = BatteryStats(system)
+    accounting = EAndroidAccounting(system.kernel, system.hardware.meter, policy=policy)
+    monitor = EAndroidMonitor(system, accounting)
+    system.register_observer(monitor)
+    interface = EAndroidBatteryInterface(system, baseline, accounting)
+    return EAndroid(
+        system=system, accounting=accounting, monitor=monitor, interface=interface
+    )
+
+
+def attach_eandroid_powertutor(system: "AndroidSystem") -> EAndroid:
+    """E-Android revising PowerTutor (the Fig. 8 configuration)."""
+    return attach_eandroid(system, baseline=PowerTutor(system))

@@ -1,0 +1,76 @@
+"""Collateral-event taxonomy and the E-Android event log.
+
+E-Android's framework extension "record[s] all events that potentially
+invoke collateral energy bugs" (§IV).  Every framework notification the
+monitor receives is journaled as a :class:`CollateralEvent` — including
+same-app and system-app events, which are excluded from attack tracking
+but "still logged ... as a vital factor to correctly calculate
+collateral energy consumption" (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+
+class CollateralEventType(Enum):
+    """Every event class the E-Android framework extension records."""
+
+    ACTIVITY_START = "activity_start"
+    ACTIVITY_MOVE_TO_FRONT = "activity_move_to_front"
+    ACTIVITY_FINISHED = "activity_finished"
+    FOREGROUND_CHANGED = "foreground_changed"
+    SERVICE_START = "service_start"
+    SERVICE_STOP = "service_stop"
+    SERVICE_STOP_SELF = "service_stop_self"
+    SERVICE_BIND = "service_bind"
+    SERVICE_UNBIND = "service_unbind"
+    WAKELOCK_ACQUIRE = "wakelock_acquire"
+    WAKELOCK_RELEASE = "wakelock_release"
+    BRIGHTNESS_CHANGE = "brightness_change"
+    BRIGHTNESS_MODE_CHANGE = "brightness_mode_change"
+    SCREEN_STATE = "screen_state"
+
+
+@dataclass(frozen=True)
+class CollateralEvent:
+    """One journaled framework event."""
+
+    time: float
+    event_type: CollateralEventType
+    driving_uid: Optional[int] = None
+    driven_uid: Optional[int] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_cross_app(self) -> bool:
+        """Whether driving and driven apps differ."""
+        return (
+            self.driving_uid is not None
+            and self.driven_uid is not None
+            and self.driving_uid != self.driven_uid
+        )
+
+
+class EventLog:
+    """Append-only journal of collateral events."""
+
+    def __init__(self) -> None:
+        self._events: list = []
+
+    def record(self, event: CollateralEvent) -> None:
+        """Append one event."""
+        self._events.append(event)
+
+    def all(self) -> list:
+        """Every event (copy)."""
+        return list(self._events)
+
+    def of_type(self, event_type: CollateralEventType) -> list:
+        """Events of one type."""
+        return [e for e in self._events if e.event_type == event_type]
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,449 @@
+"""The E-Android framework monitor.
+
+The first of the paper's three components: a framework extension that
+observes every potentially-collateral event, journals it, and drives the
+attack-lifecycle state machines of Fig. 5, opening/closing attack links
+in the accounting module:
+
+* Fig. 5a (activity): a start by another app opens a window that lasts
+  until the driven app is started again or moved to front;
+* Fig. 5b (interrupting activity): an app forcing the foreground app to
+  background opens a window until the victim is back in front;
+* Fig. 5c (service): start..stop/stopSelf and bind..unbind windows;
+* Fig. 5d (screen): brightness raised in manual mode / auto→manual
+  switch, ended by the attacker decreasing it, a SystemUI (user) change,
+  or a switch back to auto;
+* Fig. 5e (wakelock): a screen wakelock acquired while not foreground,
+  or held while the app leaves the foreground, ended on release (or when
+  the holder legitimately returns to the foreground).
+
+System apps (launcher, SystemUI, resolver) never *drive* attacks and are
+never charged as *targets* — but their events are still journaled
+(§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from ..android.observers import FrameworkObserver
+from ..android.power_manager import SCREEN_LOCK_TYPES
+from .accounting import EAndroidAccounting
+from .events import CollateralEvent, CollateralEventType, EventLog
+from .links import SCREEN_TARGET, AttackKind, AttackLink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..android.activity import ActivityRecord
+    from ..android.framework import AndroidSystem
+    from ..android.intent import Intent
+    from ..android.service import ServiceRecord
+
+
+class EAndroidMonitor(FrameworkObserver):
+    """Framework hooks → event journal + attack-lifecycle tracking."""
+
+    def __init__(
+        self,
+        system: "AndroidSystem",
+        accounting: EAndroidAccounting,
+        accounting_enabled: bool = True,
+    ) -> None:
+        self._system = system
+        self._accounting = accounting
+        # §VI-B's "framework-only" configuration: events are journaled
+        # (the framework extension is active) but the enhanced energy
+        # accounting module is disabled — used to separate hook overhead
+        # from accounting overhead in the Fig. 10 micro-benchmark.
+        self.accounting_enabled = accounting_enabled
+        self.log = EventLog()
+        # Fig. 5a: at most one live activity link per driven app.
+        self._activity_links: Dict[int, AttackLink] = {}
+        # Fig. 5b: at most one live interrupt link per interrupted app.
+        self._interrupt_links: Dict[int, AttackLink] = {}
+        # Fig. 5c: start link per service record; bind links per
+        # (record, client) with a connection refcount.
+        self._service_start_links: Dict[int, AttackLink] = {}
+        self._service_bind_links: Dict[Tuple[int, int], AttackLink] = {}
+        self._service_bind_counts: Dict[Tuple[int, int], int] = {}
+        # Fig. 5d: at most one live screen link per attacking app.
+        self._screen_links: Dict[int, AttackLink] = {}
+        # Fig. 5e: screen-wakelock held counts and live links per app.
+        self._wakelock_links: Dict[int, AttackLink] = {}
+        self._screen_lock_counts: Dict[int, int] = {}
+        # Attaching mid-run (the real deployment case: E-Android boots
+        # with the device, but tests/tools may attach late): prime the
+        # wakelock census from PowerManagerService so Fig. 5e tracking
+        # doesn't start blind.
+        for lock in system.power_manager.held_locks():
+            if lock.lock_type in SCREEN_LOCK_TYPES:
+                self._screen_lock_counts[lock.uid] = (
+                    self._screen_lock_counts.get(lock.uid, 0) + 1
+                )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _is_system(self, uid: Optional[int]) -> bool:
+        return uid is None or self._system.package_manager.is_system_uid(uid)
+
+    def _cross_app_attackable(self, driving: Optional[int], driven: Optional[int]) -> bool:
+        """Both real apps, distinct, neither a system app."""
+        return (
+            driving is not None
+            and driven is not None
+            and driving != driven
+            and not self._is_system(driving)
+            and not self._is_system(driven)
+        )
+
+    def _journal(
+        self,
+        time: float,
+        event_type: CollateralEventType,
+        driving: Optional[int] = None,
+        driven: Optional[int] = None,
+        **details,
+    ) -> None:
+        self.log.record(
+            CollateralEvent(
+                time=time,
+                event_type=event_type,
+                driving_uid=driving,
+                driven_uid=driven,
+                details=details,
+            )
+        )
+
+    def _begin(
+        self, kind: AttackKind, driving: int, target: int, detail: str = ""
+    ) -> Optional[AttackLink]:
+        """Open a link unless the accounting module is disabled."""
+        if not self.accounting_enabled:
+            return None
+        return self._accounting.begin_attack(kind, driving, target, detail=detail)
+
+    def _end(self, link: Optional[AttackLink]) -> None:
+        if link is not None and link.alive:
+            self._accounting.end_attack(link)
+
+    # ------------------------------------------------------------------
+    # Fig. 5a / 5b — activities
+    # ------------------------------------------------------------------
+    def on_activity_start(
+        self,
+        time: float,
+        caller_uid: int,
+        target_uid: int,
+        record: "ActivityRecord",
+        intent: "Intent",
+        user_initiated: bool,
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.ACTIVITY_START,
+            caller_uid,
+            target_uid,
+            component=record.component_name,
+            user_initiated=user_initiated,
+        )
+        # "Attack ends when the app is started again" — whoever starts it.
+        self._end(self._activity_links.pop(target_uid, None))
+        self._end(self._interrupt_links.pop(target_uid, None))
+        if not user_initiated and self._cross_app_attackable(caller_uid, target_uid):
+            self._activity_links[target_uid] = self._begin(
+                AttackKind.ACTIVITY,
+                caller_uid,
+                target_uid,
+                detail=f"start {record.package}/{record.component_name}",
+            )
+
+    def on_activity_move_to_front(
+        self, time: float, caller_uid: int, target_uid: int, user_initiated: bool
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.ACTIVITY_MOVE_TO_FRONT,
+            caller_uid,
+            target_uid,
+            user_initiated=user_initiated,
+        )
+        # "Attack ends when the app is moved to front."
+        self._end(self._activity_links.pop(target_uid, None))
+        self._end(self._interrupt_links.pop(target_uid, None))
+        if not user_initiated and self._cross_app_attackable(caller_uid, target_uid):
+            self._activity_links[target_uid] = self._begin(
+                AttackKind.ACTIVITY, caller_uid, target_uid, detail="move_to_front"
+            )
+
+    def on_activity_finished(self, time: float, record: "ActivityRecord") -> None:
+        self._journal(
+            time,
+            CollateralEventType.ACTIVITY_FINISHED,
+            None,
+            record.uid,
+            component=record.component_name,
+        )
+
+    def on_foreground_changed(
+        self,
+        time: float,
+        previous_uid: Optional[int],
+        new_uid: Optional[int],
+        cause: str,
+        initiator_uid: Optional[int],
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.FOREGROUND_CHANGED,
+            initiator_uid,
+            new_uid,
+            previous_uid=previous_uid,
+            cause=cause,
+        )
+        # The app back in front is no longer "interrupted" (Fig. 5b) and
+        # legitimately owns the screen again (Fig. 5e end-by-return).
+        if new_uid is not None:
+            self._end(self._interrupt_links.pop(new_uid, None))
+            self._end(self._wakelock_links.pop(new_uid, None))
+        # Fig. 5b begin: an app (not the user) pushed the previous
+        # foreground app to the background.
+        if (
+            initiator_uid is not None
+            and not self._is_system(initiator_uid)
+            and previous_uid is not None
+            and previous_uid != new_uid
+            and self._cross_app_attackable(initiator_uid, previous_uid)
+        ):
+            self._end(self._interrupt_links.pop(previous_uid, None))
+            self._interrupt_links[previous_uid] = self._begin(
+                AttackKind.INTERRUPT,
+                initiator_uid,
+                previous_uid,
+                detail=f"interrupted via {cause}",
+            )
+        # Fig. 5e begin: previous foreground app left the screen while
+        # still holding a screen wakelock.
+        if (
+            previous_uid is not None
+            and previous_uid != new_uid
+            and not self._is_system(previous_uid)
+            and self._screen_lock_counts.get(previous_uid, 0) > 0
+            and previous_uid not in self._wakelock_links
+        ):
+            self._wakelock_links[previous_uid] = self._begin(
+                AttackKind.WAKELOCK,
+                previous_uid,
+                SCREEN_TARGET,
+                detail="screen wakelock held after entering background",
+            )
+
+    # ------------------------------------------------------------------
+    # Fig. 5c — services
+    # ------------------------------------------------------------------
+    def on_service_start(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.SERVICE_START,
+            caller_uid,
+            target_uid,
+            component=record.component_name,
+        )
+        if self._cross_app_attackable(caller_uid, target_uid):
+            self._end(self._service_start_links.pop(record.record_id, None))
+            self._service_start_links[record.record_id] = self._begin(
+                AttackKind.SERVICE_START,
+                caller_uid,
+                target_uid,
+                detail=f"startService {record.component_name}",
+            )
+
+    def on_service_stop(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.SERVICE_STOP,
+            caller_uid,
+            target_uid,
+            component=record.component_name,
+        )
+        self._end(self._service_start_links.pop(record.record_id, None))
+
+    def on_service_stop_self(self, time: float, record: "ServiceRecord") -> None:
+        self._journal(
+            time,
+            CollateralEventType.SERVICE_STOP_SELF,
+            record.uid,
+            record.uid,
+            component=record.component_name,
+        )
+        self._end(self._service_start_links.pop(record.record_id, None))
+
+    def on_service_bind(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.SERVICE_BIND,
+            caller_uid,
+            target_uid,
+            component=record.component_name,
+        )
+        if not self._cross_app_attackable(caller_uid, target_uid):
+            return
+        key = (record.record_id, caller_uid)
+        self._service_bind_counts[key] = self._service_bind_counts.get(key, 0) + 1
+        if key not in self._service_bind_links:
+            self._service_bind_links[key] = self._begin(
+                AttackKind.SERVICE_BIND,
+                caller_uid,
+                target_uid,
+                detail=f"bindService {record.component_name}",
+            )
+
+    def on_service_unbind(
+        self, time: float, caller_uid: int, target_uid: int, record: "ServiceRecord"
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.SERVICE_UNBIND,
+            caller_uid,
+            target_uid,
+            component=record.component_name,
+        )
+        key = (record.record_id, caller_uid)
+        count = self._service_bind_counts.get(key, 0)
+        if count <= 1:
+            self._service_bind_counts.pop(key, None)
+            self._end(self._service_bind_links.pop(key, None))
+        else:
+            self._service_bind_counts[key] = count - 1
+
+    # ------------------------------------------------------------------
+    # Fig. 5e — wakelocks
+    # ------------------------------------------------------------------
+    def on_wakelock_acquire(
+        self, time: float, uid: int, lock_type: str, tag: str
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.WAKELOCK_ACQUIRE,
+            uid,
+            None,
+            lock_type=lock_type,
+            tag=tag,
+        )
+        if lock_type not in SCREEN_LOCK_TYPES:
+            return
+        self._screen_lock_counts[uid] = self._screen_lock_counts.get(uid, 0) + 1
+        # "E-Android starts the wakelock collateral attack when the
+        # foreground app is not the app acquiring the wakelock."
+        if (
+            not self._is_system(uid)
+            and self._system.foreground_uid() != uid
+            and uid not in self._wakelock_links
+        ):
+            self._wakelock_links[uid] = self._begin(
+                AttackKind.WAKELOCK,
+                uid,
+                SCREEN_TARGET,
+                detail=f"screen wakelock {tag!r} acquired in background",
+            )
+
+    def on_wakelock_release(
+        self, time: float, uid: int, lock_type: str, tag: str, by_death: bool
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.WAKELOCK_RELEASE,
+            uid,
+            None,
+            lock_type=lock_type,
+            tag=tag,
+            by_death=by_death,
+        )
+        if lock_type not in SCREEN_LOCK_TYPES:
+            return
+        count = self._screen_lock_counts.get(uid, 0)
+        if count <= 1:
+            self._screen_lock_counts.pop(uid, None)
+            # "E-Android marks the end of the attack when the wakelock
+            # is released."
+            self._end(self._wakelock_links.pop(uid, None))
+        else:
+            self._screen_lock_counts[uid] = count - 1
+
+    # ------------------------------------------------------------------
+    # Fig. 5d — screen
+    # ------------------------------------------------------------------
+    def on_brightness_change(
+        self,
+        time: float,
+        caller_uid: Optional[int],
+        old_level: int,
+        new_level: int,
+        via: str,
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.BRIGHTNESS_CHANGE,
+            caller_uid,
+            None,
+            old=old_level,
+            new=new_level,
+            via=via,
+        )
+        if via == "settings" and self._is_system(caller_uid):
+            # "Brightness changed by system UI (i.e., operated by users)"
+            # terminates every screen attack window.
+            self._end_all_screen_links()
+            return
+        if via not in ("settings", "window") or self._is_system(caller_uid):
+            return
+        assert caller_uid is not None
+        if new_level > old_level:
+            if caller_uid not in self._screen_links:
+                self._screen_links[caller_uid] = self._begin(
+                    AttackKind.SCREEN,
+                    caller_uid,
+                    SCREEN_TARGET,
+                    detail=f"brightness {old_level} -> {new_level} via {via}",
+                )
+        elif new_level < old_level:
+            # "Brightness decreasing by the attacking app" ends its window.
+            self._end(self._screen_links.pop(caller_uid, None))
+
+    def on_brightness_mode_change(
+        self, time: float, caller_uid: Optional[int], manual: bool, via: str
+    ) -> None:
+        self._journal(
+            time,
+            CollateralEventType.BRIGHTNESS_MODE_CHANGE,
+            caller_uid,
+            None,
+            manual=manual,
+            via=via,
+        )
+        if not manual:
+            # "Switching into the auto mode" ends every screen window.
+            self._end_all_screen_links()
+            return
+        # "Apps attempt to switch the auto mode to the manual mode" is a
+        # begin event (the stored brightness now takes effect).
+        if caller_uid is not None and not self._is_system(caller_uid):
+            if caller_uid not in self._screen_links:
+                self._screen_links[caller_uid] = self._begin(
+                    AttackKind.SCREEN,
+                    caller_uid,
+                    SCREEN_TARGET,
+                    detail="switched brightness mode to manual",
+                )
+
+    def on_screen_state(self, time: float, is_on: bool) -> None:
+        self._journal(time, CollateralEventType.SCREEN_STATE, None, None, on=is_on)
+
+    def _end_all_screen_links(self) -> None:
+        for uid in list(self._screen_links):
+            self._end(self._screen_links.pop(uid))

@@ -1,0 +1,99 @@
+"""Collateral charge policies.
+
+"While a sophisticated policy could be easily applied, currently the
+strategy handling basic collateral attacks is straightforward:
+E-Android counts the driven app's energy consumption in the attack
+period to the driving app." (§IV-B)
+
+The paper's strategy is :class:`FullCharge`.  This module makes the
+policy pluggable and ships two of the "sophisticated" alternatives the
+paper gestures at:
+
+* :class:`ProportionalSplit` — charge the driving app only a fraction,
+  acknowledging the driven app still chose to do the work;
+* :class:`ScreenDelta` — for screen windows, charge only the draw
+  *above* what the user-chosen baseline brightness would have cost,
+  i.e. the energy the manipulation actually added.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, TYPE_CHECKING
+
+from ..power.meter import EnergyMeter
+from .links import SCREEN_TARGET
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..power.profiles import ScreenPowerProfile
+
+Interval = Tuple[float, float]
+
+
+class ChargePolicy:
+    """Strategy deciding how much window energy lands on the driving app."""
+
+    name = "abstract"
+
+    def charged_energy(
+        self,
+        meter: EnergyMeter,
+        target: int,
+        intervals: List[Interval],
+    ) -> float:
+        """Joules charged to the driving app for one map element."""
+        raise NotImplementedError
+
+    def _raw_energy(
+        self, meter: EnergyMeter, target: int, intervals: List[Interval]
+    ) -> float:
+        if target == SCREEN_TARGET:
+            return sum(meter.screen_energy_j(start=s, end=e) for s, e in intervals)
+        return sum(meter.energy_j(owner=target, start=s, end=e) for s, e in intervals)
+
+
+class FullCharge(ChargePolicy):
+    """The paper's policy: the whole window energy."""
+
+    name = "full"
+
+    def charged_energy(self, meter, target, intervals):
+        return self._raw_energy(meter, target, intervals)
+
+
+class ProportionalSplit(ChargePolicy):
+    """Charge only ``fraction`` of the window energy to the driver."""
+
+    def __init__(self, fraction: float = 0.5) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction!r} outside [0, 1]")
+        self.fraction = fraction
+        self.name = f"split({fraction:g})"
+
+    def charged_energy(self, meter, target, intervals):
+        return self.fraction * self._raw_energy(meter, target, intervals)
+
+
+class ScreenDelta(ChargePolicy):
+    """Charge only the screen draw above the user's baseline.
+
+    App targets are charged in full (as in :class:`FullCharge`); screen
+    windows are discounted by what the panel would have drawn anyway at
+    ``baseline_brightness`` while on.
+    """
+
+    def __init__(
+        self, screen_profile: "ScreenPowerProfile", baseline_brightness: int = 102
+    ) -> None:
+        self._profile = screen_profile
+        self.baseline_brightness = baseline_brightness
+        self.name = f"screen-delta(base={baseline_brightness})"
+
+    def charged_energy(self, meter, target, intervals):
+        raw = self._raw_energy(meter, target, intervals)
+        if target != SCREEN_TARGET:
+            return raw
+        baseline_mw = self._profile.power_mw(self.baseline_brightness)
+        discount = sum(
+            baseline_mw * (end - start) / 1000.0 for start, end in intervals
+        )
+        return max(0.0, raw - discount)

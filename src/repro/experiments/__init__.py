@@ -1,0 +1,38 @@
+"""One module per evaluation table/figure, plus the all-in-one runner."""
+
+from .efficiency import EfficiencyResult, run_efficiency
+from .fig1 import Fig1Result, run_fig1
+from .fig2 import Fig2Result, run_fig2
+from .fig3 import Fig3Result, run_fig3
+from .fig67 import Fig6Result, Fig7Result, run_fig6, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .fig9 import Fig9Result, PanelResult, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .fig11 import Fig11Result, run_fig11
+from .runner import ExperimentOutcome, run_all
+
+__all__ = [
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_efficiency",
+    "run_all",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "PanelResult",
+    "Fig10Result",
+    "Fig11Result",
+    "EfficiencyResult",
+    "ExperimentOutcome",
+]

@@ -1,0 +1,114 @@
+"""§VI-B energy efficiency — E-Android drains no extra battery.
+
+"In all above experiments, the decreased energy level is the same
+between Android and E-Android.  Since E-Android only takes additional
+actions when collateral energy events are triggered, it will not drain
+extra energy at other times."
+
+In the simulator this is a strong property we can check exactly: we run
+the same scenario twice — once bare, once with the full E-Android
+monitor attached — and compare the total ground-truth energy (and the
+battery level).  The monitor is pure observation, so the totals must be
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..android import AndroidSystem, explicit
+from ..apps import VICTIM_PACKAGE, build_camera_app, build_victim_app
+from ..attacks import BIND_PACKAGE, build_bind_malware, build_hijack_malware
+from ..attacks.hijack import HIJACK_PACKAGE
+from ..core import attach_eandroid
+from .tables import render_table
+
+
+def _scenario_hijack(system: AndroidSystem) -> None:
+    system.launch_app(HIJACK_PACKAGE)
+    system.run_for(60.0)
+
+
+def _scenario_bind(system: AndroidSystem) -> None:
+    system.launch_app(BIND_PACKAGE)
+    system.press_home()
+    victim = system.uid_of(VICTIM_PACKAGE)
+    svc = explicit(VICTIM_PACKAGE, "VictimWorkService")
+    system.am.start_service(victim, svc)
+    system.run_for(1.0)
+    system.am.stop_service(victim, svc)
+    system.run_for(60.0)
+
+
+def _scenario_idle(system: AndroidSystem) -> None:
+    system.run_for(120.0)
+
+
+SCENARIOS: Dict[str, Tuple[Tuple[Callable, ...], Callable[[AndroidSystem], None]]] = {
+    "hijack_60s": ((build_camera_app, build_hijack_malware), _scenario_hijack),
+    "bind_60s": ((build_victim_app, build_bind_malware), _scenario_bind),
+    "idle_120s": ((build_victim_app,), _scenario_idle),
+}
+
+
+@dataclass
+class EfficiencyRow:
+    """Energy totals for one scenario under both configurations."""
+
+    scenario: str
+    android_j: float
+    eandroid_j: float
+
+    @property
+    def identical(self) -> bool:
+        """Exact energy parity."""
+        return self.android_j == self.eandroid_j
+
+
+@dataclass
+class EfficiencyResult:
+    """The §VI-B comparison."""
+
+    rows: List[EfficiencyRow]
+
+    @property
+    def all_identical(self) -> bool:
+        """True when every scenario drains identically."""
+        return all(row.identical for row in self.rows)
+
+    def render_text(self) -> str:
+        """The comparison as a table."""
+        return render_table(
+            ["scenario", "Android (J)", "E-Android (J)", "identical"],
+            [
+                (r.scenario, f"{r.android_j:.4f}", f"{r.eandroid_j:.4f}", r.identical)
+                for r in self.rows
+            ],
+            title="§VI-B — energy efficiency: battery drain parity",
+        )
+
+
+def _run_once(builders, script, with_eandroid: bool) -> float:
+    system = AndroidSystem()
+    for build in builders:
+        system.install(build())
+    system.boot()
+    if with_eandroid:
+        attach_eandroid(system)
+    script(system)
+    return system.battery.energy_used_j()
+
+
+def run_efficiency() -> EfficiencyResult:
+    """Run every scenario bare and instrumented; compare the drain."""
+    rows = []
+    for name, (builders, script) in SCENARIOS.items():
+        rows.append(
+            EfficiencyRow(
+                scenario=name,
+                android_j=_run_once(builders, script, with_eandroid=False),
+                eandroid_j=_run_once(builders, script, with_eandroid=True),
+            )
+        )
+    return EfficiencyResult(rows=rows)

@@ -1,0 +1,54 @@
+"""Fig. 1 — the motivating BatteryStats view while filming in Message.
+
+"The figure shows the consumed energy percentages by the Message and the
+Camera.  The result, however, indicates that the Message only consumes a
+quite small portion of energy.  The fact is that the energy drained by
+video filming is assigned to the Camera, no matter what app opened the
+Camera or how it was opened." (§II)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.scenarios import ScenarioRun, run_scene1
+from .tables import render_table
+
+
+@dataclass
+class Fig1Result:
+    """Energy percentages in the stock Android view for scene #1."""
+
+    message_percent: float
+    camera_percent: float
+    screen_percent: float
+    run: ScenarioRun
+
+    @property
+    def camera_blamed(self) -> bool:
+        """The paper's observation: Camera ≫ Message in the stock view."""
+        return self.camera_percent > 5 * max(self.message_percent, 1e-9)
+
+    def render_text(self) -> str:
+        """Fig. 1 as a table."""
+        return render_table(
+            ["app", "energy share (Android BatteryStats)"],
+            [
+                ("Camera", f"{self.camera_percent:.1f}%"),
+                ("Message", f"{self.message_percent:.1f}%"),
+                ("Screen", f"{self.screen_percent:.1f}%"),
+            ],
+            title="Fig. 1 — energy view when filming in the Message app",
+        )
+
+
+def run_fig1() -> Fig1Result:
+    """Run scene #1 and read the stock Android battery view."""
+    run = run_scene1()
+    report = run.android_report()
+    return Fig1Result(
+        message_percent=report.percent_of("Message"),
+        camera_percent=report.percent_of("Camera"),
+        screen_percent=report.percent_of("Screen"),
+        run=run,
+    )

@@ -1,0 +1,77 @@
+"""Table I / Fig. 10 — micro-operation overhead.
+
+The paper's claims: (1) the E-Android *framework* (hooks only) performs
+like stock Android; (2) complete E-Android adds cost only on cross-app
+operations, and that cost stays "the same order of magnitude with less
+than few milliseconds"; (3) same-app operations are effectively free
+because they never reach the accounting module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.microbench import (
+    MICRO_OPERATION_DEFINITIONS,
+    MICRO_OPERATIONS,
+    MicroBenchmark,
+    MicrobenchResult,
+)
+from .tables import render_table
+
+CROSS_APP_OPERATIONS = (
+    "start_other_service",
+    "stop_other_service",
+    "bind_other_service",
+    "unbind_other_service",
+    "start_other_activity",
+    "change_screen",
+)
+
+
+@dataclass
+class Fig10Result:
+    """The measured grid plus claim checks."""
+
+    result: MicrobenchResult
+
+    def median(self, operation: str, configuration: str) -> float:
+        """Median latency (ms)."""
+        return self.result.for_op(operation)[configuration].median
+
+    @property
+    def framework_overhead_small(self) -> bool:
+        """Claim 1: hooks-only ≈ Android (within 1 ms median on every op)."""
+        return all(
+            abs(self.median(op, "eandroid_framework") - self.median(op, "android"))
+            < 1.0
+            for op in MICRO_OPERATIONS
+        )
+
+    @property
+    def complete_overhead_bounded(self) -> bool:
+        """Claim 2: complete E-Android within a few ms of Android."""
+        return all(
+            self.median(op, "eandroid_complete") - self.median(op, "android") < 5.0
+            for op in MICRO_OPERATIONS
+        )
+
+    def render_table_i(self) -> str:
+        """Table I (the operation definitions)."""
+        rows = [
+            (op, MICRO_OPERATION_DEFINITIONS[op]) for op in MICRO_OPERATIONS
+        ]
+        return render_table(
+            ["notation", "definition"],
+            rows,
+            title="Table I — notations of micro operations",
+        )
+
+    def render_text(self) -> str:
+        """Table I plus the Fig. 10 medians grid."""
+        return self.render_table_i() + "\n\n" + self.result.render_text()
+
+
+def run_fig10(iterations: int = 50) -> Fig10Result:
+    """Run the 13x3 micro-benchmark grid."""
+    return Fig10Result(result=MicroBenchmark(iterations=iterations).run_all())

@@ -1,0 +1,55 @@
+"""Fig. 11 — AnTuTu-style benchmark: E-Android vs Android scores.
+
+"The results demonstrate that E-Android has a similar overhead as
+Android." (§VI-B) — scores under the two configurations should be
+within noise of each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..workloads.antutu import SUBTESTS, AnTuTuBenchmark, AnTuTuResult
+from .tables import render_table
+
+
+@dataclass
+class Fig11Result:
+    """Both configurations' scores."""
+
+    android: AnTuTuResult
+    eandroid: AnTuTuResult
+
+    def score_ratio(self) -> float:
+        """E-Android total / Android total (≈ 1.0 expected)."""
+        if self.android.total == 0:
+            return 0.0
+        return self.eandroid.total / self.android.total
+
+    @property
+    def similar_performance(self) -> bool:
+        """Within 25% on the total score (wall-clock noise tolerance)."""
+        return 0.75 <= self.score_ratio() <= 1.25
+
+    def render_text(self) -> str:
+        """Fig. 11 as a table."""
+        rows = []
+        for name in SUBTESTS + ("TOTAL",):
+            if name == "TOTAL":
+                a, e = self.android.total, self.eandroid.total
+            else:
+                a, e = self.android.scores[name], self.eandroid.scores[name]
+            rows.append((name, f"{a:.0f}", f"{e:.0f}", f"{e / a:.3f}" if a else "-"))
+        return render_table(
+            ["subtest", "Android", "E-Android", "ratio"],
+            rows,
+            title="Fig. 11 — AnTuTu-style benchmark scores (bigger is better)",
+        )
+
+
+def run_fig11(rounds: int = 40, inner: int = 4000) -> Fig11Result:
+    """Run the suite under both configurations."""
+    bench = AnTuTuBenchmark(rounds=rounds, inner=inner)
+    results: Dict[str, AnTuTuResult] = bench.compare()
+    return Fig11Result(android=results["android"], eandroid=results["eandroid"])

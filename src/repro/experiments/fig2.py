@@ -1,0 +1,85 @@
+"""Fig. 2 — the Google-Play census of attack preconditions.
+
+Paper numbers: 1,124 apps, 28 categories; 72% contain an exported
+component, 81% request WAKE_LOCK, 21% request WRITE_SETTINGS (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.apktool import CensusResult, run_census
+from ..apps.corpus import generate_corpus
+from .tables import render_table
+
+PAPER_EXPORTED_PCT = 72.0
+PAPER_WAKE_LOCK_PCT = 81.0
+PAPER_WRITE_SETTINGS_PCT = 21.0
+
+
+@dataclass
+class Fig2Result:
+    """Census outcome with the paper's targets alongside."""
+
+    census: CensusResult
+
+    @property
+    def exported_pct(self) -> float:
+        """Measured share with exported components."""
+        return self.census.overall.exported_pct
+
+    @property
+    def wake_lock_pct(self) -> float:
+        """Measured share requesting WAKE_LOCK."""
+        return self.census.overall.wake_lock_pct
+
+    @property
+    def write_settings_pct(self) -> float:
+        """Measured share requesting WRITE_SETTINGS."""
+        return self.census.overall.write_settings_pct
+
+    def max_deviation_pct(self) -> float:
+        """Largest absolute gap to the paper's three numbers."""
+        return max(
+            abs(self.exported_pct - PAPER_EXPORTED_PCT),
+            abs(self.wake_lock_pct - PAPER_WAKE_LOCK_PCT),
+            abs(self.write_settings_pct - PAPER_WRITE_SETTINGS_PCT),
+        )
+
+    def render_text(self) -> str:
+        """Fig. 2 as a table (overall + per-category detail)."""
+        rows = [
+            ("exported component", f"{self.exported_pct:.1f}%", f"{PAPER_EXPORTED_PCT:.0f}%"),
+            ("WAKE_LOCK", f"{self.wake_lock_pct:.1f}%", f"{PAPER_WAKE_LOCK_PCT:.0f}%"),
+            ("WRITE_SETTINGS", f"{self.write_settings_pct:.1f}%", f"{PAPER_WRITE_SETTINGS_PCT:.0f}%"),
+        ]
+        overall = render_table(
+            ["property", "measured", "paper"],
+            rows,
+            title=(
+                f"Fig. 2 — census of {self.census.overall.total} apps in "
+                f"{len(self.census.by_category)} categories"
+            ),
+        )
+        detail_rows = [
+            (
+                row.category,
+                row.total,
+                f"{row.exported_pct:.0f}%",
+                f"{row.wake_lock_pct:.0f}%",
+                f"{row.write_settings_pct:.0f}%",
+            )
+            for row in sorted(
+                self.census.by_category.values(), key=lambda r: -r.total
+            )
+        ]
+        detail = render_table(
+            ["category", "apps", "exported", "WAKE_LOCK", "WRITE_SETTINGS"],
+            detail_rows,
+        )
+        return overall + "\n\n" + detail
+
+
+def run_fig2(seed: int = 7) -> Fig2Result:
+    """Generate the corpus, reverse-engineer it, and census it."""
+    return Fig2Result(census=run_census(generate_corpus(seed=seed)))

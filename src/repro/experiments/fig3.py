@@ -1,0 +1,59 @@
+"""Fig. 3 — time lapsed to drain the battery under the simple attacks.
+
+The paper's curves (battery % vs hours) for five configurations:
+brightness at the minimum (the baseline), brightness 10, brightness at
+the maximum, a bound-forever victim service, and an interrupted app —
+all with a wakelock forcing the screen on.  The claims we reproduce:
+maximum brightness drains fastest; every attack configuration beats the
+baseline; "a small increase of brightness ... can increase battery
+drain".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..workloads.scenarios import DrainResult, run_fig3_drains
+from .tables import render_ascii_series, render_table
+
+
+@dataclass
+class Fig3Result:
+    """All five discharge series."""
+
+    drains: List[DrainResult]
+
+    def hours(self) -> Dict[str, float]:
+        """name -> hours to 0%."""
+        return {d.name: d.hours_to_dead for d in self.drains}
+
+    @property
+    def ordering_holds(self) -> bool:
+        """Paper shape: baseline slowest; full brightness fastest."""
+        hours = self.hours()
+        baseline = hours["brightness_low"]
+        return (
+            hours["brightness_full"] < hours["bind_service"] < baseline
+            and hours["brightness_full"] < hours["brightness_10"] < baseline
+            and hours["interrupt_app"] < baseline
+        )
+
+    def render_text(self) -> str:
+        """Fig. 3 as a table plus an ASCII chart."""
+        rows = [(d.name, f"{d.hours_to_dead:.2f} h") for d in self.drains]
+        table = render_table(
+            ["configuration", "time to drain 100%"],
+            rows,
+            title="Fig. 3 — difference of time lapsed to drain the battery",
+        )
+        series = [
+            (d.name, [(s.time_s / 3600.0, s.percent) for s in d.curve])
+            for d in self.drains
+        ]
+        return table + "\n\n" + render_ascii_series(series)
+
+
+def run_fig3() -> Fig3Result:
+    """Run all five drain configurations."""
+    return Fig3Result(drains=run_fig3_drains())

@@ -1,0 +1,158 @@
+"""Fig. 9 — effectiveness: Android vs E-Android on scenes and attacks.
+
+Six panels: the two normal scenes (9a/9b) and attacks #3-#6 (9c-9f).
+For each we tabulate the per-app energy under stock Android
+(BatteryStats) and under E-Android, plus the key claim checks:
+
+* under Android the malware's share is negligible (stealth);
+* under E-Android the malware's total (own + collateral) reflects what
+  its attack actually drained;
+* attack energy is well above normal usage (9e/9f's upper vs lower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..accounting.base import ProfilerReport
+from ..workloads.scenarios import (
+    ScenarioRun,
+    run_attack3,
+    run_attack4,
+    run_attack5,
+    run_attack6,
+    run_scene1,
+    run_scene2,
+)
+from .tables import render_table
+
+
+@dataclass
+class PanelResult:
+    """One Fig. 9 panel."""
+
+    name: str
+    run: ScenarioRun
+    android: ProfilerReport
+    eandroid: ProfilerReport
+    malware_label: Optional[str] = None
+    control: Optional["PanelResult"] = None  # 9e/9f upper halves
+
+    @property
+    def android_malware_percent(self) -> float:
+        """The malware's share in the stock view (stealth check)."""
+        if self.malware_label is None:
+            return 0.0
+        return self.android.percent_of(self.malware_label)
+
+    @property
+    def eandroid_malware_j(self) -> float:
+        """The malware's total (own + collateral) under E-Android."""
+        if self.malware_label is None:
+            return 0.0
+        return self.eandroid.energy_of(self.malware_label)
+
+    @property
+    def attack_detected(self) -> bool:
+        """E-Android exposes the attack: collateral present on the malware."""
+        if self.malware_label is None:
+            return False
+        entry = self.eandroid.entry_for(self.malware_label)
+        return entry is not None and bool(entry.collateral_j)
+
+    def render_text(self) -> str:
+        """The panel as an Android-vs-E-Android table."""
+        labels = []
+        for report in (self.android, self.eandroid):
+            for entry in report.entries:
+                if entry.label not in labels:
+                    labels.append(entry.label)
+        rows = []
+        for label in labels:
+            a = self.android.entry_for(label)
+            e = self.eandroid.entry_for(label)
+            rows.append(
+                (
+                    label,
+                    f"{a.energy_j:.2f} J" if a else "-",
+                    f"{e.energy_j:.2f} J" if e else "-",
+                    f"{sum(e.collateral_j.values()):.2f} J" if e and e.collateral_j else "",
+                )
+            )
+        return render_table(
+            ["app", "Android (A)", "E-Android (E)", "of which collateral (+)"],
+            rows,
+            title=f"Fig. 9 ({self.name})",
+        )
+
+
+@dataclass
+class Fig9Result:
+    """All six panels."""
+
+    panels: Dict[str, PanelResult] = field(default_factory=dict)
+
+    @property
+    def all_attacks_stealthy_on_android(self) -> bool:
+        """Every attack panel: malware share < 2% under stock Android."""
+        return all(
+            p.android_malware_percent < 2.0
+            for p in self.panels.values()
+            if p.malware_label is not None
+        )
+
+    @property
+    def all_attacks_detected_by_eandroid(self) -> bool:
+        """Every attack panel: E-Android shows collateral on the malware."""
+        return all(
+            p.attack_detected
+            for p in self.panels.values()
+            if p.malware_label is not None
+        )
+
+    def render_text(self) -> str:
+        """All panels concatenated."""
+        return "\n\n".join(
+            self.panels[name].render_text() for name in sorted(self.panels)
+        )
+
+
+def _panel(
+    name: str, run: ScenarioRun, malware_label: Optional[str] = None
+) -> PanelResult:
+    return PanelResult(
+        name=name,
+        run=run,
+        android=run.android_report(),
+        eandroid=run.eandroid_report(),
+        malware_label=malware_label,
+    )
+
+
+def run_fig9(attack_duration: float = 60.0) -> Fig9Result:
+    """Run all six panels (plus the 9e/9f normal-usage controls)."""
+    result = Fig9Result()
+    result.panels["9a_scene1"] = _panel("9a scene #1", run_scene1())
+    result.panels["9b_scene2"] = _panel("9b scene #2", run_scene2())
+    result.panels["9c_attack3"] = _panel(
+        "9c attack #3", run_attack3(attack_duration), malware_label="Cleaner"
+    )
+    result.panels["9d_attack4"] = _panel(
+        "9d attack #4", run_attack4(attack_duration), malware_label="Compass"
+    )
+    attack5 = _panel(
+        "9e attack #5", run_attack5(attack_duration), malware_label="Torch"
+    )
+    attack5.control = _panel(
+        "9e normal", run_attack5(attack_duration, attack=False)
+    )
+    result.panels["9e_attack5"] = attack5
+    attack6 = _panel(
+        "9f attack #6", run_attack6(attack_duration), malware_label="Qrscanner"
+    )
+    attack6.control = _panel(
+        "9f normal", run_attack6(attack_duration, attack=False)
+    )
+    result.panels["9f_attack6"] = attack6
+    return result

@@ -1,0 +1,136 @@
+"""Run every experiment and emit the full evaluation report.
+
+``python -m repro.experiments.runner`` regenerates every table and
+figure of the paper's evaluation section and prints them in order; the
+same entry point produced the measured numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .efficiency import run_efficiency
+from .fig1 import run_fig1
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig67 import run_fig6, run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .fig10 import run_fig10
+from .fig11 import run_fig11
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's rendered output and pass/fail of its claim."""
+
+    name: str
+    claim_holds: bool
+    text: str
+
+
+def run_all(
+    micro_iterations: int = 50, antutu_rounds: int = 40
+) -> List[ExperimentOutcome]:
+    """Run the whole evaluation; returns outcomes in paper order."""
+    outcomes: List[ExperimentOutcome] = []
+
+    fig1 = run_fig1()
+    outcomes.append(ExperimentOutcome("fig1", fig1.camera_blamed, fig1.render_text()))
+
+    fig2 = run_fig2()
+    outcomes.append(
+        ExperimentOutcome("fig2", fig2.max_deviation_pct() < 3.0, fig2.render_text())
+    )
+
+    fig3 = run_fig3()
+    outcomes.append(ExperimentOutcome("fig3", fig3.ordering_holds, fig3.render_text()))
+
+    fig6 = run_fig6()
+    outcomes.append(ExperimentOutcome("fig6", fig6.union_not_sum, fig6.render_text()))
+
+    fig7 = run_fig7()
+    outcomes.append(ExperimentOutcome("fig7", fig7.chain_complete, fig7.render_text()))
+
+    fig8 = run_fig8()
+    outcomes.append(
+        ExperimentOutcome("fig8", fig8.breakdown_complete, fig8.render_text())
+    )
+
+    fig9 = run_fig9()
+    outcomes.append(
+        ExperimentOutcome(
+            "fig9",
+            fig9.all_attacks_stealthy_on_android
+            and fig9.all_attacks_detected_by_eandroid,
+            fig9.render_text(),
+        )
+    )
+
+    fig10 = run_fig10(iterations=micro_iterations)
+    outcomes.append(
+        ExperimentOutcome(
+            "fig10_table1",
+            fig10.framework_overhead_small and fig10.complete_overhead_bounded,
+            fig10.render_text(),
+        )
+    )
+
+    fig11 = run_fig11(rounds=antutu_rounds)
+    outcomes.append(
+        ExperimentOutcome("fig11", fig11.similar_performance, fig11.render_text())
+    )
+
+    efficiency = run_efficiency()
+    outcomes.append(
+        ExperimentOutcome(
+            "efficiency", efficiency.all_identical, efficiency.render_text()
+        )
+    )
+    return outcomes
+
+
+def save_outcomes(outcomes: List[ExperimentOutcome], directory: str) -> List[str]:
+    """Write each experiment's rendered output to ``directory``.
+
+    Returns the written paths; a ``summary.txt`` records claim status.
+    """
+    from ..export import save_text
+
+    written = []
+    for outcome in outcomes:
+        status = "REPRODUCED" if outcome.claim_holds else "DEVIATION"
+        path = save_text(
+            f"{directory}/{outcome.name}.txt",
+            f"[{status}] {outcome.name}\n\n{outcome.text}\n",
+        )
+        written.append(str(path))
+    summary = "\n".join(
+        f"{'REPRODUCED' if o.claim_holds else 'DEVIATION':<10} {o.name}"
+        for o in outcomes
+    )
+    written.append(str(save_text(f"{directory}/summary.txt", summary + "\n")))
+    return written
+
+
+def main() -> None:
+    """CLI entry point."""
+    import sys
+
+    outcomes = run_all()
+    if len(sys.argv) > 1:
+        written = save_outcomes(outcomes, sys.argv[1])
+        print(f"wrote {len(written)} artifact files to {sys.argv[1]}")
+    for outcome in outcomes:
+        status = "REPRODUCED" if outcome.claim_holds else "DEVIATION"
+        print(f"\n{'=' * 72}\n[{status}] {outcome.name}\n{'=' * 72}")
+        print(outcome.text)
+    failed = [o.name for o in outcomes if not o.claim_holds]
+    print(f"\n{len(outcomes) - len(failed)}/{len(outcomes)} experiment claims hold.")
+    if failed:
+        print("deviations:", ", ".join(failed))
+
+
+if __name__ == "__main__":
+    main()

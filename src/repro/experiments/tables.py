@@ -1,0 +1,61 @@
+"""Small ASCII table/chart helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple fixed-width table."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(cells[0])))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells[1:]:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_ascii_series(
+    series: List[Tuple[str, List[Tuple[float, float]]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "hours",
+    y_label: str = "battery %",
+) -> str:
+    """Plot several (x, y) series as an ASCII chart (Fig. 3 style)."""
+    if not series:
+        return "(no data)"
+    points = [p for _, pts in series for p in pts]
+    x_max = max(p[0] for p in points) or 1.0
+    y_max = max(p[1] for p in points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for index, (_, pts) in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = min(width - 1, int(x / x_max * (width - 1)))
+            row = min(height - 1, int((1.0 - y / y_max) * (height - 1)))
+            grid[row][col] = marker
+    lines = [f"{y_label} (max {y_max:.0f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + f"> {x_label} (max {x_max:.1f})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, (name, _) in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Export helpers: battery reports, drain curves, and attack logs to
+JSON/CSV for downstream analysis or plotting outside the simulator."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .accounting.base import ProfilerReport
+from .core.accounting import EAndroidAccounting
+from .core.links import SCREEN_TARGET
+from .power.battery import BatterySample
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# profiler reports
+# ----------------------------------------------------------------------
+def report_to_dict(report: ProfilerReport) -> Dict[str, Any]:
+    """A profiler report as plain JSON-ready data."""
+    return {
+        "profiler": report.profiler,
+        "window": {"start_s": report.start, "end_s": report.end},
+        "entries": [
+            {
+                "uid": entry.uid,
+                "label": entry.label,
+                "energy_j": entry.energy_j,
+                "own_energy_j": entry.own_energy_j,
+                "percent": entry.percent,
+                "is_screen": entry.is_screen,
+                "is_system": entry.is_system,
+                "collateral_j": dict(entry.collateral_j),
+            }
+            for entry in report.entries
+        ],
+    }
+
+
+def report_to_json(report: ProfilerReport, indent: int = 2) -> str:
+    """A profiler report serialised to JSON text."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def report_to_csv(report: ProfilerReport) -> str:
+    """A profiler report as CSV (one row per entry)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["label", "uid", "energy_j", "own_energy_j", "collateral_j", "percent"]
+    )
+    for entry in report.entries:
+        writer.writerow(
+            [
+                entry.label,
+                entry.uid if entry.uid is not None else "",
+                f"{entry.energy_j:.6f}",
+                f"{entry.own_energy_j:.6f}",
+                f"{sum(entry.collateral_j.values()):.6f}",
+                f"{entry.percent:.3f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# battery curves
+# ----------------------------------------------------------------------
+def battery_curve_to_csv(samples: Sequence[BatterySample]) -> str:
+    """A discharge curve as CSV (hours, percent)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["hours", "percent"])
+    for sample in samples:
+        writer.writerow([f"{sample.time_s / 3600.0:.4f}", f"{sample.percent:.3f}"])
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# attack logs
+# ----------------------------------------------------------------------
+def attack_log_to_dicts(
+    accounting: EAndroidAccounting, label_for_uid=None
+) -> List[Dict[str, Any]]:
+    """The full attack-link history as JSON-ready rows."""
+    rows = []
+    for link in accounting.attack_log():
+        target: Any = link.target
+        if target == SCREEN_TARGET:
+            target = "screen"
+        elif label_for_uid is not None:
+            target = label_for_uid(link.target)
+        driving: Any = link.driving_uid
+        if label_for_uid is not None:
+            driving = label_for_uid(link.driving_uid)
+        rows.append(
+            {
+                "link_id": link.link_id,
+                "kind": link.kind.value,
+                "driving": driving,
+                "target": target,
+                "begin_s": link.begin_time,
+                "end_s": link.end_time,
+                "alive": link.alive,
+                "detail": link.detail,
+            }
+        )
+    return rows
+
+
+def attack_log_to_json(
+    accounting: EAndroidAccounting, label_for_uid=None, indent: int = 2
+) -> str:
+    """The attack-link history as JSON text."""
+    return json.dumps(
+        attack_log_to_dicts(accounting, label_for_uid), indent=indent
+    )
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def save_text(path: PathLike, content: str) -> Path:
+    """Write text to a file, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content, encoding="utf-8")
+    return target
+
+
+def save_report(
+    report: ProfilerReport, directory: PathLike, stem: str = "report"
+) -> Dict[str, Path]:
+    """Write a report as both JSON and CSV; returns the written paths."""
+    base = Path(directory)
+    return {
+        "json": save_text(base / f"{stem}.json", report_to_json(report)),
+        "csv": save_text(base / f"{stem}.csv", report_to_csv(report)),
+    }

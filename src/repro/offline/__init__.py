@@ -1,0 +1,12 @@
+"""Offline trace capture and attribution (analysis without the device)."""
+
+from .analyzer import OfflineAnalyzer
+from .trace import ChannelTrace, DeviceTrace, LinkRecord, capture_trace
+
+__all__ = [
+    "DeviceTrace",
+    "ChannelTrace",
+    "LinkRecord",
+    "capture_trace",
+    "OfflineAnalyzer",
+]

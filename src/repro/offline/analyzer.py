@@ -1,0 +1,288 @@
+"""Offline attribution: reconstruct profiler views from a trace.
+
+Given a :class:`~repro.offline.trace.DeviceTrace` — and nothing else —
+the analyzer re-derives each profiler's battery view:
+
+* :meth:`OfflineAnalyzer.batterystats_report` — per-app direct energy,
+  screen/OS as standalone rows;
+* :meth:`OfflineAnalyzer.powertutor_report` — screen redistributed over
+  the recorded foreground timeline;
+* :meth:`OfflineAnalyzer.eandroid_report` — the baseline plus collateral
+  charges integrated over the recorded attack-link windows.
+
+The invariant (tested): for any run, the offline reports equal the
+online ones to numerical precision.  That makes traces a complete,
+portable record — the "offline analysis" form of the paper's system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..accounting.base import AppEnergyEntry, ProfilerReport
+from ..power.meter import SCREEN_OWNER, SYSTEM_OWNER
+from ..power.trace import PowerTrace
+from .trace import DeviceTrace, LinkRecord
+
+SCREEN_TARGET = -100  # matches repro.core.links.SCREEN_TARGET
+
+
+class OfflineAnalyzer:
+    """Attribution over a captured trace."""
+
+    def __init__(self, trace: DeviceTrace) -> None:
+        self.trace = trace
+        self._channels: Dict[Tuple[int, str], PowerTrace] = {}
+        for channel in trace.channels:
+            power_trace = PowerTrace()
+            for t, mw in channel.breakpoints:
+                power_trace.append(t, mw)
+            self._channels[(channel.owner, channel.component)] = power_trace
+
+    # ------------------------------------------------------------------
+    # primitive energy queries
+    # ------------------------------------------------------------------
+    def energy_j(
+        self,
+        owner: Optional[int] = None,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> float:
+        """Energy over a window, optionally for one owner."""
+        window_end = self.trace.captured_at if end is None else end
+        return sum(
+            channel.energy_j(start, window_end)
+            for (channel_owner, _), channel in self._channels.items()
+            if owner is None or channel_owner == owner
+        )
+
+    def owners(self) -> Set[int]:
+        """Every owner appearing in the trace."""
+        return {owner for owner, _ in self._channels}
+
+    def label_for(self, uid: int) -> str:
+        """Display label for a uid from the trace's app table."""
+        return self.trace.apps.get(uid, f"uid:{uid}")
+
+    def _foreground_intervals(
+        self, uid: int, start: float, end: float
+    ) -> List[Tuple[float, float]]:
+        changes = self.trace.foreground
+        result: List[Tuple[float, float]] = []
+        for index, (t, owner) in enumerate(changes):
+            seg_start = max(t, start)
+            seg_end = changes[index + 1][0] if index + 1 < len(changes) else end
+            seg_end = min(seg_end, end)
+            if owner == uid and seg_end > seg_start:
+                result.append((seg_start, seg_end))
+        return result
+
+    # ------------------------------------------------------------------
+    # profiler reconstructions
+    # ------------------------------------------------------------------
+    def batterystats_report(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> ProfilerReport:
+        """The stock-Android view, from the trace alone."""
+        window_end = self.trace.captured_at if end is None else end
+        report = ProfilerReport(
+            profiler="BatteryStats (offline)", start=start, end=window_end
+        )
+        for owner in self.owners():
+            energy = self.energy_j(owner=owner, start=start, end=window_end)
+            if energy <= 0:
+                continue
+            if owner == SCREEN_OWNER:
+                entry = AppEnergyEntry(
+                    uid=None, label="Screen", energy_j=energy, is_screen=True
+                )
+            elif owner == SYSTEM_OWNER:
+                entry = AppEnergyEntry(
+                    uid=None, label="Android OS", energy_j=energy, is_system=True
+                )
+            else:
+                entry = AppEnergyEntry(
+                    uid=owner,
+                    label=self.label_for(owner),
+                    energy_j=energy,
+                    is_system=owner in self.trace.system_uids,
+                )
+            report.entries.append(entry)
+        return report.finalize()
+
+    def powertutor_report(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> ProfilerReport:
+        """The PowerTutor view, from the trace alone."""
+        window_end = self.trace.captured_at if end is None else end
+        report = ProfilerReport(
+            profiler="PowerTutor (offline)", start=start, end=window_end
+        )
+        energies: Dict[int, float] = {}
+        system_energy = 0.0
+        for owner in self.owners():
+            energy = self.energy_j(owner=owner, start=start, end=window_end)
+            if energy <= 0:
+                continue
+            if owner == SYSTEM_OWNER:
+                system_energy += energy
+            elif owner != SCREEN_OWNER:
+                energies[owner] = energies.get(owner, 0.0) + energy
+        screen_channel = self._channels.get((SCREEN_OWNER, "screen"))
+        unattributed = 0.0
+        if screen_channel is not None:
+            total_screen = screen_channel.energy_j(start, window_end)
+            attributed = 0.0
+            for uid in {u for _, u in self.trace.foreground if u is not None}:
+                share = sum(
+                    screen_channel.energy_j(s, e)
+                    for s, e in self._foreground_intervals(uid, start, window_end)
+                )
+                if share > 0:
+                    energies[uid] = energies.get(uid, 0.0) + share
+                    attributed += share
+            unattributed = max(0.0, total_screen - attributed)
+        for uid, energy in energies.items():
+            report.entries.append(
+                AppEnergyEntry(
+                    uid=uid,
+                    label=self.label_for(uid),
+                    energy_j=energy,
+                    is_system=uid in self.trace.system_uids,
+                )
+            )
+        if system_energy > 0:
+            report.entries.append(
+                AppEnergyEntry(
+                    uid=None, label="System", energy_j=system_energy, is_system=True
+                )
+            )
+        if unattributed > 0:
+            report.entries.append(
+                AppEnergyEntry(
+                    uid=None,
+                    label="Screen (no foreground)",
+                    energy_j=unattributed,
+                    is_screen=True,
+                )
+            )
+        return report.finalize()
+
+    # ------------------------------------------------------------------
+    # E-Android offline
+    # ------------------------------------------------------------------
+    def _link_windows(
+        self, start: float, end: float
+    ) -> Dict[int, Dict[int, List[Tuple[float, float]]]]:
+        """host -> target -> merged charge windows, from the link log.
+
+        Reconstructs per-(host, target) windows by reachability over the
+        link set sampled at every link boundary — the offline equivalent
+        of the live map-set sync.
+        """
+        boundaries = sorted(
+            {start, end}
+            | {l.begin_time for l in self.trace.links}
+            | {l.end_time for l in self.trace.links if l.end_time is not None}
+        )
+        boundaries = [b for b in boundaries if start <= b <= end]
+        if not boundaries or boundaries[0] > start:
+            boundaries.insert(0, start)
+        if boundaries[-1] < end:
+            boundaries.append(end)
+        windows: Dict[int, Dict[int, List[Tuple[float, float]]]] = {}
+        hosts = {l.driving_uid for l in self.trace.links}
+        for seg_start, seg_end in zip(boundaries, boundaries[1:]):
+            if seg_end <= seg_start:
+                continue
+            midpoint = (seg_start + seg_end) / 2.0
+            live = [
+                l
+                for l in self.trace.links
+                if l.begin_time <= midpoint
+                and (l.end_time is None or l.end_time > midpoint)
+            ]
+            for host in hosts:
+                for target in self._reachable(host, live):
+                    target_windows = windows.setdefault(host, {}).setdefault(
+                        target, []
+                    )
+                    if target_windows and target_windows[-1][1] == seg_start:
+                        target_windows[-1] = (target_windows[-1][0], seg_end)
+                    else:
+                        target_windows.append((seg_start, seg_end))
+        return windows
+
+    @staticmethod
+    def _reachable(host: int, live: List[LinkRecord]) -> Set[int]:
+        reached: Set[int] = set()
+        frontier = [host]
+        seen = {host}
+        while frontier:
+            node = frontier.pop()
+            for link in live:
+                if link.driving_uid != node:
+                    continue
+                target = link.target
+                if target == host or target in reached:
+                    continue
+                reached.add(target)
+                if target not in seen and target != SCREEN_TARGET:
+                    seen.add(target)
+                    frontier.append(target)
+        return reached
+
+    def collateral_breakdown(
+        self, host: int, start: float = 0.0, end: Optional[float] = None
+    ) -> Dict[int, float]:
+        """target -> joules charged to ``host``, from the trace alone."""
+        window_end = self.trace.captured_at if end is None else end
+        windows = self._link_windows(start, window_end).get(host, {})
+        breakdown: Dict[int, float] = {}
+        for target, intervals in windows.items():
+            if target == SCREEN_TARGET:
+                total = sum(
+                    self.energy_j(owner=SCREEN_OWNER, start=s, end=e)
+                    for s, e in intervals
+                )
+            else:
+                total = sum(
+                    self.energy_j(owner=target, start=s, end=e)
+                    for s, e in intervals
+                )
+            if total > 0:
+                breakdown[target] = total
+        return breakdown
+
+    def eandroid_report(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> ProfilerReport:
+        """The revised (BatteryStats-based) E-Android view, offline."""
+        window_end = self.trace.captured_at if end is None else end
+        report = self.batterystats_report(start, window_end)
+        report.profiler = "E-Android (offline)"
+        for host in sorted({l.driving_uid for l in self.trace.links}):
+            breakdown = self.collateral_breakdown(host, start, window_end)
+            if not breakdown:
+                continue
+            entry = report.entry_for_uid(host)
+            if entry is None:
+                entry = AppEnergyEntry(
+                    uid=host, label=self.label_for(host), energy_j=0.0
+                )
+                report.entries.append(entry)
+            for target, joules in breakdown.items():
+                label = (
+                    "Screen" if target == SCREEN_TARGET else self.label_for(target)
+                )
+                entry.collateral_j[label] = (
+                    entry.collateral_j.get(label, 0.0) + joules
+                )
+                entry.energy_j += joules
+        report.entries.sort(key=lambda e: e.energy_j, reverse=True)
+        ground_truth = self.energy_j(start=start, end=window_end)
+        for entry in report.entries:
+            entry.percent = (
+                100.0 * entry.energy_j / ground_truth if ground_truth > 0 else 0.0
+            )
+        return report

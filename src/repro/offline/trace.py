@@ -1,0 +1,173 @@
+"""Device trace capture — everything attribution needs, as plain data.
+
+A :class:`DeviceTrace` is the complete observable record of one run:
+every power-channel breakpoint, the foreground timeline, the installed-
+app table, and E-Android's attack-link history.  It is what a real
+deployment would log to flash; the :mod:`repro.offline.analyzer` then
+reconstructs any profiler's view *from the trace alone* — no live
+device required.  (The reproduction-feasibility note for this paper was
+"only offline analysis possible" — this module is that workflow, made
+first-class.)
+
+Traces serialise to a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..android.framework import AndroidSystem
+    from ..core.eandroid import EAndroid
+
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class ChannelTrace:
+    """One (owner, component) power channel's breakpoints."""
+
+    owner: int
+    component: str
+    breakpoints: List[Tuple[float, float]] = field(default_factory=list)
+
+
+@dataclass
+class LinkRecord:
+    """One attack link, as pure data."""
+
+    kind: str
+    driving_uid: int
+    target: int
+    begin_time: float
+    end_time: Optional[float]
+
+
+@dataclass
+class DeviceTrace:
+    """The full offline record of one simulated (or real) run."""
+
+    captured_at: float
+    channels: List[ChannelTrace] = field(default_factory=list)
+    foreground: List[Tuple[float, Optional[int]]] = field(default_factory=list)
+    apps: Dict[int, str] = field(default_factory=dict)  # uid -> label
+    system_uids: List[int] = field(default_factory=list)
+    links: List[LinkRecord] = field(default_factory=list)
+    battery_capacity_j: float = 0.0
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise the trace to JSON text."""
+        return json.dumps(
+            {
+                "format_version": TRACE_FORMAT_VERSION,
+                "captured_at": self.captured_at,
+                "battery_capacity_j": self.battery_capacity_j,
+                "apps": {str(uid): label for uid, label in self.apps.items()},
+                "system_uids": self.system_uids,
+                "foreground": self.foreground,
+                "channels": [
+                    {
+                        "owner": ch.owner,
+                        "component": ch.component,
+                        "breakpoints": ch.breakpoints,
+                    }
+                    for ch in self.channels
+                ],
+                "links": [
+                    {
+                        "kind": link.kind,
+                        "driving_uid": link.driving_uid,
+                        "target": link.target,
+                        "begin_time": link.begin_time,
+                        "end_time": link.end_time,
+                    }
+                    for link in self.links
+                ],
+            },
+            indent=indent,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "DeviceTrace":
+        """Parse a trace serialised by :meth:`to_json`."""
+        data = json.loads(text)
+        version = data.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version!r} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        return DeviceTrace(
+            captured_at=data["captured_at"],
+            battery_capacity_j=data.get("battery_capacity_j", 0.0),
+            apps={int(uid): label for uid, label in data.get("apps", {}).items()},
+            system_uids=list(data.get("system_uids", [])),
+            foreground=[
+                (float(t), None if uid is None else int(uid))
+                for t, uid in data.get("foreground", [])
+            ],
+            channels=[
+                ChannelTrace(
+                    owner=int(ch["owner"]),
+                    component=ch["component"],
+                    breakpoints=[(float(t), float(p)) for t, p in ch["breakpoints"]],
+                )
+                for ch in data.get("channels", [])
+            ],
+            links=[
+                LinkRecord(
+                    kind=link["kind"],
+                    driving_uid=int(link["driving_uid"]),
+                    target=int(link["target"]),
+                    begin_time=float(link["begin_time"]),
+                    end_time=(
+                        None if link["end_time"] is None else float(link["end_time"])
+                    ),
+                )
+                for link in data.get("links", [])
+            ],
+        )
+
+
+def capture_trace(
+    system: "AndroidSystem", eandroid: Optional["EAndroid"] = None
+) -> DeviceTrace:
+    """Snapshot a live device (and optionally its E-Android state)."""
+    meter = system.hardware.meter
+    trace = DeviceTrace(
+        captured_at=system.now,
+        battery_capacity_j=system.battery.capacity_j,
+    )
+    for owner, component in meter.channels():
+        channel = meter.trace(owner, component)
+        assert channel is not None
+        trace.channels.append(
+            ChannelTrace(
+                owner=owner,
+                component=component,
+                breakpoints=channel.breakpoints(),
+            )
+        )
+    trace.foreground = system.am.timeline.changes()
+    for app in system.package_manager.installed_apps():
+        if app.uid is not None:
+            trace.apps[app.uid] = app.label
+            if system.package_manager.is_system_uid(app.uid):
+                trace.system_uids.append(app.uid)
+    if eandroid is not None:
+        for link in eandroid.accounting.attack_log():
+            trace.links.append(
+                LinkRecord(
+                    kind=link.kind.value,
+                    driving_uid=link.driving_uid,
+                    target=link.target,
+                    begin_time=link.begin_time,
+                    end_time=link.end_time,
+                )
+            )
+    return trace

@@ -1,0 +1,125 @@
+"""Battery model.
+
+The battery converts the meter's whole-device power curve into a state
+of charge over time — the quantity Fig. 3 plots (battery percentage vs
+hours until dead) and the §VI-B energy-efficiency check compares between
+Android and E-Android.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.kernel import Kernel
+from .meter import EnergyMeter
+
+
+@dataclass(frozen=True)
+class BatterySample:
+    """One point on the discharge curve."""
+
+    time_s: float
+    percent: float
+
+
+class Battery:
+    """State-of-charge tracking over the meter's ground-truth energy."""
+
+    def __init__(
+        self, kernel: Kernel, meter: EnergyMeter, capacity_j: float
+    ) -> None:
+        if capacity_j <= 0:
+            raise ValueError(f"battery capacity must be positive, got {capacity_j!r}")
+        self._kernel = kernel
+        self._meter = meter
+        self._capacity_j = capacity_j
+        self._epoch = kernel.now
+
+    @property
+    def capacity_j(self) -> float:
+        """Full-charge capacity in joules."""
+        return self._capacity_j
+
+    def energy_used_j(self, at: Optional[float] = None) -> float:
+        """Joules drained since the battery epoch."""
+        end = self._kernel.now if at is None else at
+        return self._meter.total_energy_j(start=self._epoch, end=end)
+
+    def percent(self, at: Optional[float] = None) -> float:
+        """State of charge in [0, 100] at virtual time ``at`` (default now)."""
+        remaining = self._capacity_j - self.energy_used_j(at)
+        return max(0.0, min(100.0, 100.0 * remaining / self._capacity_j))
+
+    def is_dead(self, at: Optional[float] = None) -> bool:
+        """Whether the battery hit 0%."""
+        return self.percent(at) <= 0.0
+
+    def time_of_percent(self, target_percent: float) -> Optional[float]:
+        """First virtual time the charge dropped to ``target_percent``.
+
+        Computed analytically from the piecewise-constant power curve;
+        returns None if the level was never reached in simulated history
+        (assuming the final draw persists, extrapolates beyond it).
+        """
+        if not 0.0 <= target_percent <= 100.0:
+            raise ValueError(f"percent {target_percent!r} outside [0, 100]")
+        target_energy_j = self._capacity_j * (1.0 - target_percent / 100.0)
+        curve = self._meter.total_power_breakpoints()
+        if not curve:
+            return None
+        used_mj = 0.0
+        target_mj = target_energy_j * 1000.0
+        for i, (t, power) in enumerate(curve):
+            if t < self._epoch:
+                # Clip the curve to the battery epoch.
+                if i + 1 < len(curve) and curve[i + 1][0] <= self._epoch:
+                    continue
+                t = self._epoch
+            seg_end = curve[i + 1][0] if i + 1 < len(curve) else None
+            if seg_end is None:
+                if power <= 0:
+                    return None
+                return t + (target_mj - used_mj) / power
+            seg_mj = power * (seg_end - t)
+            if used_mj + seg_mj >= target_mj:
+                if power <= 0:
+                    return seg_end
+                return t + (target_mj - used_mj) / power
+            used_mj += seg_mj
+        return None
+
+    def time_until_dead(self) -> Optional[float]:
+        """Virtual time at which the battery empties (see time_of_percent)."""
+        return self.time_of_percent(0.0)
+
+    def discharge_curve(
+        self, step_s: float = 600.0, until: Optional[float] = None
+    ) -> List[BatterySample]:
+        """Sampled charge curve from the epoch to ``until`` (default: dead).
+
+        This is the series Fig. 3 plots: one sample per ``step_s`` of
+        virtual time, clamped at 0%.
+        """
+        if step_s <= 0:
+            raise ValueError(f"step must be positive, got {step_s!r}")
+        end = until
+        if end is None:
+            end = self.time_until_dead()
+            if end is None:
+                end = self._kernel.now
+        samples: List[BatterySample] = []
+        t = self._epoch
+        while t < end:
+            samples.append(BatterySample(time_s=t, percent=self.percent(t)))
+            t += step_s
+        samples.append(BatterySample(time_s=end, percent=self.percent(end)))
+        return samples
+
+    def per_percent_times(self) -> List[Tuple[int, Optional[float]]]:
+        """Time each whole percentage level was reached (the paper's
+        'for each percentage of battery, we record the time')."""
+        return [
+            (level, self.time_of_percent(float(level)))
+            for level in range(99, -1, -1)
+        ]

@@ -1,0 +1,494 @@
+"""Hardware component power models.
+
+Each model owns a slice of the device's physical draw and reports it to
+the :class:`~repro.power.meter.EnergyMeter` whenever its state changes.
+The models are deliberately event-driven (no sampling loop): because the
+draws are piecewise-constant in virtual time, pushing a breakpoint at
+every state change yields exact energy integrals.
+
+Attribution granularity mirrors what real hardware/OS counters expose:
+
+* CPU time is attributable per uid (the kernel knows which process ran),
+  so the CPU model keeps a per-uid utilisation share; the idle floor goes
+  to :data:`~repro.power.meter.SYSTEM_OWNER`.
+* Radio, GPS, camera and audio sessions are attributable to the app
+  holding the session.
+* The screen is *not* attributable by hardware — its draw is recorded
+  under :data:`~repro.power.meter.SCREEN_OWNER` and attribution is the
+  profilers' policy decision, which is exactly the ambiguity the paper's
+  attacks #5/#6 exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.kernel import Kernel
+from ..sim.event_queue import ScheduledEvent
+from .meter import SCREEN_OWNER, SYSTEM_OWNER, EnergyMeter
+from .profiles import DevicePowerProfile
+
+CPU = "cpu"
+SCREEN = "screen"
+RADIO = "radio"
+GPS = "gps"
+CAMERA = "camera"
+AUDIO = "audio"
+SYSTEM_BASE = "base"
+
+ScreenListener = Callable[[], None]
+
+
+MAIN_ROUTINE = "main"
+
+
+def _cpu_channel(routine: str) -> str:
+    """Meter component name for a CPU routine.
+
+    The default routine keeps the plain ``cpu`` channel (so whole-app
+    queries by component stay stable); named routines get ``cpu:<name>``
+    sub-channels — the eprof-style subroutine decomposition of §II.
+    """
+    return CPU if routine == MAIN_ROUTINE else f"{CPU}:{routine}"
+
+
+class CpuModel:
+    """Utilisation-based CPU power with frequency steps and suspend.
+
+    Apps (via their simulated workloads) call :meth:`set_utilization`
+    with a fraction of one core.  Total utilisation is clamped at 1.0 and
+    each uid's dynamic power share is proportional to its demand — the
+    same proportional accounting BatteryStats applies to CPU time.
+
+    Demand is tracked per ``(uid, routine)``: an app can label portions
+    of its load ("render", "codec", ...) and the meter keeps a separate
+    ``cpu:<routine>`` channel for each, giving the subroutine-level
+    energy decomposition eprof pioneered (§II) for free.
+    """
+
+    def __init__(self, kernel: Kernel, meter: EnergyMeter, profile: DevicePowerProfile) -> None:
+        self._kernel = kernel
+        self._meter = meter
+        self._profile = profile.cpu
+        self._demands: Dict[Tuple[int, str], float] = {}
+        self._freq_index = len(profile.cpu.freq_levels_mhz) - 1
+        self._suspended = False
+        self._meter.set_draw(SYSTEM_OWNER, CPU, self._profile.idle_mw)
+
+    @property
+    def suspended(self) -> bool:
+        """Whether the CPU is halted (device deep sleep)."""
+        return self._suspended
+
+    @property
+    def freq_index(self) -> int:
+        """Current frequency step index."""
+        return self._freq_index
+
+    def set_frequency_index(self, index: int) -> None:
+        """Pin the governor to a frequency step."""
+        if not 0 <= index < len(self._profile.freq_levels_mhz):
+            raise ValueError(f"frequency index {index!r} out of range")
+        self._freq_index = index
+        self._publish()
+
+    def set_utilization(
+        self, uid: int, fraction: float, routine: str = MAIN_ROUTINE
+    ) -> None:
+        """Set a routine's CPU demand as a fraction of one core in [0, 1].
+
+        ``routine`` defaults to the app's main thread; naming routines
+        splits the app's CPU energy into per-routine meter channels.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"utilization {fraction!r} outside [0, 1]")
+        key = (uid, routine)
+        if fraction == 0.0:
+            if self._demands.pop(key, None) is not None:
+                self._meter.set_draw(uid, _cpu_channel(routine), 0.0)
+        else:
+            self._demands[key] = fraction
+        self._publish()
+
+    def utilization_of(self, uid: int) -> float:
+        """Current total demand of ``uid`` across all routines."""
+        return sum(
+            demand for (owner, _), demand in self._demands.items() if owner == uid
+        )
+
+    def routine_utilization(self, uid: int, routine: str) -> float:
+        """Current demand of one routine."""
+        return self._demands.get((uid, routine), 0.0)
+
+    def total_utilization(self) -> float:
+        """Summed demand, clamped to 1.0 (single-core abstraction)."""
+        return min(1.0, sum(self._demands.values()))
+
+    def suspend(self) -> None:
+        """Halt the CPU: app draws stop; only the suspend floor remains."""
+        if self._suspended:
+            return
+        self._suspended = True
+        self._publish()
+
+    def resume(self) -> None:
+        """Wake the CPU back up; app demands resume drawing power."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        self._publish()
+
+    def _publish(self) -> None:
+        if self._suspended:
+            self._meter.set_draw(SYSTEM_OWNER, CPU, self._profile.suspend_mw)
+            for uid, routine in list(self._demands):
+                self._meter.set_draw(uid, _cpu_channel(routine), 0.0)
+            return
+        self._meter.set_draw(SYSTEM_OWNER, CPU, self._profile.idle_mw)
+        active_mw = self._profile.active_power_at(self._freq_index)
+        dynamic_span = max(0.0, active_mw - self._profile.idle_mw)
+        total_demand = sum(self._demands.values())
+        scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
+        for (uid, routine), demand in self._demands.items():
+            self._meter.set_draw(
+                uid, _cpu_channel(routine), dynamic_span * demand * scale
+            )
+        # Channels that existed before but have zero demand were already
+        # zeroed in set_utilization; nothing further needed here.
+
+
+class ScreenModel:
+    """Display panel: on/off/dim, 256 brightness levels, auto/manual mode.
+
+    The *panel* knows nothing about apps: its draw is recorded under
+    :data:`SCREEN_OWNER`.  State-change listeners let the display manager
+    and the profilers observe transitions.
+    """
+
+    def __init__(self, kernel: Kernel, meter: EnergyMeter, profile: DevicePowerProfile) -> None:
+        self._kernel = kernel
+        self._meter = meter
+        self._profile = profile.screen
+        self._on = False
+        self._dimmed = False
+        self._brightness = 102  # Android's default (40%)
+        self._listeners: List[ScreenListener] = []
+        self._publish()
+
+    # -- state --------------------------------------------------------
+    @property
+    def is_on(self) -> bool:
+        """Whether the panel is lit."""
+        return self._on
+
+    @property
+    def is_dimmed(self) -> bool:
+        """Whether the panel is in the dim pre-timeout state."""
+        return self._dimmed
+
+    @property
+    def brightness(self) -> int:
+        """Current brightness level, 0-255."""
+        return self._brightness
+
+    @property
+    def max_brightness(self) -> int:
+        """Highest supported brightness level."""
+        return self._profile.max_brightness
+
+    def add_listener(self, listener: ScreenListener) -> None:
+        """Subscribe to any screen state change."""
+        self._listeners.append(listener)
+
+    # -- transitions ---------------------------------------------------
+    def turn_on(self) -> None:
+        """Light the panel at the current brightness."""
+        if not self._on:
+            self._on = True
+            self._dimmed = False
+            self._publish()
+
+    def turn_off(self) -> None:
+        """Power the panel down."""
+        if self._on:
+            self._on = False
+            self._dimmed = False
+            self._publish()
+
+    def dim(self) -> None:
+        """Enter the dim state (pre-timeout, or SCREEN_DIM wakelock)."""
+        if self._on and not self._dimmed:
+            self._dimmed = True
+            self._publish()
+
+    def undim(self) -> None:
+        """Restore full brightness from the dim state."""
+        if self._on and self._dimmed:
+            self._dimmed = False
+            self._publish()
+
+    def set_brightness(self, level: int) -> None:
+        """Set the panel brightness, clamped to [0, max]."""
+        clamped = max(0, min(self._profile.max_brightness, int(level)))
+        if clamped != self._brightness:
+            self._brightness = clamped
+            self._publish()
+
+    def current_power_mw(self) -> float:
+        """Instantaneous panel draw."""
+        if not self._on:
+            return 0.0
+        level = self._profile.dim_brightness if self._dimmed else self._brightness
+        return self._profile.power_mw(level)
+
+    def _publish(self) -> None:
+        self._meter.set_draw(SCREEN_OWNER, SCREEN, self.current_power_mw())
+        for listener in self._listeners:
+            listener()
+
+
+class RadioModel:
+    """WiFi/data radio with IDLE -> LOW/HIGH -> TAIL -> IDLE states.
+
+    Each uid with traffic holds the radio in its level; the draw above
+    idle is split across active uids proportional to their level, and a
+    tail draw (attributed to the last active uid, matching tail-state
+    energy accounting a la AppScope/eprof) lingers after activity stops.
+    """
+
+    IDLE, LOW, HIGH = 0, 1, 2
+
+    def __init__(self, kernel: Kernel, meter: EnergyMeter, profile: DevicePowerProfile) -> None:
+        self._kernel = kernel
+        self._meter = meter
+        self._profile = profile.radio
+        self._levels: Dict[int, int] = {}
+        self._tail_event: Optional[ScheduledEvent] = None
+        self._tail_uid: Optional[int] = None
+        # The idle floor of the radio is folded into the platform base
+        # draw; this model only records per-uid draw *above* idle.
+
+    def set_activity(self, uid: int, level: int) -> None:
+        """Set a uid's traffic level (IDLE/LOW/HIGH)."""
+        if level not in (self.IDLE, self.LOW, self.HIGH):
+            raise ValueError(f"invalid radio level {level!r}")
+        previously_active = bool(self._levels)
+        if level == self.IDLE:
+            if uid in self._levels:
+                del self._levels[uid]
+                if not self._levels and previously_active:
+                    self._enter_tail(uid)
+        else:
+            self._cancel_tail()
+            self._levels[uid] = level
+        self._publish()
+
+    def _enter_tail(self, uid: int) -> None:
+        self._tail_uid = uid
+        self._tail_event = self._kernel.call_later(
+            self._profile.tail_seconds, self._end_tail, name="radio-tail"
+        )
+
+    def _end_tail(self) -> None:
+        self._tail_event = None
+        self._tail_uid = None
+        self._publish()
+
+    def _cancel_tail(self) -> None:
+        if self._tail_event is not None:
+            self._kernel.cancel(self._tail_event)
+            self._tail_event = None
+            self._tail_uid = None
+
+    def _publish(self) -> None:
+        profile = self._profile
+        # Zero every uid channel first (cheap: only uids we have touched).
+        if self._levels:
+            power_of = {self.LOW: profile.low_mw, self.HIGH: profile.high_mw}
+            for uid, level in self._levels.items():
+                self._meter.set_draw(uid, RADIO, power_of[level] - profile.idle_mw)
+        if self._tail_uid is not None and not self._levels:
+            self._meter.set_draw(
+                self._tail_uid, RADIO, profile.tail_mw - profile.idle_mw
+            )
+        elif not self._levels:
+            # No activity, no tail: clear residual app channels.
+            for owner, component in list(self._meter.channels()):
+                if component == RADIO and owner != SYSTEM_OWNER:
+                    self._meter.set_draw(owner, RADIO, 0.0)
+
+
+class GpsModel:
+    """GPS receiver held on by any requesting uid, with a sleep tail."""
+
+    def __init__(self, kernel: Kernel, meter: EnergyMeter, profile: DevicePowerProfile) -> None:
+        self._kernel = kernel
+        self._meter = meter
+        self._profile = profile.gps
+        self._holders: Dict[int, int] = {}
+
+    def start(self, uid: int) -> None:
+        """uid requests location updates."""
+        self._holders[uid] = self._holders.get(uid, 0) + 1
+        self._publish()
+
+    def stop(self, uid: int) -> None:
+        """uid stops location updates."""
+        count = self._holders.get(uid, 0)
+        if count <= 1:
+            self._holders.pop(uid, None)
+        else:
+            self._holders[uid] = count - 1
+        self._publish()
+
+    def is_on(self) -> bool:
+        """Whether any uid holds the receiver on."""
+        return bool(self._holders)
+
+    def _publish(self) -> None:
+        if self._holders:
+            share = self._profile.on_mw / len(self._holders)
+            for uid in self._holders:
+                self._meter.set_draw(uid, GPS, share)
+        for owner, component in list(self._meter.channels()):
+            if component == GPS and owner not in self._holders:
+                self._meter.set_draw(owner, GPS, 0.0)
+
+
+class CameraModel:
+    """Camera sensor; at most one session (Android enforces exclusivity)."""
+
+    def __init__(self, kernel: Kernel, meter: EnergyMeter, profile: DevicePowerProfile) -> None:
+        self._kernel = kernel
+        self._meter = meter
+        self._profile = profile.camera
+        self._session_uid: Optional[int] = None
+        self._recording = False
+
+    @property
+    def session_uid(self) -> Optional[int]:
+        """uid of the app holding the camera, if any."""
+        return self._session_uid
+
+    def open(self, uid: int) -> None:
+        """Open a preview session for ``uid``."""
+        if self._session_uid is not None and self._session_uid != uid:
+            raise RuntimeError(
+                f"camera busy: held by uid {self._session_uid}, requested by {uid}"
+            )
+        self._session_uid = uid
+        self._recording = False
+        self._publish()
+
+    def start_recording(self) -> None:
+        """Escalate the open session to full video recording power."""
+        if self._session_uid is None:
+            raise RuntimeError("cannot record without an open camera session")
+        self._recording = True
+        self._publish()
+
+    def stop_recording(self) -> None:
+        """Drop back to preview power."""
+        self._recording = False
+        self._publish()
+
+    def close(self) -> None:
+        """Release the camera."""
+        if self._session_uid is not None:
+            uid = self._session_uid
+            self._session_uid = None
+            self._recording = False
+            self._meter.set_draw(uid, CAMERA, 0.0)
+
+    def _publish(self) -> None:
+        if self._session_uid is None:
+            return
+        power = (
+            self._profile.record_mw if self._recording else self._profile.preview_mw
+        )
+        self._meter.set_draw(self._session_uid, CAMERA, power)
+
+
+class AudioModel:
+    """Audio playback sessions, one channel per playing uid."""
+
+    def __init__(self, kernel: Kernel, meter: EnergyMeter, profile: DevicePowerProfile) -> None:
+        self._kernel = kernel
+        self._meter = meter
+        self._profile = profile.audio
+        self._playing: Dict[int, int] = {}
+
+    def start(self, uid: int) -> None:
+        """uid starts playback."""
+        self._playing[uid] = self._playing.get(uid, 0) + 1
+        self._meter.set_draw(uid, AUDIO, self._profile.playback_mw)
+
+    def stop(self, uid: int) -> None:
+        """uid stops playback."""
+        count = self._playing.get(uid, 0)
+        if count <= 1:
+            self._playing.pop(uid, None)
+            self._meter.set_draw(uid, AUDIO, 0.0)
+        else:
+            self._playing[uid] = count - 1
+
+    def is_playing(self, uid: int) -> bool:
+        """Whether the uid has a live playback session."""
+        return uid in self._playing
+
+
+class SystemBase:
+    """Always-on platform rails; switches between awake and suspend draw."""
+
+    def __init__(self, kernel: Kernel, meter: EnergyMeter, profile: DevicePowerProfile) -> None:
+        self._meter = meter
+        self._profile = profile
+        self._suspended = False
+        self._meter.set_draw(SYSTEM_OWNER, SYSTEM_BASE, profile.system_base_mw)
+
+    @property
+    def suspended(self) -> bool:
+        """Whether the platform is in deep sleep."""
+        return self._suspended
+
+    def suspend(self) -> None:
+        """Drop the platform rails to the suspend floor."""
+        self._suspended = True
+        self._meter.set_draw(SYSTEM_OWNER, SYSTEM_BASE, self._profile.suspend_mw)
+
+    def resume(self) -> None:
+        """Restore awake platform draw."""
+        self._suspended = False
+        self._meter.set_draw(SYSTEM_OWNER, SYSTEM_BASE, self._profile.system_base_mw)
+
+
+class HardwarePlatform:
+    """Bundle of every hardware model plus the meter and battery capacity."""
+
+    def __init__(self, kernel: Kernel, profile: DevicePowerProfile) -> None:
+        self.kernel = kernel
+        self.profile = profile
+        self.meter = EnergyMeter(kernel)
+        self.base = SystemBase(kernel, self.meter, profile)
+        self.cpu = CpuModel(kernel, self.meter, profile)
+        self.screen = ScreenModel(kernel, self.meter, profile)
+        self.radio = RadioModel(kernel, self.meter, profile)
+        self.gps = GpsModel(kernel, self.meter, profile)
+        self.camera = CameraModel(kernel, self.meter, profile)
+        self.audio = AudioModel(kernel, self.meter, profile)
+
+    def suspend(self) -> None:
+        """Device deep sleep: CPU halted, platform rails low, screen off."""
+        self.screen.turn_off()
+        self.cpu.suspend()
+        self.base.suspend()
+
+    def resume(self) -> None:
+        """Wake from deep sleep (screen handled by the display manager)."""
+        self.cpu.resume()
+        self.base.resume()
+
+    @property
+    def suspended(self) -> bool:
+        """Whether the device is in deep sleep."""
+        return self.base.suspended

@@ -1,0 +1,166 @@
+"""Hardware ground-truth energy meter.
+
+The :class:`EnergyMeter` plays the role of the external power monitor
+(the Monsoon-style instrumentation energy papers calibrate against): it
+sees the *true* draw of every hardware channel and never lies.  The
+profilers under study (BatteryStats, PowerTutor, E-Android) are given
+only this meter plus the framework's event stream, and each applies its
+own attribution policy — the point of the paper is precisely that the
+baselines mis-attribute perfectly measured energy.
+
+Channels are keyed by ``(owner, component)``:
+
+* ``owner`` is a uid for draws hardware can attribute to an app (CPU
+  cycles, radio packets, camera sessions), or one of the pseudo-owners
+  below for shared draws.
+* ``component`` is the hardware component name, e.g. ``"cpu"``.
+
+Pseudo-owners:
+
+* :data:`SCREEN_OWNER` — panel draw; hardware cannot know which app
+  "caused" the screen, so policy is left to profilers.
+* :data:`SYSTEM_OWNER` — platform base / idle draw.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.kernel import Kernel
+from .trace import PowerTrace
+
+SCREEN_OWNER = -100
+"""Pseudo-owner for the display panel's draw."""
+
+SYSTEM_OWNER = -1
+"""Pseudo-owner for unattributable platform base draw."""
+
+ChannelKey = Tuple[int, str]
+DrawListener = Callable[[float, int, str, float], None]
+
+
+class EnergyMeter:
+    """Records every channel's power history and integrates energy."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self._kernel = kernel
+        self._traces: Dict[ChannelKey, PowerTrace] = {}
+        self._listeners: List[DrawListener] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def set_draw(self, owner: int, component: str, power_mw: float) -> None:
+        """Set the instantaneous draw of channel ``(owner, component)``."""
+        key = (owner, component)
+        trace = self._traces.get(key)
+        if trace is None:
+            if power_mw == 0.0:
+                return  # don't materialise channels that never drew power
+            trace = PowerTrace()
+            self._traces[key] = trace
+        now = self._kernel.now
+        trace.append(now, power_mw)
+        for listener in self._listeners:
+            listener(now, owner, component, power_mw)
+
+    def add_listener(self, listener: DrawListener) -> None:
+        """Subscribe to draw changes (time, owner, component, power_mw)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def channels(self) -> List[ChannelKey]:
+        """All channels that ever drew power."""
+        return list(self._traces)
+
+    def trace(self, owner: int, component: str) -> Optional[PowerTrace]:
+        """The raw trace for one channel, if it exists."""
+        return self._traces.get((owner, component))
+
+    def current_power_mw(self, owner: Optional[int] = None) -> float:
+        """Total instantaneous draw (optionally for a single owner)."""
+        return sum(
+            trace.last_power
+            for (channel_owner, _), trace in self._traces.items()
+            if owner is None or channel_owner == owner
+        )
+
+    def energy_j(
+        self,
+        owner: Optional[int] = None,
+        component: Optional[str] = None,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> float:
+        """Energy drawn over ``[start, end)``, filtered by owner/component.
+
+        ``end`` defaults to the current virtual time.
+        """
+        window_end = self._kernel.now if end is None else end
+        total = 0.0
+        for (channel_owner, channel_component), trace in self._traces.items():
+            if owner is not None and channel_owner != owner:
+                continue
+            if component is not None and channel_component != component:
+                continue
+            total += trace.energy_j(start, window_end)
+        return total
+
+    def energy_by_owner(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> Dict[int, float]:
+        """Map of owner -> energy (J) over the window."""
+        window_end = self._kernel.now if end is None else end
+        result: Dict[int, float] = {}
+        for (channel_owner, _), trace in self._traces.items():
+            energy = trace.energy_j(start, window_end)
+            if energy:
+                result[channel_owner] = result.get(channel_owner, 0.0) + energy
+        return result
+
+    def energy_by_component(
+        self, owner: int, start: float = 0.0, end: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Per-component energy breakdown for one owner."""
+        window_end = self._kernel.now if end is None else end
+        result: Dict[str, float] = {}
+        for (channel_owner, channel_component), trace in self._traces.items():
+            if channel_owner != owner:
+                continue
+            energy = trace.energy_j(start, window_end)
+            if energy:
+                result[channel_component] = result.get(channel_component, 0.0) + energy
+        return result
+
+    def app_energy_j(
+        self, uid: int, start: float = 0.0, end: Optional[float] = None
+    ) -> float:
+        """Energy directly attributable to an app uid (excludes screen/system)."""
+        return self.energy_j(owner=uid, start=start, end=end)
+
+    def screen_energy_j(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Panel energy over the window."""
+        return self.energy_j(owner=SCREEN_OWNER, start=start, end=end)
+
+    def total_energy_j(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Whole-device energy over the window."""
+        return self.energy_j(start=start, end=end)
+
+    def total_power_breakpoints(self) -> List[Tuple[float, float]]:
+        """Whole-device piecewise-constant power curve.
+
+        Merges every channel's breakpoints; used by the battery model to
+        compute charge level over time without sampling.
+        """
+        times = sorted({t for trace in self._traces.values() for t, _ in trace.breakpoints()})
+        curve: List[Tuple[float, float]] = []
+        for t in times:
+            power = sum(trace.power_at(t) for trace in self._traces.values())
+            curve.append((t, power))
+        return curve
+
+    def owners(self) -> Iterable[int]:
+        """Distinct owners seen on any channel."""
+        return {owner for owner, _ in self._traces}

@@ -1,0 +1,95 @@
+"""Piecewise-constant power traces.
+
+The hardware energy meter records, for every (owner, component) channel,
+the full history of power-draw changes as a :class:`PowerTrace`.  Traces
+answer the window-energy queries the profilers need: BatteryStats wants
+"total energy of uid U", PowerTutor wants "screen energy during the
+intervals U was foreground", and E-Android wants "energy of app B inside
+the attack window [t0, t1)".
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+
+class PowerTrace:
+    """History of a single channel's power draw over virtual time.
+
+    The trace is a sequence of breakpoints ``(t_i, p_i)`` meaning the
+    channel drew ``p_i`` milliwatts on ``[t_i, t_{i+1})``.  Appends must
+    be time-ordered (equal times overwrite, last-write-wins, so several
+    same-instant updates collapse to the final value).
+    """
+
+    __slots__ = ("_times", "_powers")
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._powers: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, power_mw: float) -> None:
+        """Record that the draw becomes ``power_mw`` at ``time``."""
+        if power_mw < 0:
+            raise ValueError(f"negative power {power_mw!r} at t={time!r}")
+        if self._times:
+            last = self._times[-1]
+            if time < last:
+                raise ValueError(
+                    f"trace appends must be ordered: got t={time!r} after {last!r}"
+                )
+            if time == last:
+                self._powers[-1] = power_mw
+                return
+            if power_mw == self._powers[-1]:
+                return  # no change; keep the trace compact
+        self._times.append(time)
+        self._powers.append(power_mw)
+
+    def power_at(self, time: float) -> float:
+        """Instantaneous draw at ``time`` (0 before the first breakpoint)."""
+        index = bisect.bisect_right(self._times, time) - 1
+        if index < 0:
+            return 0.0
+        return self._powers[index]
+
+    @property
+    def last_power(self) -> float:
+        """Most recent draw (0 for an empty trace)."""
+        return self._powers[-1] if self._powers else 0.0
+
+    @property
+    def last_time(self) -> Optional[float]:
+        """Time of the latest breakpoint, or None for an empty trace."""
+        return self._times[-1] if self._times else None
+
+    def energy_j(self, start: float, end: float) -> float:
+        """Energy in joules drawn over ``[start, end)``.
+
+        The draw after the final breakpoint is assumed to hold steady,
+        which matches how the meter uses traces (it always appends a
+        final breakpoint when asked to close out a measurement).
+        """
+        if end < start:
+            raise ValueError(f"window end {end!r} before start {start!r}")
+        if end == start or not self._times:
+            return 0.0
+        total_mj = 0.0  # milliwatt-seconds = millijoules
+        index = max(0, bisect.bisect_right(self._times, start) - 1)
+        for i in range(index, len(self._times)):
+            seg_start = max(self._times[i], start)
+            seg_end = self._times[i + 1] if i + 1 < len(self._times) else end
+            seg_end = min(seg_end, end)
+            if seg_end > seg_start:
+                total_mj += self._powers[i] * (seg_end - seg_start)
+            if seg_end >= end:
+                break
+        return total_mj / 1000.0
+
+    def breakpoints(self) -> List[Tuple[float, float]]:
+        """A copy of the raw (time, power_mw) breakpoint list."""
+        return list(zip(self._times, self._powers))

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate.
+
+Provides the virtual clock, event queue, kernel, process table, and
+seeded RNG on which the Android framework simulator and the power models
+are built.
+"""
+
+from .clock import VirtualClock
+from .errors import (
+    DeadProcessError,
+    EventCancelledError,
+    KernelStateError,
+    ProcessError,
+    SchedulingError,
+    SimulationError,
+    UnknownPidError,
+)
+from .event_queue import EventQueue, ScheduledEvent
+from .kernel import Kernel, RepeatingTimer
+from .process import ProcessRecord, ProcessTable
+from .rng import SeededRng
+
+__all__ = [
+    "VirtualClock",
+    "EventQueue",
+    "ScheduledEvent",
+    "Kernel",
+    "RepeatingTimer",
+    "ProcessRecord",
+    "ProcessTable",
+    "SeededRng",
+    "SimulationError",
+    "SchedulingError",
+    "EventCancelledError",
+    "KernelStateError",
+    "ProcessError",
+    "UnknownPidError",
+    "DeadProcessError",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the :mod:`repro.sim` kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled at an invalid time.
+
+    The kernel only moves forward: scheduling an event strictly in the
+    past (before the current virtual time) is a logic error in the caller
+    and is reported eagerly instead of corrupting the timeline.
+    """
+
+
+class EventCancelledError(SimulationError):
+    """Raised when interacting with an event handle that was cancelled."""
+
+
+class KernelStateError(SimulationError):
+    """Raised when the kernel is driven incorrectly.
+
+    Examples: running a kernel from inside an event callback, or stepping
+    a kernel that has been shut down.
+    """
+
+
+class ProcessError(SimulationError):
+    """Base class for process-table errors."""
+
+
+class UnknownPidError(ProcessError):
+    """Raised when an operation references a pid that was never spawned."""
+
+
+class DeadProcessError(ProcessError):
+    """Raised when an operation requires a live process but the pid is dead."""

@@ -1,0 +1,152 @@
+"""Priority event queue used by the simulation kernel.
+
+The queue orders events by ``(time, sequence)`` so that events scheduled
+for the same instant dispatch in FIFO order — the property the Android
+framework simulator relies on for deterministic lifecycle callbacks
+(e.g. ``onPause`` of the outgoing activity before ``onResume`` of the
+incoming one when both are scheduled "now").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from .errors import EventCancelledError
+
+
+class ScheduledEvent:
+    """Handle to an event sitting in (or already removed from) the queue.
+
+    The handle supports O(1) cancellation: cancelling marks the entry and
+    the kernel skips it on pop.  A cancelled or dispatched event cannot be
+    revived.
+    """
+
+    __slots__ = ("time", "seq", "callback", "name", "_cancelled", "_dispatched")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self._cancelled = False
+        self._dispatched = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    @property
+    def dispatched(self) -> bool:
+        """Whether the kernel already ran this event's callback."""
+        return self._dispatched
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to run."""
+        return not (self._cancelled or self._dispatched)
+
+    def cancel(self) -> None:
+        """Remove the event from consideration.
+
+        Raises:
+            EventCancelledError: if the event already ran or was cancelled.
+        """
+        if self._dispatched:
+            raise EventCancelledError(
+                f"event {self.name or self.seq} already dispatched; cannot cancel"
+            )
+        if self._cancelled:
+            raise EventCancelledError(
+                f"event {self.name or self.seq} already cancelled"
+            )
+        self._cancelled = True
+
+    def cancel_if_pending(self) -> bool:
+        """Cancel the event if it has not yet run; return whether it did."""
+        if self.pending:
+            self._cancelled = True
+            return True
+        return False
+
+    def mark_dispatched(self) -> None:
+        """Internal: flag that the kernel has run the callback."""
+        self._dispatched = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else (
+            "dispatched" if self._dispatched else "pending"
+        )
+        return f"ScheduledEvent(t={self.time!r}, seq={self.seq}, {state}, name={self.name!r})"
+
+
+class EventQueue:
+    """A cancellable min-heap of :class:`ScheduledEvent` ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *pending* (not cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self, time: float, callback: Callable[[], Any], name: str = ""
+    ) -> ScheduledEvent:
+        """Insert a new event and return its handle."""
+        event = ScheduledEvent(time, next(self._counter), callback, name)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest pending event, or None if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the earliest pending event, or None if empty.
+
+        Cancelled events encountered at the head are discarded silently;
+        the returned event is always live (and not yet marked dispatched —
+        the kernel does that after running the callback).
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def note_cancelled(self) -> None:
+        """Adjust the live count after an external handle cancellation.
+
+        Callers that cancel through :meth:`ScheduledEvent.cancel` directly
+        (rather than via the kernel) should inform the queue so ``len``
+        stays accurate.  The kernel wraps this for its users.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

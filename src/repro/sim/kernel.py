@@ -1,0 +1,261 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Kernel` owns a :class:`~repro.sim.clock.VirtualClock` and an
+:class:`~repro.sim.event_queue.EventQueue` and drives virtual time forward
+by dispatching events in order.  Every subsystem in the reproduction —
+the Android framework simulator, the power models, the profilers — hangs
+off one kernel instance, so a whole "device" is a single deterministic
+event timeline.
+
+Typical use::
+
+    kernel = Kernel()
+    kernel.call_later(5.0, lambda: print("five virtual seconds elapsed"))
+    kernel.run_for(10.0)
+
+Events may freely schedule further events (including at the current
+instant); the kernel processes them in ``(time, insertion order)`` order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .clock import VirtualClock
+from .errors import KernelStateError, SchedulingError
+from .event_queue import EventQueue, ScheduledEvent
+
+
+class Kernel:
+    """Deterministic discrete-event executor over virtual time."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._clock = VirtualClock(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._dispatched_count = 0
+        self._error_handler: Optional[Callable[[ScheduledEvent, Exception], None]] = None
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._clock.now()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting to be dispatched."""
+        return len(self._queue)
+
+    @property
+    def dispatched_count(self) -> int:
+        """Total number of event callbacks run since kernel creation."""
+        return self._dispatched_count
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self, when: float, callback: Callable[[], Any], name: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise SchedulingError(
+                f"cannot schedule event {name!r} at {when!r}; now is {self.now!r}"
+            )
+        return self._queue.push(when, callback, name)
+
+    def call_later(
+        self, delay: float, callback: Callable[[], Any], name: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r} for event {name!r}")
+        return self._queue.push(self.now + delay, callback, name)
+
+    def call_soon(self, callback: Callable[[], Any], name: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` at the current instant (after pending same-time events)."""
+        return self._queue.push(self.now, callback, name)
+
+    def call_repeating(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        name: str = "",
+        immediately: bool = False,
+    ) -> "RepeatingTimer":
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        Returns a :class:`RepeatingTimer` whose :meth:`~RepeatingTimer.cancel`
+        stops the repetition.  Used by polling payloads and periodic
+        samplers instead of hand-rolled self-rescheduling.
+        """
+        if interval <= 0:
+            raise SchedulingError(f"repeating interval must be positive, got {interval!r}")
+        timer = RepeatingTimer(self, interval, callback, name)
+        timer.start(immediately=immediately)
+        return timer
+
+    def cancel(self, event: ScheduledEvent) -> bool:
+        """Cancel a pending event; returns whether anything was cancelled."""
+        if event.cancel_if_pending():
+            self._queue.note_cancelled()
+            return True
+        return False
+
+    def set_error_handler(
+        self, handler: Optional[Callable[[ScheduledEvent, Exception], None]]
+    ) -> None:
+        """Install a handler for exceptions escaping event callbacks.
+
+        Without a handler the exception propagates out of ``run_*`` /
+        ``step``, aborting the simulation — the right default for tests.
+        """
+        self._error_handler = handler
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single earliest event.
+
+        Returns:
+            True if an event ran; False if the queue was empty.
+        """
+        self._ensure_not_reentrant()
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._clock.advance_to(event.time)
+        self._dispatch(event)
+        return True
+
+    def run_until(self, deadline: float) -> int:
+        """Run all events with ``time <= deadline``; advance clock to deadline.
+
+        Returns:
+            The number of events dispatched.
+        """
+        self._ensure_not_reentrant()
+        if deadline < self.now:
+            raise SchedulingError(
+                f"deadline {deadline!r} is before current time {self.now!r}"
+            )
+        dispatched = 0
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > deadline:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._clock.advance_to(event.time)
+                self._dispatch(event)
+                dispatched += 1
+        finally:
+            self._running = False
+        self._clock.advance_to(deadline)
+        return dispatched
+
+    def run_for(self, duration: float) -> int:
+        """Run for ``duration`` seconds of virtual time from now."""
+        if duration < 0:
+            raise SchedulingError(f"negative duration {duration!r}")
+        return self.run_until(self.now + duration)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty (bounded by ``max_events``).
+
+        Raises:
+            KernelStateError: if the bound is hit, which almost always
+                means a callback chain is self-perpetuating.
+        """
+        self._ensure_not_reentrant()
+        dispatched = 0
+        self._running = True
+        try:
+            while True:
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._clock.advance_to(event.time)
+                self._dispatch(event)
+                dispatched += 1
+                if dispatched >= max_events:
+                    raise KernelStateError(
+                        f"drain() exceeded {max_events} events; likely a live-lock"
+                    )
+        finally:
+            self._running = False
+        return dispatched
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: ScheduledEvent) -> None:
+        try:
+            event.callback()
+        except Exception as exc:  # noqa: BLE001 - routed to handler by design
+            if self._error_handler is None:
+                event.mark_dispatched()
+                raise
+            self._error_handler(event, exc)
+        event.mark_dispatched()
+        self._dispatched_count += 1
+
+    def _ensure_not_reentrant(self) -> None:
+        if self._running:
+            raise KernelStateError(
+                "kernel is already running; event callbacks must schedule, not run"
+            )
+
+
+class RepeatingTimer:
+    """Self-rescheduling timer created by :meth:`Kernel.call_repeating`."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        interval: float,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> None:
+        self._kernel = kernel
+        self.interval = interval
+        self._callback = callback
+        self._name = name or "repeating"
+        self._event: Optional[ScheduledEvent] = None
+        self._cancelled = False
+        self.fire_count = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer will fire again."""
+        return not self._cancelled
+
+    def start(self, immediately: bool = False) -> None:
+        """Arm the first firing (internal; called by the kernel)."""
+        delay = 0.0 if immediately else self.interval
+        self._event = self._kernel.call_later(delay, self._fire, name=self._name)
+
+    def cancel(self) -> None:
+        """Stop the timer; safe to call repeatedly."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if self._event is not None:
+            self._kernel.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        self._callback()
+        if not self._cancelled:
+            self._event = self._kernel.call_later(
+                self.interval, self._fire, name=self._name
+            )

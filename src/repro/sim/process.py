@@ -1,0 +1,117 @@
+"""Simulated OS process table.
+
+Android's link-to-death mechanism (used by PowerManagerService to release
+wakelocks of crashed apps, and by the ActivityManager to clean bindings)
+is driven by the kernel Binder driver observing process death.  This
+module provides the minimal process substrate for that: pids, the uid a
+process runs as, spawn/kill, and death observers.
+
+Each simulated app runs as one process (Android's default), so "app dies"
+and "process dies" coincide; the table still supports several processes
+per uid for completeness (e.g. isolated services).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .errors import DeadProcessError, UnknownPidError
+
+DeathObserver = Callable[["ProcessRecord"], None]
+
+
+@dataclass
+class ProcessRecord:
+    """A single simulated process."""
+
+    pid: int
+    uid: int
+    name: str
+    alive: bool = True
+    start_time: float = 0.0
+    death_time: Optional[float] = None
+    _death_observers: List[DeathObserver] = field(default_factory=list, repr=False)
+
+    def link_to_death(self, observer: DeathObserver) -> None:
+        """Register ``observer`` to run when this process dies.
+
+        Mirrors ``IBinder.linkToDeath``: linking to an already-dead process
+        raises, matching the DeadObjectException behaviour.
+        """
+        if not self.alive:
+            raise DeadProcessError(f"process {self.pid} ({self.name}) is dead")
+        self._death_observers.append(observer)
+
+    def unlink_to_death(self, observer: DeathObserver) -> bool:
+        """Remove a previously registered observer; returns whether found."""
+        try:
+            self._death_observers.remove(observer)
+            return True
+        except ValueError:
+            return False
+
+
+class ProcessTable:
+    """Spawn, look up, and kill simulated processes."""
+
+    def __init__(self, first_pid: int = 1000) -> None:
+        self._pids = itertools.count(first_pid)
+        self._procs: Dict[int, ProcessRecord] = {}
+
+    def spawn(self, uid: int, name: str, now: float = 0.0) -> ProcessRecord:
+        """Create a live process for ``uid`` and return its record."""
+        pid = next(self._pids)
+        record = ProcessRecord(pid=pid, uid=uid, name=name, start_time=now)
+        self._procs[pid] = record
+        return record
+
+    def get(self, pid: int) -> ProcessRecord:
+        """Return the record for ``pid``.
+
+        Raises:
+            UnknownPidError: if no such pid was ever spawned.
+        """
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise UnknownPidError(f"no process with pid {pid}") from None
+
+    def is_alive(self, pid: int) -> bool:
+        """Whether ``pid`` exists and has not been killed."""
+        record = self._procs.get(pid)
+        return bool(record and record.alive)
+
+    def processes_of_uid(self, uid: int, alive_only: bool = True) -> List[ProcessRecord]:
+        """All processes belonging to ``uid``."""
+        return [
+            record
+            for record in self._procs.values()
+            if record.uid == uid and (record.alive or not alive_only)
+        ]
+
+    def kill(self, pid: int, now: float = 0.0) -> ProcessRecord:
+        """Kill ``pid`` and fire its death observers (link-to-death).
+
+        Observers run in registration order.  Killing an already-dead
+        process raises, so callers can't double-fire cleanup.
+        """
+        record = self.get(pid)
+        if not record.alive:
+            raise DeadProcessError(f"process {pid} ({record.name}) already dead")
+        record.alive = False
+        record.death_time = now
+        observers = list(record._death_observers)
+        record._death_observers.clear()
+        for observer in observers:
+            observer(record)
+        return record
+
+    def kill_uid(self, uid: int, now: float = 0.0) -> List[ProcessRecord]:
+        """Kill every live process of ``uid`` (Force Stop semantics)."""
+        return [self.kill(record.pid, now) for record in self.processes_of_uid(uid)]
+
+    def live_count(self) -> int:
+        """Number of live processes."""
+        return sum(1 for record in self._procs.values() if record.alive)

@@ -1,0 +1,70 @@
+"""Seeded randomness helpers.
+
+Every stochastic element of the reproduction (the synthetic app corpus,
+workload jitter, AnTuTu score noise) draws from a :class:`SeededRng`
+created from an explicit seed so that experiments are reproducible
+run-to-run and figure outputs are stable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """Thin wrapper over :class:`random.Random` with convenience draws."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._random = random.Random(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this generator was created with."""
+        return self._seed
+
+    def fork(self, label: str) -> "SeededRng":
+        """Derive an independent child stream keyed by ``label``.
+
+        Forking keeps unrelated consumers from perturbing each other's
+        streams when one of them changes how many draws it makes.
+        """
+        child_seed = hash((self._seed, label)) & 0x7FFFFFFF
+        return SeededRng(child_seed)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform int in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability!r} outside [0, 1]")
+        return self._random.random() < probability
+
+    def gauss(self, mean: float, stddev: float) -> float:
+        """Normal draw."""
+        return self._random.gauss(mean, stddev)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], count: int) -> List[T]:
+        """Sample ``count`` distinct items."""
+        return self._random.sample(list(items), count)
+
+    def shuffle(self, items: List[T]) -> None:
+        """In-place shuffle."""
+        self._random.shuffle(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Choice weighted by ``weights`` (need not be normalised)."""
+        return self._random.choices(list(items), weights=list(weights), k=1)[0]

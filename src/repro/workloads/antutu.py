@@ -1,0 +1,222 @@
+"""Synthetic AnTuTu-style benchmark (Fig. 11).
+
+"We also used AnTuTu benchmark to measure the CPU and memory overhead.
+AnTuTu evaluates performance in several aspects, including memory, CPU
+performance for both float and integer, and I/O.  The bigger score means
+better performance." (§VI-B)
+
+The suite runs four compute kernels in real wall-clock time.  Each outer
+iteration also drives a burst of framework operations on the device
+under test, so any overhead E-Android's hooks add to the framework shows
+up in the scores — that interleaving is what makes this an overhead
+benchmark for the profiler rather than a pure-Python microbenchmark.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..android import AndroidSystem, explicit
+from ..android.manifest import (
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    launcher_filter,
+)
+from ..android.activity import Activity
+from ..android.app import App
+from ..android.service import Service
+from ..core import EAndroid, attach_eandroid
+
+SUBTESTS = ("cpu_int", "cpu_float", "memory", "io")
+
+# Score normalisation constants: work-units per second that map to a
+# score of 1000, roughly balancing the subtests on commodity hardware.
+_SCORE_NORMS = {
+    "cpu_int": 400.0,
+    "cpu_float": 400.0,
+    "memory": 1200.0,
+    "io": 800.0,
+}
+
+
+class _BenchActivity(Activity):
+    """Trivial activity the framework burst starts and finishes."""
+
+
+class _BenchService(Service):
+    """Trivial service the framework burst starts and stops."""
+
+
+def _build_bench_app() -> App:
+    manifest = AndroidManifest(
+        package="com.bench.antutu",
+        category="tools",
+        components=(
+            ComponentDecl(
+                name="_BenchActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+            ComponentDecl(
+                name="_BenchService", kind=ComponentKind.SERVICE, exported=True
+            ),
+        ),
+    )
+    return App(
+        manifest, {"_BenchActivity": _BenchActivity, "_BenchService": _BenchService}
+    )
+
+
+@dataclass
+class AnTuTuResult:
+    """Scores for one configuration (bigger is better)."""
+
+    configuration: str
+    scores: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total score (sum of subtests)."""
+        return sum(self.scores.values())
+
+    def render_text(self) -> str:
+        """One row of Fig. 11."""
+        parts = [f"{name}={self.scores[name]:.0f}" for name in SUBTESTS]
+        return f"{self.configuration:<12} total={self.total:.0f}  " + " ".join(parts)
+
+
+class AnTuTuBenchmark:
+    """The four-kernel suite, interleaved with framework operations."""
+
+    def __init__(self, rounds: int = 30, inner: int = 4000) -> None:
+        self.rounds = rounds
+        self.inner = inner
+
+    # ------------------------------------------------------------------
+    # kernels (one "work unit" each)
+    # ------------------------------------------------------------------
+    def _kernel_cpu_int(self) -> int:
+        total = 0
+        for i in range(self.inner):
+            total = (total * 1103515245 + 12345 + i) & 0x7FFFFFFF
+        return total
+
+    def _kernel_cpu_float(self) -> float:
+        total = 0.0
+        for i in range(1, self.inner + 1):
+            total += math.sqrt(i) * math.sin(i * 0.001)
+        return total
+
+    def _kernel_memory(self) -> int:
+        block = bytes(2048)
+        count = max(8, self.inner // 12)
+        buffers = [bytearray(block) for _ in range(count)]
+        for i in range(1, len(buffers)):
+            buffers[i][:] = buffers[i - 1]
+        return len(buffers[-1])
+
+    def _kernel_io(self) -> int:
+        stream = io.BytesIO()
+        chunk = b"x" * 1024
+        for _ in range(max(16, self.inner // 6)):
+            stream.write(chunk)
+        stream.seek(0)
+        read = 0
+        while stream.read(4096):
+            read += 1
+        return read
+
+    # ------------------------------------------------------------------
+    # framework burst
+    # ------------------------------------------------------------------
+    def _framework_burst(self, system: AndroidSystem) -> None:
+        uid = system.uid_of("com.bench.antutu")
+        record = system.am.start_activity(
+            uid, explicit("com.bench.antutu", "_BenchActivity")
+        )
+        system.am.finish_activity(record)
+        system.am.start_service(uid, explicit("com.bench.antutu", "_BenchService"))
+        system.am.stop_service(uid, explicit("com.bench.antutu", "_BenchService"))
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+    def run(self, configuration: str = "android") -> AnTuTuResult:
+        """Run the suite under ``android`` or ``eandroid``."""
+        system = AndroidSystem()
+        system.install(_build_bench_app())
+        system.boot()
+        eandroid: Optional[EAndroid] = None
+        if configuration == "eandroid":
+            eandroid = attach_eandroid(system)
+        elif configuration != "android":
+            raise ValueError(f"unknown configuration {configuration!r}")
+
+        kernels = {
+            "cpu_int": self._kernel_cpu_int,
+            "cpu_float": self._kernel_cpu_float,
+            "memory": self._kernel_memory,
+            "io": self._kernel_io,
+        }
+        result = AnTuTuResult(configuration=configuration)
+        for name, kernel in kernels.items():
+            kernel()  # warm-up round (allocator, code caches)
+            laps = []
+            for _ in range(self.rounds):
+                start = time.perf_counter()
+                kernel()
+                self._framework_burst(system)
+                laps.append(time.perf_counter() - start)
+            # Median lap is robust against GC pauses and scheduler noise,
+            # which would otherwise dominate a wall-clock total.
+            laps.sort()
+            median = max(laps[len(laps) // 2], 1e-9)
+            result.scores[name] = 1000.0 / (median * _SCORE_NORMS[name])
+        return result
+
+    def compare(self) -> Dict[str, AnTuTuResult]:
+        """Fig. 11: both configurations with per-round interleaving.
+
+        Laps alternate android/eandroid so CPU-frequency drift, turbo
+        state, and GC pressure affect both configurations equally —
+        sequential whole-suite runs showed ordering bias far larger than
+        the actual hook overhead.
+        """
+        systems: Dict[str, AndroidSystem] = {}
+        for configuration in ("android", "eandroid"):
+            system = AndroidSystem()
+            system.install(_build_bench_app())
+            system.boot()
+            if configuration == "eandroid":
+                attach_eandroid(system)
+            systems[configuration] = system
+
+        kernels = {
+            "cpu_int": self._kernel_cpu_int,
+            "cpu_float": self._kernel_cpu_float,
+            "memory": self._kernel_memory,
+            "io": self._kernel_io,
+        }
+        results = {
+            name: AnTuTuResult(configuration=name) for name in systems
+        }
+        for name, kernel in kernels.items():
+            kernel()  # warm-up
+            laps: Dict[str, list] = {config: [] for config in systems}
+            for _ in range(self.rounds):
+                for config, system in systems.items():
+                    start = time.perf_counter()
+                    kernel()
+                    self._framework_burst(system)
+                    laps[config].append(time.perf_counter() - start)
+            for config, samples in laps.items():
+                samples.sort()
+                median = max(samples[len(samples) // 2], 1e-9)
+                results[config].scores[name] = 1000.0 / (median * _SCORE_NORMS[name])
+        return results

@@ -1,0 +1,152 @@
+"""Seeded daily-usage workload generator.
+
+Produces a realistic multi-hour user session on a simulated device: the
+user unlocks the phone in bursts, hops between apps (messaging, camera,
+maps, browser, music), lets the screen time out between sessions — and,
+optionally, carries the paper's malware along for the ride.  Used by the
+scale integration tests and the day-long profiler benches; everything is
+driven by a :class:`~repro.sim.rng.SeededRng`, so a given seed replays
+the exact same day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..android import AndroidSystem
+from ..apps import (
+    BROWSER_PACKAGE,
+    CAMERA_PACKAGE,
+    CONTACTS_PACKAGE,
+    MAPS_PACKAGE,
+    MESSAGE_PACKAGE,
+    MUSIC_PACKAGE,
+    VICTIM_PACKAGE,
+    build_browser_app,
+    build_camera_app,
+    build_contacts_app,
+    build_maps_app,
+    build_message_app,
+    build_music_app,
+    build_victim_app,
+)
+from ..attacks import (
+    build_bind_malware,
+    build_hijack_malware,
+    build_wakelock_malware,
+)
+from ..core import EAndroid, attach_eandroid
+from ..sim.rng import SeededRng
+
+USER_APPS = (
+    MESSAGE_PACKAGE,
+    CONTACTS_PACKAGE,
+    CAMERA_PACKAGE,
+    MAPS_PACKAGE,
+    BROWSER_PACKAGE,
+    MUSIC_PACKAGE,
+    VICTIM_PACKAGE,
+)
+
+
+@dataclass
+class DayLog:
+    """What happened during a generated day."""
+
+    seed: int
+    hours: float
+    sessions: int = 0
+    launches: Dict[str, int] = field(default_factory=dict)
+
+    def note_launch(self, package: str) -> None:
+        """Record one app launch."""
+        self.launches[package] = self.launches.get(package, 0) + 1
+
+
+@dataclass
+class DayResult:
+    """A completed generated day."""
+
+    system: AndroidSystem
+    eandroid: EAndroid
+    log: DayLog
+
+
+def build_daily_device(with_malware: bool = False) -> AndroidSystem:
+    """A device with the full demo-app cast (and optionally malware)."""
+    system = AndroidSystem()
+    system.install_all(
+        [
+            build_message_app(),
+            build_contacts_app(),
+            build_camera_app(),
+            build_maps_app(),
+            build_browser_app(),
+            build_music_app(),
+            build_victim_app(),
+        ]
+    )
+    if with_malware:
+        system.install_all(
+            [
+                build_hijack_malware(),
+                build_bind_malware(),
+                build_wakelock_malware(),
+            ]
+        )
+    system.boot()
+    return system
+
+
+def run_day(
+    seed: int = 42,
+    hours: float = 8.0,
+    with_malware: bool = False,
+    session_rate_per_hour: float = 6.0,
+) -> DayResult:
+    """Generate and run one day of usage.
+
+    The day alternates idle gaps (screen off, device suspended unless
+    something holds a wakelock) with usage sessions of 1-5 app visits.
+    Malware, when present, arms itself through the unlock broadcast like
+    the paper's implementation (§V).
+    """
+    rng = SeededRng(seed)
+    system = build_daily_device(with_malware=with_malware)
+    eandroid = attach_eandroid(system)
+    log = DayLog(seed=seed, hours=hours)
+
+    end_time = system.now + hours * 3600.0
+    mean_gap = 3600.0 / session_rate_per_hour
+    while system.now < end_time:
+        # Idle gap between sessions.
+        gap = rng.uniform(0.3 * mean_gap, 1.7 * mean_gap)
+        system.run_for(min(gap, end_time - system.now))
+        if system.now >= end_time:
+            break
+        # The user picks the phone up (fires USER_PRESENT -> malware).
+        system.unlock_screen()
+        log.sessions += 1
+        for _ in range(rng.randint(1, 5)):
+            package = rng.choice(USER_APPS)
+            record = system.launch_app(package)
+            log.note_launch(package)
+            dwell = rng.uniform(10.0, 120.0)
+            system.run_for(min(dwell, max(0.0, end_time - system.now)))
+            # Occasionally interact meaningfully with the app.
+            if package == MESSAGE_PACKAGE and rng.bernoulli(0.3):
+                record.instance.record_video(rng.uniform(5.0, 20.0))
+                system.run_for(25.0)
+            elif package == CONTACTS_PACKAGE and rng.bernoulli(0.4):
+                record.instance.open_message()
+                system.run_for(rng.uniform(5.0, 30.0))
+            if system.now >= end_time:
+                break
+        # Session over: sometimes quit properly, usually just press home.
+        if rng.bernoulli(0.25):
+            system.press_back()
+            if rng.bernoulli(0.5):
+                system.tap_dialog_ok()
+        system.press_home()
+    return DayResult(system=system, eandroid=eandroid, log=log)

@@ -1,0 +1,9 @@
+"""Test helpers — re-exported from the public test kit."""
+
+from repro.apps.testkit import (  # noqa: F401
+    PlainActivity,
+    PlainService,
+    TransparentActivity,
+    booted_system,
+    make_app,
+)

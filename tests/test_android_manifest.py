@@ -1,0 +1,171 @@
+"""Tests for manifests, intents, and intent filters."""
+
+import pytest
+
+from repro.android import (
+    ACTION_MAIN,
+    ACTION_VIDEO_CAPTURE,
+    CATEGORY_DEFAULT,
+    CATEGORY_LAUNCHER,
+    AndroidManifest,
+    ComponentDecl,
+    ComponentKind,
+    ComponentName,
+    Intent,
+    IntentFilterDecl,
+    WAKE_LOCK,
+    WRITE_SETTINGS,
+    explicit,
+    implicit,
+    launcher_filter,
+)
+
+
+def sample_manifest() -> AndroidManifest:
+    return AndroidManifest(
+        package="com.example.demo",
+        category="entertainment",
+        uses_permissions=frozenset({WAKE_LOCK, WRITE_SETTINGS}),
+        components=(
+            ComponentDecl(
+                name="MainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+            ComponentDecl(
+                name="RecordActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(
+                    IntentFilterDecl(
+                        actions=frozenset({ACTION_VIDEO_CAPTURE}),
+                        categories=frozenset({CATEGORY_DEFAULT}),
+                    ),
+                ),
+            ),
+            ComponentDecl(name="WorkService", kind=ComponentKind.SERVICE, exported=True),
+            ComponentDecl(
+                name="CoverActivity",
+                kind=ComponentKind.ACTIVITY,
+                transparent=True,
+            ),
+        ),
+    )
+
+
+class TestComponentName:
+    def test_flatten_parse_roundtrip(self):
+        name = ComponentName("com.a.b", "MainActivity")
+        assert ComponentName.parse(name.flatten()) == name
+
+    def test_parse_malformed(self):
+        with pytest.raises(ValueError):
+            ComponentName.parse("no-slash-here")
+
+
+class TestIntent:
+    def test_explicit_constructor(self):
+        intent = explicit("com.a", "Act", video_length=30)
+        assert intent.is_explicit
+        assert intent.extras["video_length"] == 30
+
+    def test_implicit_constructor(self):
+        intent = implicit(ACTION_VIDEO_CAPTURE, CATEGORY_DEFAULT)
+        assert not intent.is_explicit
+        assert intent.action == ACTION_VIDEO_CAPTURE
+        assert CATEGORY_DEFAULT in intent.categories
+
+    def test_with_component_returns_new_intent(self):
+        intent = implicit(ACTION_VIDEO_CAPTURE)
+        resolved = intent.with_component(ComponentName("com.a", "Act"))
+        assert resolved.is_explicit
+        assert not intent.is_explicit
+        assert resolved.action == ACTION_VIDEO_CAPTURE
+
+    def test_flags(self):
+        intent = Intent(flags=0b01)
+        assert intent.has_flag(0b01)
+        assert not intent.has_flag(0b10)
+
+
+class TestIntentFilter:
+    def test_action_must_match(self):
+        filt = IntentFilterDecl(actions=frozenset({ACTION_MAIN}))
+        assert filt.matches(ACTION_MAIN, frozenset())
+        assert not filt.matches(ACTION_VIDEO_CAPTURE, frozenset())
+        assert not filt.matches(None, frozenset())
+
+    def test_categories_subset_rule(self):
+        filt = IntentFilterDecl(
+            actions=frozenset({ACTION_MAIN}),
+            categories=frozenset({CATEGORY_LAUNCHER, CATEGORY_DEFAULT}),
+        )
+        assert filt.matches(ACTION_MAIN, frozenset({CATEGORY_LAUNCHER}))
+        assert not filt.matches(ACTION_MAIN, frozenset({"other.category"}))
+
+
+class TestManifest:
+    def test_permission_queries(self):
+        manifest = sample_manifest()
+        assert manifest.requests_permission(WAKE_LOCK)
+        assert not manifest.requests_permission("android.permission.CAMERA")
+
+    def test_exported_component_detection(self):
+        assert sample_manifest().has_exported_component()
+        bare = AndroidManifest(package="com.bare")
+        assert not bare.has_exported_component()
+
+    def test_component_lookup(self):
+        manifest = sample_manifest()
+        decl = manifest.component("WorkService")
+        assert decl is not None and decl.kind == ComponentKind.SERVICE
+        assert manifest.component("Nope") is None
+
+    def test_components_of_kind(self):
+        manifest = sample_manifest()
+        activities = manifest.components_of_kind(ComponentKind.ACTIVITY)
+        assert len(activities) == 3
+
+    def test_launcher_activity(self):
+        manifest = sample_manifest()
+        launcher = manifest.launcher_activity()
+        assert launcher is not None and launcher.name == "MainActivity"
+        assert AndroidManifest(package="com.x").launcher_activity() is None
+
+    def test_handles_action(self):
+        manifest = sample_manifest()
+        record = manifest.component("RecordActivity")
+        assert record.handles(ACTION_VIDEO_CAPTURE, frozenset())
+        assert not record.handles(ACTION_MAIN, frozenset())
+
+
+class TestManifestXmlRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = sample_manifest()
+        parsed = AndroidManifest.from_xml(original.to_xml())
+        assert parsed.package == original.package
+        assert parsed.category == original.category
+        assert parsed.uses_permissions == original.uses_permissions
+        assert len(parsed.components) == len(original.components)
+        for a, b in zip(parsed.components, original.components):
+            assert a.name == b.name
+            assert a.kind == b.kind
+            assert a.exported == b.exported
+            assert a.transparent == b.transparent
+            assert a.intent_filters == b.intent_filters
+
+    def test_xml_contains_android_attrs(self):
+        xml = sample_manifest().to_xml()
+        assert 'package="com.example.demo"' in xml
+        assert "uses-permission" in xml
+        assert 'android:exported="true"' in xml
+        assert "Theme.Translucent" in xml
+
+    def test_from_xml_rejects_non_manifest(self):
+        with pytest.raises(ValueError):
+            AndroidManifest.from_xml("<foo/>")
+
+    def test_from_xml_requires_package(self):
+        with pytest.raises(ValueError):
+            AndroidManifest.from_xml("<manifest/>")

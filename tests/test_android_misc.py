@@ -1,0 +1,224 @@
+"""Tests for SurfaceFlinger, Binder, broadcasts, and the event log."""
+
+import pytest
+
+from repro.android import (
+    ACTION_USER_PRESENT,
+    AndroidSystem,
+    SurfaceFlinger,
+    implicit,
+)
+from repro.core import CollateralEvent, CollateralEventType, EventLog
+from repro.experiments.tables import render_ascii_series, render_table
+from repro.sim import ProcessTable
+
+from helpers import booted_system, make_app
+
+
+class TestSurfaceFlinger:
+    @pytest.fixture
+    def system(self):
+        return booted_system(make_app("com.ui"), make_app("com.other"))
+
+    def test_size_changes_with_foreground(self, system):
+        home_size = system.surfaceflinger.shared_vm_size_kib()
+        system.launch_app("com.ui")
+        app_size = system.surfaceflinger.shared_vm_size_kib()
+        assert app_size != home_size
+
+    def test_size_changes_with_dialog(self, system):
+        record = system.launch_app("com.ui")
+        before = system.surfaceflinger.shared_vm_size_kib()
+        record.instance.show_dialog("exit")
+        with_dialog = system.surfaceflinger.shared_vm_size_kib()
+        assert with_dialog != before
+        record.instance.dismiss_dialog()
+        assert system.surfaceflinger.shared_vm_size_kib() == before
+
+    def test_expected_size_matches_live_size(self, system):
+        """The malware's offline precomputation equals the runtime value."""
+        record = system.launch_app("com.ui")
+        record.instance.show_dialog("exit")
+        assert system.surfaceflinger.shared_vm_size_kib() == (
+            SurfaceFlinger.expected_size_for("com.ui", "PlainActivity", "exit")
+        )
+
+    def test_signature_distinguishes_apps(self):
+        size_a = SurfaceFlinger.expected_size_for("com.a", "Main", None)
+        size_b = SurfaceFlinger.expected_size_for("com.b", "Main", None)
+        assert size_a != size_b
+
+    def test_signature_deterministic(self):
+        first = SurfaceFlinger.expected_size_for("com.x", "Act", "dlg")
+        second = SurfaceFlinger.expected_size_for("com.x", "Act", "dlg")
+        assert first == second
+
+    def test_empty_screen_base_size(self):
+        flinger = SurfaceFlinger(lambda: None)
+        assert flinger.shared_vm_size_kib() == 8_192
+        assert flinger.current_ui_key() == "<none>"
+
+
+class TestBinder:
+    def test_cross_app_transactions_counted(self):
+        system = booted_system(make_app("com.a"), make_app("com.b"))
+        before = system.binder.transaction_count
+        uid = system.uid_of("com.a")
+        from repro.android import explicit
+
+        system.am.start_service(uid, explicit("com.b", "PlainService"))
+        assert system.binder.transaction_count > before
+
+    def test_same_app_transactions_not_counted(self):
+        system = booted_system(make_app("com.a"))
+        uid = system.uid_of("com.a")
+        before = system.binder.transaction_count
+        system.binder.transact(uid, uid)
+        assert system.binder.transaction_count == before
+
+    def test_unlink_prevents_notification(self):
+        from repro.android import Binder
+
+        table = ProcessTable()
+        binder = Binder(table)
+        record = table.spawn(uid=1, name="x")
+        deaths = []
+        token = binder.link_to_death(record.pid, lambda rec: deaths.append(rec.pid))
+        assert binder.unlink_to_death(token) is True
+        assert binder.unlink_to_death(token) is False
+        table.kill(record.pid)
+        assert deaths == []
+
+    def test_token_fires_once(self):
+        from repro.android import Binder
+
+        table = ProcessTable()
+        binder = Binder(table)
+        record = table.spawn(uid=1, name="x")
+        deaths = []
+        binder.link_to_death(record.pid, lambda rec: deaths.append(rec.pid))
+        table.kill(record.pid)
+        assert deaths == [record.pid]
+
+
+class TestBroadcasts:
+    def test_runtime_receiver(self):
+        system = booted_system(make_app("com.a"))
+        uid = system.uid_of("com.a")
+        received = []
+        system.am.register_receiver(uid, "custom.ACTION", received.append)
+        count = system.am.send_broadcast(uid, implicit("custom.ACTION"))
+        assert count == 1
+        assert len(received) == 1
+
+    def test_broadcast_requires_action(self):
+        system = booted_system(make_app("com.a"))
+        from repro.android import Intent
+
+        with pytest.raises(ValueError):
+            system.am.send_broadcast(system.uid_of("com.a"), Intent())
+
+    def test_unlock_reaches_manifest_receivers(self):
+        from repro.attacks import build_hijack_malware
+        from repro.apps import build_camera_app
+
+        system = AndroidSystem()
+        system.install(build_camera_app())
+        system.install(build_hijack_malware())
+        system.boot()
+        delivered = system.am.send_broadcast(
+            system.package_manager.system_uid, implicit(ACTION_USER_PRESENT)
+        )
+        assert delivered == 1  # the malware's AutoStartReceiver
+
+
+class TestEventLog:
+    def test_record_and_filter(self):
+        log = EventLog()
+        log.record(
+            CollateralEvent(1.0, CollateralEventType.SERVICE_BIND, 1, 2)
+        )
+        log.record(
+            CollateralEvent(2.0, CollateralEventType.SCREEN_STATE, None, None)
+        )
+        assert len(log) == 2
+        assert len(log.of_type(CollateralEventType.SERVICE_BIND)) == 1
+        assert log.all()[0].is_cross_app
+        assert not log.all()[1].is_cross_app
+
+    def test_same_uid_not_cross_app(self):
+        event = CollateralEvent(0.0, CollateralEventType.SERVICE_START, 5, 5)
+        assert not event.is_cross_app
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [("a", 1.5), ("bbbb", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_render_table_with_title(self):
+        text = render_table(["x"], [("y",)], title="The Title")
+        assert text.startswith("The Title")
+
+    def test_ascii_series_markers_and_legend(self):
+        series = [
+            ("one", [(0.0, 100.0), (5.0, 50.0), (10.0, 0.0)]),
+            ("two", [(0.0, 100.0), (10.0, 80.0)]),
+        ]
+        text = render_ascii_series(series)
+        assert "*=one" in text
+        assert "o=two" in text
+        assert "battery %" in text
+
+    def test_ascii_series_empty(self):
+        assert render_ascii_series([]) == "(no data)"
+
+
+class TestIncomingCall:
+    def test_call_pauses_foreground_and_returns(self):
+        system = booted_system(make_app("com.app"))
+        record = system.launch_app("com.app")
+        call = system.incoming_call(ring_seconds=5.0)
+        assert call.transparent
+        from repro.android import ActivityState
+
+        assert record.state == ActivityState.PAUSED
+        system.run_for(6.0)
+        assert record.state == ActivityState.RESUMED
+
+    def test_ringtone_draws_audio_power(self):
+        system = booted_system(make_app("com.app"))
+        system.launch_app("com.app")
+        system.incoming_call(ring_seconds=5.0)
+        phone_uid = system.phone.uid
+        assert system.hardware.meter.current_power_mw(phone_uid) > 0
+        system.run_for(6.0)
+        assert system.hardware.meter.current_power_mw(phone_uid) == 0
+
+    def test_unintentional_wakelock_collateral(self):
+        """§III-A: a system popup (no malware anywhere) still triggers
+        the victim's wakelock bug; E-Android charges the *victim*, and
+        no app-level attack link is created for the system phone."""
+        from repro.apps import VICTIM_PACKAGE, build_victim_app
+        from repro.core import AttackKind, SCREEN_TARGET, attach_eandroid
+
+        system = AndroidSystem()
+        system.install(build_victim_app())
+        system.boot()
+        ea = attach_eandroid(system)
+        system.launch_app(VICTIM_PACKAGE)
+        victim = system.uid_of(VICTIM_PACKAGE)
+        system.incoming_call(ring_seconds=30.0)
+        # The victim left the foreground holding its screen wakelock.
+        links = ea.accounting.live_attacks()
+        assert any(
+            l.kind == AttackKind.WAKELOCK and l.driving_uid == victim
+            for l in links
+        )
+        # The system phone app drives nothing.
+        assert all(l.driving_uid == victim for l in links)
+        system.run_for(20.0)
+        assert SCREEN_TARGET in ea.accounting.collateral_breakdown(victim)

@@ -1,0 +1,177 @@
+"""Tests for the package manager: uids, permissions, resolution."""
+
+import pytest
+
+from repro.android import (
+    ACTION_VIDEO_CAPTURE,
+    CAMERA,
+    ComponentKind,
+    ComponentName,
+    FIRST_APPLICATION_UID,
+    NotExportedError,
+    ComponentNotFoundError,
+    PackageNotFoundError,
+    WAKE_LOCK,
+    AndroidManifest,
+    App,
+    AndroidSystem,
+    ComponentDecl,
+    IntentFilterDecl,
+    implicit,
+)
+
+from helpers import make_app
+
+
+@pytest.fixture
+def system():
+    return AndroidSystem()
+
+
+class TestInstall:
+    def test_app_uids_start_at_10000(self, system):
+        app = system.install(make_app("com.a"))
+        assert app.uid >= FIRST_APPLICATION_UID
+
+    def test_system_apps_have_low_uids(self, system):
+        assert system.launcher.uid < FIRST_APPLICATION_UID
+
+    def test_unique_uids(self, system):
+        a = system.install(make_app("com.a"))
+        b = system.install(make_app("com.b"))
+        assert a.uid != b.uid
+
+    def test_duplicate_package_rejected(self, system):
+        system.install(make_app("com.a"))
+        with pytest.raises(ValueError):
+            system.install(make_app("com.a"))
+
+    def test_uninstall(self, system):
+        app = system.install(make_app("com.a"))
+        system.package_manager.uninstall("com.a")
+        assert not system.package_manager.is_installed("com.a")
+        with pytest.raises(PackageNotFoundError):
+            system.package_manager.app_for_uid(app.uid)
+
+    def test_lookup_by_uid_and_package(self, system):
+        app = system.install(make_app("com.a"))
+        pm = system.package_manager
+        assert pm.app_for_uid(app.uid) is app
+        assert pm.app_for_package("com.a") is app
+
+    def test_label(self, system):
+        app = system.install(make_app("com.example.message"))
+        assert system.package_manager.label_for_uid(app.uid) == "Message"
+        assert system.package_manager.label_for_uid(424242) == "uid:424242"
+
+
+class TestPermissions:
+    def test_manifest_permission_honoured(self, system):
+        app = system.install(make_app("com.a", permissions=(WAKE_LOCK,)))
+        pm = system.package_manager
+        assert pm.check_permission(app.uid, WAKE_LOCK)
+        assert not pm.check_permission(app.uid, CAMERA)
+
+    def test_system_uid_holds_everything(self, system):
+        pm = system.package_manager
+        assert pm.check_permission(pm.system_uid, CAMERA)
+
+    def test_is_system_uid(self, system):
+        pm = system.package_manager
+        app = system.install(make_app("com.a"))
+        assert pm.is_system_uid(system.launcher.uid)
+        assert not pm.is_system_uid(app.uid)
+
+
+class TestResolution:
+    def test_explicit_resolution(self, system):
+        app = system.install(make_app("com.a"))
+        resolved, decl = system.package_manager.resolve_component(
+            app.uid, ComponentName("com.a", "PlainActivity"), ComponentKind.ACTIVITY
+        )
+        assert resolved is app
+        assert decl.name == "PlainActivity"
+
+    def test_non_exported_denied_cross_app(self, system):
+        system.install(make_app("com.a"))
+        other = system.install(make_app("com.b"))
+        with pytest.raises(NotExportedError):
+            system.package_manager.resolve_component(
+                other.uid,
+                ComponentName("com.a", "PrivateActivity"),
+                ComponentKind.ACTIVITY,
+            )
+
+    def test_non_exported_allowed_same_app(self, system):
+        app = system.install(make_app("com.a"))
+        resolved, _ = system.package_manager.resolve_component(
+            app.uid, ComponentName("com.a", "PrivateActivity"), ComponentKind.ACTIVITY
+        )
+        assert resolved is app
+
+    def test_non_exported_allowed_for_system(self, system):
+        system.install(make_app("com.a"))
+        resolved, _ = system.package_manager.resolve_component(
+            system.package_manager.system_uid,
+            ComponentName("com.a", "PrivateActivity"),
+            ComponentKind.ACTIVITY,
+        )
+        assert resolved.package == "com.a"
+
+    def test_wrong_kind_rejected(self, system):
+        app = system.install(make_app("com.a"))
+        with pytest.raises(ComponentNotFoundError):
+            system.package_manager.resolve_component(
+                app.uid, ComponentName("com.a", "PlainService"), ComponentKind.ACTIVITY
+            )
+
+    def test_unknown_package(self, system):
+        with pytest.raises(PackageNotFoundError):
+            system.package_manager.resolve_component(
+                1000, ComponentName("com.none", "X"), ComponentKind.ACTIVITY
+            )
+
+    def test_implicit_query_finds_exported_handlers(self, system):
+        camera_manifest = AndroidManifest(
+            package="com.cam",
+            components=(
+                ComponentDecl(
+                    name="Rec",
+                    kind=ComponentKind.ACTIVITY,
+                    exported=True,
+                    intent_filters=(
+                        IntentFilterDecl(actions=frozenset({ACTION_VIDEO_CAPTURE})),
+                    ),
+                ),
+            ),
+        )
+        from helpers import PlainActivity
+
+        system.install(App(camera_manifest, {"Rec": PlainActivity}))
+        handlers = system.package_manager.query_intent_handlers(
+            implicit(ACTION_VIDEO_CAPTURE), ComponentKind.ACTIVITY
+        )
+        assert len(handlers) == 1
+        assert handlers[0][1].name == "Rec"
+
+    def test_implicit_query_skips_non_exported(self, system):
+        manifest = AndroidManifest(
+            package="com.cam",
+            components=(
+                ComponentDecl(
+                    name="Rec",
+                    kind=ComponentKind.ACTIVITY,
+                    exported=False,
+                    intent_filters=(
+                        IntentFilterDecl(actions=frozenset({ACTION_VIDEO_CAPTURE})),
+                    ),
+                ),
+            ),
+        )
+        from helpers import PlainActivity
+
+        system.install(App(manifest, {"Rec": PlainActivity}))
+        handlers = system.package_manager.query_intent_handlers(
+            implicit(ACTION_VIDEO_CAPTURE), ComponentKind.ACTIVITY
+        )
+        assert handlers == []

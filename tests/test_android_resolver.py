@@ -1,0 +1,135 @@
+"""Tests for implicit-intent resolution with multiple handlers.
+
+The paper (§IV-A): "When an implicit intent is launched, Android starts
+'resolverActivity', where a user could designate the app to start ...
+For the implicit intent case, E-Android tracks both intents and ignores
+the Android system's UI, and records both apps' user IDs after the
+choice is made."
+"""
+
+import pytest
+
+from repro.android import (
+    ACTION_VIDEO_CAPTURE,
+    ActivityNotFoundError,
+    AndroidManifest,
+    App,
+    AndroidSystem,
+    CATEGORY_DEFAULT,
+    ComponentDecl,
+    ComponentKind,
+    IntentFilterDecl,
+    implicit,
+)
+from repro.core import AttackKind, attach_eandroid
+
+from helpers import PlainActivity
+
+
+def capture_app(package: str) -> App:
+    manifest = AndroidManifest(
+        package=package,
+        category="photography",
+        components=(
+            ComponentDecl(
+                name="CaptureActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(
+                    IntentFilterDecl(
+                        actions=frozenset({ACTION_VIDEO_CAPTURE}),
+                        categories=frozenset({CATEGORY_DEFAULT}),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return App(manifest, {"CaptureActivity": PlainActivity})
+
+
+def caller_app() -> App:
+    from repro.android import launcher_filter
+
+    manifest = AndroidManifest(
+        package="com.caller",
+        components=(
+            ComponentDecl(
+                name="PlainActivity",
+                kind=ComponentKind.ACTIVITY,
+                exported=True,
+                intent_filters=(launcher_filter(),),
+            ),
+        ),
+    )
+    return App(manifest, {"PlainActivity": PlainActivity})
+
+
+@pytest.fixture
+def system():
+    system = AndroidSystem()
+    system.install(caller_app())
+    system.install(capture_app("com.cam.one"))
+    system.install(capture_app("com.cam.two"))
+    system.boot()
+    return system
+
+
+class TestResolver:
+    def test_default_policy_picks_first_by_package(self, system):
+        uid = system.uid_of("com.caller")
+        record = system.am.start_activity(uid, implicit(ACTION_VIDEO_CAPTURE))
+        assert record.package == "com.cam.one"
+
+    def test_custom_policy_chooses(self, system):
+        chosen = []
+
+        def pick_second(intent, handlers):
+            chosen.append([app.package for app, _ in handlers])
+            return handlers[1]
+
+        system.am.set_resolver_policy(pick_second)
+        uid = system.uid_of("com.caller")
+        record = system.am.start_activity(uid, implicit(ACTION_VIDEO_CAPTURE))
+        assert record.package == "com.cam.two"
+        assert chosen == [["com.cam.one", "com.cam.two"]]
+
+    def test_single_handler_skips_resolver(self, system):
+        system.package_manager.uninstall("com.cam.two")
+        calls = []
+        system.am.set_resolver_policy(lambda i, h: calls.append(1) or h[0])
+        uid = system.uid_of("com.caller")
+        record = system.am.start_activity(uid, implicit(ACTION_VIDEO_CAPTURE))
+        assert record.package == "com.cam.one"
+        assert calls == []  # policy (the "user dialog") never consulted
+
+    def test_no_handler_raises(self, system):
+        uid = system.uid_of("com.caller")
+        with pytest.raises(ActivityNotFoundError):
+            system.am.start_activity(uid, implicit("action.nobody.handles"))
+
+    def test_resolved_intent_is_explicit(self, system):
+        uid = system.uid_of("com.caller")
+        record = system.am.start_activity(uid, implicit(ACTION_VIDEO_CAPTURE))
+        assert record.instance.intent.is_explicit
+        assert record.instance.intent.action == ACTION_VIDEO_CAPTURE
+
+    def test_monitor_attributes_original_caller_through_resolver(self, system):
+        """The attack link names the caller, not the resolver UI."""
+        ea = attach_eandroid(system)
+        system.am.set_resolver_policy(lambda i, h: h[1])
+        caller = system.uid_of("com.caller")
+        target = system.uid_of("com.cam.two")
+        system.am.start_activity(caller, implicit(ACTION_VIDEO_CAPTURE))
+        links = ea.accounting.attacks_by_kind(AttackKind.ACTIVITY)
+        assert len(links) == 1
+        assert links[0].driving_uid == caller
+        assert links[0].target == target
+
+    def test_monitor_journal_records_resolved_component(self, system):
+        from repro.core import CollateralEventType
+
+        ea = attach_eandroid(system)
+        caller = system.uid_of("com.caller")
+        system.am.start_activity(caller, implicit(ACTION_VIDEO_CAPTURE))
+        event = ea.monitor.log.of_type(CollateralEventType.ACTIVITY_START)[-1]
+        assert event.details["component"] == "CaptureActivity"

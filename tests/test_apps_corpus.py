@@ -1,0 +1,238 @@
+"""Tests for the demo apps, the synthetic corpus, and the APKTool census."""
+
+import pytest
+
+from repro.android import (
+    ACTION_VIDEO_CAPTURE,
+    AndroidSystem,
+    ComponentKind,
+    implicit,
+)
+from repro.apps import (
+    ApkTool,
+    CAMERA_PACKAGE,
+    CATEGORY_PROFILES,
+    CONTACTS_PACKAGE,
+    MESSAGE_PACKAGE,
+    MUSIC_PACKAGE,
+    PAPER_CATEGORY_COUNT,
+    PAPER_CORPUS_SIZE,
+    VICTIM_PACKAGE,
+    build_camera_app,
+    build_contacts_app,
+    build_message_app,
+    build_music_app,
+    build_victim_app,
+    generate_corpus,
+    has_attackable_export,
+    run_census,
+)
+from repro.apps.corpus import SyntheticApk
+
+
+def booted(*builders):
+    system = AndroidSystem()
+    for build in builders:
+        system.install(build())
+    system.boot()
+    return system
+
+
+class TestDemoApps:
+    def test_camera_records_for_requested_duration(self):
+        system = booted(build_camera_app)
+        uid = system.uid_of(CAMERA_PACKAGE)
+        intent = implicit(ACTION_VIDEO_CAPTURE)
+        intent.extras["duration_s"] = 10.0
+        system.am.start_activity(
+            system.package_manager.system_uid, intent, user_initiated=True
+        )
+        assert system.hardware.camera.session_uid == uid
+        system.run_for(5.0)
+        assert system.hardware.camera.session_uid == uid
+        system.run_for(6.0)
+        # Finished itself and released the camera.
+        assert system.hardware.camera.session_uid is None
+
+    def test_message_films_via_implicit_intent(self):
+        system = booted(build_message_app, build_camera_app)
+        record = system.launch_app(MESSAGE_PACKAGE)
+        record.instance.record_video(5.0)
+        assert system.foreground_package() == CAMERA_PACKAGE
+        system.run_for(6.0)
+        assert system.foreground_package() == MESSAGE_PACKAGE
+
+    def test_contacts_opens_message(self):
+        system = booted(build_contacts_app, build_message_app)
+        record = system.launch_app(CONTACTS_PACKAGE)
+        record.instance.open_message()
+        assert system.foreground_package() == MESSAGE_PACKAGE
+
+    def test_victim_wakelock_bug(self):
+        """The victim releases its wakelock only in onDestroy."""
+        system = booted(build_victim_app)
+        system.launch_app(VICTIM_PACKAGE)
+        uid = system.uid_of(VICTIM_PACKAGE)
+        assert system.power_manager.holds_screen_lock(uid)
+        system.press_home()  # stop, not destroy
+        assert system.power_manager.holds_screen_lock(uid)
+        # Real quit through the exit dialog destroys and releases.
+        system.am.move_task_to_front(
+            system.package_manager.system_uid, VICTIM_PACKAGE, user_initiated=True
+        )
+        system.press_back()
+        system.tap_dialog_ok()
+        assert not system.power_manager.holds_screen_lock(uid)
+
+    def test_victim_background_load(self):
+        system = booted(build_victim_app)
+        system.launch_app(VICTIM_PACKAGE)
+        uid = system.uid_of(VICTIM_PACKAGE)
+        fg_load = system.hardware.cpu.utilization_of(uid)
+        system.press_home()
+        bg_load = system.hardware.cpu.utilization_of(uid)
+        assert 0 < bg_load < fg_load
+
+    def test_music_service_plays_audio(self):
+        system = booted(build_music_app)
+        system.launch_app(MUSIC_PACKAGE)
+        uid = system.uid_of(MUSIC_PACKAGE)
+        assert system.hardware.audio.is_playing(uid)
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus()
+
+    def test_size_and_categories(self, corpus):
+        assert len(corpus) == PAPER_CORPUS_SIZE
+        assert len({apk.category for apk in corpus}) == PAPER_CATEGORY_COUNT
+
+    def test_deterministic(self):
+        first = generate_corpus(seed=123)
+        second = generate_corpus(seed=123)
+        assert [a.manifest_xml for a in first] == [a.manifest_xml for a in second]
+
+    def test_different_seeds_differ(self):
+        assert generate_corpus(seed=1) != generate_corpus(seed=2)
+
+    def test_unique_packages(self, corpus):
+        assert len({apk.package for apk in corpus}) == len(corpus)
+
+    def test_manifests_parse(self, corpus):
+        for apk in corpus[:50]:
+            manifest = ApkTool.extract_manifest(apk)
+            assert manifest.package == apk.package
+            assert manifest.launcher_activity() is not None
+
+
+class TestCensus:
+    @pytest.fixture(scope="class")
+    def census(self):
+        return run_census(generate_corpus())
+
+    def test_overall_matches_paper(self, census):
+        assert census.overall.total == PAPER_CORPUS_SIZE
+        assert abs(census.overall.exported_pct - 72.0) < 3.0
+        assert abs(census.overall.wake_lock_pct - 81.0) < 3.0
+        assert abs(census.overall.write_settings_pct - 21.0) < 3.0
+
+    def test_per_category_rows_sum(self, census):
+        assert sum(r.total for r in census.by_category.values()) == PAPER_CORPUS_SIZE
+
+    def test_render(self, census):
+        text = census.render_text()
+        assert "1124" in text
+        assert "WAKE_LOCK" in text
+
+    def test_has_attackable_export_ignores_launcher(self):
+        from repro.apps import build_contacts_app
+
+        manifest = build_contacts_app().manifest
+        # Contacts exports only its launcher activity.
+        assert not has_attackable_export(manifest)
+
+    def test_census_row_pct_empty(self):
+        from repro.apps.apktool import CensusRow
+
+        assert CensusRow("x").exported_pct == 0.0
+
+    def test_apktool_rejects_mismatched_package(self):
+        apk = SyntheticApk(
+            package="com.claimed",
+            category="tools",
+            manifest_xml='<manifest package="com.actual"><application/></manifest>',
+        )
+        with pytest.raises(ValueError):
+            ApkTool.extract_manifest(apk)
+
+
+class TestExtraApps:
+    def test_maps_holds_gps_while_foreground(self):
+        from repro.apps import MAPS_PACKAGE, build_maps_app
+
+        system = booted(build_maps_app)
+        system.launch_app(MAPS_PACKAGE)
+        assert system.hardware.gps.is_on()
+        system.press_home()
+        assert not system.hardware.gps.is_on()
+
+    def test_navigation_service_hoggable_by_other_apps(self):
+        """The exported navigation service is an attack-#3-grade hog."""
+        from repro.apps import MAPS_PACKAGE, build_maps_app
+        from repro.android import AndroidSystem, explicit
+        from helpers import make_app
+
+        system = AndroidSystem()
+        system.install(build_maps_app())
+        system.install(make_app("com.mal"))
+        system.boot()
+        mal = system.uid_of("com.mal")
+        system.am.bind_service(mal, explicit(MAPS_PACKAGE, "NavigationService"))
+        assert system.hardware.gps.is_on()
+        maps_uid = system.uid_of(MAPS_PACKAGE)
+        system.run_for(60.0)
+        # GPS energy lands on the Maps app — the paper's mis-attribution.
+        assert system.hardware.meter.energy_j(owner=maps_uid) > 20.0
+
+    def test_browser_radio_burst_and_tail(self):
+        from repro.apps import BROWSER_PACKAGE, build_browser_app
+        from repro.power import NEXUS4
+
+        system = booted(build_browser_app)
+        system.launch_app(BROWSER_PACKAGE)
+        uid = system.uid_of(BROWSER_PACKAGE)
+        high = system.hardware.meter.current_power_mw(uid)
+        assert high > NEXUS4.radio.high_mw / 2  # loading burst
+        system.run_for(4.0)  # load done -> tail
+        tail = system.hardware.meter.current_power_mw(uid)
+        assert 0 < tail < high
+        system.run_for(NEXUS4.radio.tail_seconds + 1.0)
+        settled = system.hardware.meter.current_power_mw(uid)
+        assert settled < tail
+
+    def test_browser_handles_view_intents(self):
+        from repro.apps import BROWSER_PACKAGE, build_browser_app
+        from repro.android import ACTION_VIEW, AndroidSystem, implicit
+        from helpers import make_app
+
+        system = AndroidSystem()
+        system.install(build_browser_app())
+        system.install(make_app("com.caller"))
+        system.boot()
+        caller = system.uid_of("com.caller")
+        record = system.am.start_activity(caller, implicit(ACTION_VIEW))
+        assert record.package == BROWSER_PACKAGE
+
+
+class TestCensusSeedRobustness:
+    """The Fig. 2 aggregates are a property of the category profiles,
+    not of one lucky seed."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42, 613, 2017])
+    def test_aggregates_stable_across_seeds(self, seed):
+        census = run_census(generate_corpus(seed=seed))
+        assert abs(census.overall.exported_pct - 72.0) < 4.0
+        assert abs(census.overall.wake_lock_pct - 81.0) < 4.0
+        assert abs(census.overall.write_settings_pct - 21.0) < 4.0

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "Camera" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_attack(self, capsys):
+        assert main(["attack", "attack3", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "stock Android view" in out
+        assert "E-Android view" in out
+        assert "Cleaner" in out
+
+    def test_attack_unknown(self, capsys):
+        assert main(["attack", "attack99"]) == 2
+        assert "unknown attack" in capsys.readouterr().err
+
+    def test_census(self, capsys):
+        assert main(["census", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "1124" in out
+
+    def test_drain(self, capsys):
+        assert main(["drain"]) == 0
+        assert "brightness_full" in capsys.readouterr().out
+
+    def test_dumpsys(self, capsys):
+        assert main(["dumpsys"]) == 0
+        out = capsys.readouterr().out
+        assert "ACTIVITY MANAGER" in out
+        assert "BATTERY" in out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_hybrid_attack_via_cli(self, capsys):
+        assert main(["attack", "hybrid", "--duration", "20"]) == 0
+        assert "detector" in capsys.readouterr().out
+
+
+class TestCliTraceAndChains:
+    def test_trace_command(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "attack3", "--duration", "20", "--out", str(out)]) == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "offline E-Android reconstruction" in text
+        assert "Cleaner" in text
+
+    def test_trace_without_out(self, capsys):
+        assert main(["trace", "attack6", "--duration", "20"]) == 0
+        assert "offline" in capsys.readouterr().out
+
+    def test_trace_unknown(self, capsys):
+        assert main(["trace", "nope"]) == 2
+
+    def test_chains_command(self, capsys):
+        assert main(["chains", "hybrid", "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "longest chain" in out
+        assert "Weatherpro" in out
+
+    def test_chains_unknown(self, capsys):
+        assert main(["chains", "nope"]) == 2

@@ -1,0 +1,78 @@
+"""Tests for the attack-graph analyzer."""
+
+import pytest
+
+from repro.core import (
+    AttackGraphAnalyzer,
+    AttackKind,
+    EAndroidAccounting,
+    SCREEN_TARGET,
+)
+from repro.power import EnergyMeter
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def accounting():
+    kernel = Kernel()
+    return EAndroidAccounting(kernel, EnergyMeter(kernel))
+
+
+class TestAttackGraphAnalyzer:
+    def test_empty_graph(self, accounting):
+        report = AttackGraphAnalyzer(accounting).analyze()
+        assert report.node_count == 0
+        assert report.max_chain_depth == 0
+        assert report.longest_chain == []
+
+    def test_chain_depth(self, accounting):
+        accounting.begin_attack(AttackKind.SERVICE_BIND, 1, 2)
+        accounting.begin_attack(AttackKind.ACTIVITY, 2, 3)
+        accounting.begin_attack(AttackKind.SCREEN, 3, SCREEN_TARGET)
+        report = AttackGraphAnalyzer(accounting).analyze()
+        assert report.max_chain_depth == 3
+        assert report.longest_chain == [1, 2, 3, SCREEN_TARGET]
+        assert report.roots == [1]
+        assert report.blast_radius[1] == 3
+
+    def test_top_targets(self, accounting):
+        accounting.begin_attack(AttackKind.ACTIVITY, 1, 9)
+        accounting.begin_attack(AttackKind.ACTIVITY, 2, 9)
+        accounting.begin_attack(AttackKind.SERVICE_BIND, 3, 9)
+        report = AttackGraphAnalyzer(accounting).analyze()
+        assert report.top_targets[0] == (9, 3)
+
+    def test_live_only_filter(self, accounting):
+        link = accounting.begin_attack(AttackKind.ACTIVITY, 1, 2)
+        accounting.begin_attack(AttackKind.ACTIVITY, 5, 6)
+        accounting.end_attack(link)
+        analyzer = AttackGraphAnalyzer(accounting)
+        assert analyzer.analyze(live_only=False).edge_count == 2
+        live = analyzer.analyze(live_only=True)
+        assert live.edge_count == 1
+        assert 5 in live.roots and 1 not in live.roots
+
+    def test_cycle_does_not_crash(self, accounting):
+        accounting.begin_attack(AttackKind.ACTIVITY, 1, 2)
+        accounting.begin_attack(AttackKind.ACTIVITY, 2, 1)
+        report = AttackGraphAnalyzer(accounting).analyze()
+        assert report.max_chain_depth >= 1
+
+    def test_parallel_edges_counted(self, accounting):
+        accounting.begin_attack(AttackKind.ACTIVITY, 1, 2)
+        accounting.begin_attack(AttackKind.SERVICE_BIND, 1, 2)
+        report = AttackGraphAnalyzer(accounting).analyze()
+        assert report.edge_count == 2
+        assert report.node_count == 2
+
+    def test_render_text_on_real_scenario(self):
+        from repro.workloads import run_hybrid_attack
+
+        run = run_hybrid_attack(duration=20.0)
+        analyzer = AttackGraphAnalyzer(run.eandroid.accounting)
+        text = analyzer.render_text(system=run.system)
+        assert "longest chain" in text
+        assert "Weatherpro" in text
+        assert "Screen" in text
+        report = analyzer.analyze()
+        assert report.max_chain_depth >= 3  # A -> B -> C -> screen

@@ -1,0 +1,229 @@
+"""Tests for charge policies, the suspect detector, and dumpsys."""
+
+import pytest
+
+from repro.android import (
+    NotExportedError,
+    SCREEN_BRIGHTNESS,
+    SecurityException,
+    dumpsys,
+    dumpsys_activity,
+    dumpsys_battery,
+    dumpsys_power,
+    dumpsys_services,
+    explicit,
+)
+from repro.core import (
+    CollateralEnergyDetector,
+    FullCharge,
+    ProportionalSplit,
+    ScreenDelta,
+    attach_eandroid,
+)
+from repro.power import NEXUS4
+
+from helpers import booted_system, make_app
+
+
+@pytest.fixture
+def rig():
+    system = booted_system(make_app("com.mal"), make_app("com.vic"))
+    from repro.android import SCREEN_BRIGHT_WAKE_LOCK
+
+    system.power_manager.acquire(
+        system.package_manager.system_uid, SCREEN_BRIGHT_WAKE_LOCK, "rig"
+    )
+    return system
+
+
+class TestChargePolicies:
+    def _attack(self, system, policy):
+        ea = attach_eandroid(system, policy=policy)
+        mal = system.uid_of("com.mal")
+        vic = system.uid_of("com.vic")
+        system.hardware.cpu.set_utilization(vic, 0.5)
+        system.am.bind_service(mal, explicit("com.vic", "PlainService"))
+        system.run_for(60.0)
+        return ea, mal, vic
+
+    def test_full_charge_is_default(self, rig):
+        ea, mal, vic = self._attack(rig, None)
+        assert ea.accounting.policy.name == "full"
+        charged = ea.accounting.collateral_breakdown(mal)[vic]
+        assert charged == pytest.approx(rig.hardware.meter.energy_j(owner=vic))
+
+    def test_proportional_split(self, rig):
+        ea, mal, vic = self._attack(rig, ProportionalSplit(0.5))
+        charged = ea.accounting.collateral_breakdown(mal)[vic]
+        assert charged == pytest.approx(
+            0.5 * rig.hardware.meter.energy_j(owner=vic)
+        )
+
+    def test_split_fraction_validated(self):
+        with pytest.raises(ValueError):
+            ProportionalSplit(1.5)
+
+    def test_screen_delta_discounts_baseline(self, rig):
+        policy = ScreenDelta(NEXUS4.screen, baseline_brightness=102)
+        ea = attach_eandroid(rig, policy=policy)
+        mal = rig.uid_of("com.mal")
+        rig.settings.put(mal, SCREEN_BRIGHTNESS, 255)
+        rig.run_for(100.0)
+        from repro.core import SCREEN_TARGET
+
+        charged = ea.accounting.collateral_breakdown(mal)[SCREEN_TARGET]
+        raw = rig.hardware.meter.screen_energy_j(start=0.0)
+        expected_delta = (
+            (NEXUS4.screen.power_mw(255) - NEXUS4.screen.power_mw(102)) * 100 / 1000
+        )
+        assert charged < raw
+        assert charged == pytest.approx(expected_delta, rel=0.01)
+
+    def test_screen_delta_leaves_app_targets_alone(self, rig):
+        policy = ScreenDelta(NEXUS4.screen)
+        ea, mal, vic = self._attack(rig, policy)
+        charged = ea.accounting.collateral_breakdown(mal)[vic]
+        assert charged == pytest.approx(rig.hardware.meter.energy_j(owner=vic))
+
+    def test_screen_delta_never_negative(self, rig):
+        policy = ScreenDelta(NEXUS4.screen, baseline_brightness=255)
+        ea = attach_eandroid(rig, policy=policy)
+        mal = rig.uid_of("com.mal")
+        rig.settings.put(mal, SCREEN_BRIGHTNESS, 200)
+        rig.settings.put(mal, SCREEN_BRIGHTNESS, 255)
+        rig.run_for(50.0)
+        from repro.core import SCREEN_TARGET
+
+        breakdown = ea.accounting.collateral_breakdown(mal)
+        assert breakdown.get(SCREEN_TARGET, 0.0) == 0.0
+
+
+class TestDetector:
+    def test_ranks_attacker_first(self, rig):
+        ea = attach_eandroid(rig)
+        mal = rig.uid_of("com.mal")
+        vic = rig.uid_of("com.vic")
+        rig.hardware.cpu.set_utilization(vic, 0.6)
+        rig.am.bind_service(mal, explicit("com.vic", "PlainService"))
+        rig.run_for(120.0)
+        detector = CollateralEnergyDetector(rig, ea.accounting)
+        suspects = detector.rank_suspects()
+        assert suspects[0].uid == mal
+        assert suspects[0].mechanisms == ["service_bind"]
+        assert "Vic" in suspects[0].targets
+        assert suspects[0].live_attacks == 1
+
+    def test_flag_thresholds(self, rig):
+        ea = attach_eandroid(rig)
+        mal = rig.uid_of("com.mal")
+        vic = rig.uid_of("com.vic")
+        rig.hardware.cpu.set_utilization(vic, 0.6)
+        rig.am.bind_service(mal, explicit("com.vic", "PlainService"))
+        rig.run_for(120.0)
+        detector = CollateralEnergyDetector(
+            rig, ea.accounting, min_collateral_j=1.0, min_share=0.05
+        )
+        flagged = detector.flag()
+        assert [s.uid for s in flagged] == [mal]
+        strict = CollateralEnergyDetector(
+            rig, ea.accounting, min_collateral_j=1e9
+        )
+        assert strict.flag() == []
+
+    def test_stealth_ratio_high_for_pure_malware(self, rig):
+        ea = attach_eandroid(rig)
+        mal = rig.uid_of("com.mal")
+        vic = rig.uid_of("com.vic")
+        rig.hardware.cpu.set_utilization(vic, 0.6)
+        rig.am.bind_service(mal, explicit("com.vic", "PlainService"))
+        rig.run_for(60.0)
+        suspect = CollateralEnergyDetector(rig, ea.accounting).rank_suspects()[0]
+        assert suspect.stealth_ratio > 100  # drains much, shows nothing
+
+    def test_no_suspects_without_collateral(self, rig):
+        ea = attach_eandroid(rig)
+        rig.run_for(60.0)
+        detector = CollateralEnergyDetector(rig, ea.accounting)
+        assert detector.rank_suspects() == []
+        assert detector.render_text() == "no collateral energy recorded"
+
+    def test_render_text(self, rig):
+        ea = attach_eandroid(rig)
+        mal = rig.uid_of("com.mal")
+        rig.am.bind_service(mal, explicit("com.vic", "PlainService"))
+        rig.hardware.cpu.set_utilization(rig.uid_of("com.vic"), 0.3)
+        rig.run_for(60.0)
+        text = CollateralEnergyDetector(rig, ea.accounting).render_text()
+        assert "Mal" in text and "collateral" in text
+
+
+class TestDumpsys:
+    def test_activity_dump(self, rig):
+        rig.launch_app("com.mal")
+        text = dumpsys_activity(rig)
+        assert "com.mal/PlainActivity" in text
+        assert "[front]" in text
+        assert "state=resumed" in text
+
+    def test_services_dump(self, rig):
+        uid = rig.uid_of("com.mal")
+        rig.am.bind_service(uid, explicit("com.vic", "PlainService"))
+        text = dumpsys_services(rig)
+        assert "com.vic/PlainService" in text
+        assert "bindings=1" in text
+
+    def test_power_dump(self, rig):
+        uid = rig.uid_of("com.mal")
+        rig.launch_app("com.mal")
+        rig.power_manager.acquire(uid, "PARTIAL_WAKE_LOCK", "job")
+        text = dumpsys_power(rig)
+        assert "PARTIAL_WAKE_LOCK 'job'" in text
+        assert "mScreenOn=True" in text
+
+    def test_battery_dump(self, rig):
+        rig.hardware.cpu.set_utilization(rig.uid_of("com.mal"), 0.5)
+        text = dumpsys_battery(rig)
+        assert "level:" in text
+        assert "Mal" in text
+
+    def test_full_dump(self, rig):
+        text = dumpsys(rig)
+        for section in ("ACTIVITY MANAGER", "ACTIVE SERVICES", "POWER MANAGER", "BATTERY"):
+            assert section in text
+
+
+class TestReorderTasksPermission:
+    def test_app_without_permission_denied(self):
+        system = booted_system(
+            make_app("com.noperm", permissions=()), make_app("com.target")
+        )
+        system.launch_app("com.target")
+        system.press_home()
+        uid = system.uid_of("com.noperm")
+        with pytest.raises(SecurityException):
+            system.am.move_task_to_front(uid, "com.target")
+
+    def test_app_with_permission_allowed(self):
+        system = booted_system(make_app("com.perm"), make_app("com.target"))
+        system.launch_app("com.target")
+        system.press_home()
+        uid = system.uid_of("com.perm")
+        system.am.move_task_to_front(uid, "com.target")
+        assert system.foreground_package() == "com.target"
+
+    def test_own_task_needs_no_permission(self):
+        system = booted_system(make_app("com.noperm", permissions=()))
+        system.launch_app("com.noperm")
+        system.press_home()
+        uid = system.uid_of("com.noperm")
+        system.am.move_task_to_front(uid, "com.noperm")
+        assert system.foreground_package() == "com.noperm"
+
+    def test_user_always_allowed(self):
+        system = booted_system(make_app("com.target"))
+        system.launch_app("com.target")
+        system.press_home()
+        system.am.move_task_to_front(
+            system.package_manager.system_uid, "com.target", user_initiated=True
+        )
+        assert system.foreground_package() == "com.target"

@@ -1,0 +1,68 @@
+"""Golden-number regression tests.
+
+EXPERIMENTS.md publishes concrete measured values; these tests pin the
+deterministic ones so an accidental power-model or scenario change can't
+silently invalidate the document.  If a change here is *intentional*,
+update EXPERIMENTS.md in the same commit.
+"""
+
+import pytest
+
+from repro.apps import generate_corpus, run_census
+from repro.workloads import run_fig3_drains, run_scene1, run_scene2
+
+
+class TestScene1Golden:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_scene1()
+
+    def test_camera_energy(self, run):
+        assert run.android_report().energy_of("Camera") == pytest.approx(
+            54.22, abs=0.5
+        )
+
+    def test_message_direct_energy(self, run):
+        assert run.android_report().energy_of("Message") == pytest.approx(
+            1.02, abs=0.2
+        )
+
+    def test_message_percent_tiny_camera_dominant(self, run):
+        report = run.android_report()
+        assert report.percent_of("Message") == pytest.approx(1.0, abs=0.5)
+        assert report.percent_of("Camera") == pytest.approx(55.4, abs=2.0)
+
+
+class TestScene2Golden:
+    def test_contacts_total(self):
+        run = run_scene2(baseline="powertutor")
+        entry = run.eandroid_report().entry_for("Contacts")
+        assert entry.energy_j == pytest.approx(58.85, abs=1.0)
+        assert entry.collateral_j["Camera"] == pytest.approx(54.22, abs=0.5)
+
+
+class TestFig3Golden:
+    @pytest.fixture(scope="class")
+    def hours(self):
+        return {d.name: d.hours_to_dead for d in run_fig3_drains()}
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("brightness_low", 16.98),
+            ("brightness_10", 16.20),
+            ("brightness_full", 7.65),
+            ("bind_service", 12.57),
+            ("interrupt_app", 15.52),
+        ],
+    )
+    def test_hours_to_dead(self, hours, name, expected):
+        assert hours[name] == pytest.approx(expected, abs=0.15)
+
+
+class TestFig2Golden:
+    def test_default_seed_census(self):
+        census = run_census(generate_corpus())
+        assert census.overall.exported_pct == pytest.approx(71.4, abs=0.1)
+        assert census.overall.wake_lock_pct == pytest.approx(80.2, abs=0.1)
+        assert census.overall.write_settings_pct == pytest.approx(21.8, abs=0.1)

@@ -1,0 +1,122 @@
+"""Tests for offline trace capture + attribution.
+
+The headline invariant: offline reports reconstructed from a serialised
+trace equal the live profilers' reports.
+"""
+
+import pytest
+
+from repro.accounting import BatteryStats, PowerTutor
+from repro.offline import DeviceTrace, OfflineAnalyzer, capture_trace
+from repro.workloads import run_attack3, run_attack6, run_scene1
+
+
+def analyzer_for(run):
+    trace = capture_trace(run.system, run.eandroid)
+    # Round-trip through JSON so serialisation is part of the invariant.
+    return OfflineAnalyzer(DeviceTrace.from_json(trace.to_json()))
+
+
+def assert_reports_match(live, offline):
+    live_by_label = {e.label: e for e in live.entries}
+    offline_by_label = {e.label.replace(" (no foreground)", ""): e for e in offline.entries}
+    for label, live_entry in live_by_label.items():
+        key = label.replace(" (no foreground)", "")
+        offline_entry = offline_by_label.get(key)
+        assert offline_entry is not None, f"missing {label} offline"
+        assert offline_entry.energy_j == pytest.approx(
+            live_entry.energy_j, rel=1e-9, abs=1e-9
+        ), label
+
+
+class TestTraceRoundTrip:
+    def test_json_round_trip_identity(self):
+        run = run_scene1()
+        trace = capture_trace(run.system, run.eandroid)
+        parsed = DeviceTrace.from_json(trace.to_json(indent=2))
+        assert parsed.captured_at == trace.captured_at
+        assert parsed.apps == trace.apps
+        assert len(parsed.channels) == len(trace.channels)
+        assert parsed.foreground == trace.foreground
+        assert len(parsed.links) == len(trace.links)
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            DeviceTrace.from_json('{"format_version": 99}')
+
+
+class TestOfflineEqualsOnline:
+    def test_batterystats_scene1(self):
+        run = run_scene1()
+        offline = analyzer_for(run).batterystats_report(run.start, run.end)
+        live = BatteryStats(run.system).report(run.start, run.end)
+        assert_reports_match(live, offline)
+
+    def test_powertutor_scene1(self):
+        run = run_scene1()
+        offline = analyzer_for(run).powertutor_report(run.start, run.end)
+        live = PowerTutor(run.system).report(run.start, run.end)
+        assert_reports_match(live, offline)
+
+    def test_eandroid_attack3(self):
+        run = run_attack3()
+        offline = analyzer_for(run).eandroid_report(run.start, run.end)
+        live = run.eandroid_report()
+        assert_reports_match(live, offline)
+
+    def test_eandroid_attack6_screen_collateral(self):
+        run = run_attack6()
+        analyzer = analyzer_for(run)
+        malware = int(run.notes["malware_uid"])
+        offline_breakdown = analyzer.collateral_breakdown(
+            malware, run.start, run.end
+        )
+        live_breakdown = run.eandroid.accounting.collateral_breakdown(
+            malware, run.start, run.end
+        )
+        assert set(offline_breakdown) == set(live_breakdown)
+        for target, joules in live_breakdown.items():
+            assert offline_breakdown[target] == pytest.approx(joules, rel=1e-9)
+
+
+class TestOfflinePrimitives:
+    def test_energy_window_query(self):
+        run = run_scene1()
+        analyzer = analyzer_for(run)
+        camera = run.system.uid_of("com.app.camera")
+        live = run.system.hardware.meter.energy_j(owner=camera, start=10.0, end=50.0)
+        assert analyzer.energy_j(owner=camera, start=10.0, end=50.0) == pytest.approx(
+            live
+        )
+
+    def test_labels(self):
+        run = run_scene1()
+        analyzer = analyzer_for(run)
+        camera = run.system.uid_of("com.app.camera")
+        assert analyzer.label_for(camera) == "Camera"
+        assert analyzer.label_for(424242) == "uid:424242"
+
+
+class TestOfflineOverGeneratedDay:
+    def test_offline_matches_live_after_a_full_day(self):
+        """The heavyweight invariant: a 6-hour generated day with three
+        live malware, dozens of attack links opening and closing — the
+        offline reconstruction from the serialised trace still matches
+        the live E-Android report entry-for-entry."""
+        from repro.workloads import run_day
+
+        day = run_day(seed=11, hours=6.0, with_malware=True)
+        trace = capture_trace(day.system, day.eandroid)
+        analyzer = OfflineAnalyzer(DeviceTrace.from_json(trace.to_json()))
+        live = day.eandroid.report()
+        offline = analyzer.eandroid_report()
+        live_by_uid = {e.uid: e for e in live.entries if e.uid is not None}
+        offline_by_uid = {e.uid: e for e in offline.entries if e.uid is not None}
+        assert set(live_by_uid) == set(offline_by_uid)
+        for uid, live_entry in live_by_uid.items():
+            assert offline_by_uid[uid].energy_j == pytest.approx(
+                live_entry.energy_j, rel=1e-6, abs=1e-6
+            ), live_entry.label
+            assert offline_by_uid[uid].collateral_j.keys() == (
+                live_entry.collateral_j.keys()
+            )

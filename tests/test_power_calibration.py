@@ -1,0 +1,77 @@
+"""Tests for the utilization-model calibration pipeline (§II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power import (
+    CalibrationSample,
+    CpuCalibrator,
+    LinearPowerModel,
+    NEXUS4,
+    fit_linear_model,
+)
+
+
+class TestFitLinearModel:
+    def test_exact_fit_on_linear_data(self):
+        samples = [CalibrationSample(u / 10, 100.0 + 50.0 * u / 10) for u in range(11)]
+        model = fit_linear_model(samples)
+        assert model.beta0_mw == pytest.approx(100.0)
+        assert model.beta1_mw == pytest.approx(50.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_linear_model([CalibrationSample(0.5, 100.0)])
+
+    def test_degenerate_utilization(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(
+                [CalibrationSample(0.5, 100.0), CalibrationSample(0.5, 120.0)]
+            )
+
+    def test_predict_energy(self):
+        model = LinearPowerModel(beta0_mw=100.0, beta1_mw=400.0, samples=11)
+        # 300 mW for 10 s = 3 J.
+        assert model.predict_energy_j(0.5, 10.0) == pytest.approx(3.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_recovers_arbitrary_lines(self, beta1, beta0):
+        samples = [
+            CalibrationSample(u / 8, beta0 + beta1 * u / 8) for u in range(9)
+        ]
+        model = fit_linear_model(samples)
+        assert model.beta0_mw == pytest.approx(beta0, rel=1e-6, abs=1e-6)
+        assert model.beta1_mw == pytest.approx(beta1, rel=1e-6, abs=1e-6)
+
+
+class TestCpuCalibrator:
+    def test_noise_free_sweep_recovers_profile(self):
+        """Against the simulator the fitted model is exact: intercept =
+        idle floor, slope = dynamic span at the top frequency."""
+        model, samples = CpuCalibrator(NEXUS4, dwell_s=5.0).calibrate()
+        expected_slope = NEXUS4.cpu.active_mw[-1] - NEXUS4.cpu.idle_mw
+        assert model.beta1_mw == pytest.approx(expected_slope, rel=1e-6)
+        assert model.beta0_mw == pytest.approx(NEXUS4.cpu.idle_mw, rel=1e-6)
+        assert model.error_rate(samples) < 1e-9
+
+    def test_noisy_sweep_has_bounded_error(self):
+        """With sensor noise the error rate appears — the §II phenomenon
+        (real utilization models err by up to ~20%)."""
+        calibrator = CpuCalibrator(NEXUS4, dwell_s=5.0, noise_stddev_mw=60.0, seed=3)
+        model, _ = calibrator.calibrate()
+        clean = CpuCalibrator(NEXUS4, dwell_s=5.0).sweep()
+        error = model.error_rate(clean)
+        assert 0.0 < error < 0.5
+
+    def test_deterministic_given_seed(self):
+        a = CpuCalibrator(NEXUS4, noise_stddev_mw=30.0, seed=9).sweep()
+        b = CpuCalibrator(NEXUS4, noise_stddev_mw=30.0, seed=9).sweep()
+        assert a == b
+
+    def test_custom_levels(self):
+        samples = CpuCalibrator(NEXUS4, dwell_s=2.0).sweep(levels=[0.0, 1.0])
+        assert [s.utilization for s in samples] == [0.0, 1.0]
+        assert samples[1].power_mw > samples[0].power_mw

@@ -1,0 +1,329 @@
+"""Unit tests for the hardware component power models."""
+
+import pytest
+
+from repro.power import (
+    CAMERA,
+    CPU,
+    GPS,
+    RADIO,
+    SCREEN,
+    SCREEN_OWNER,
+    SYSTEM_OWNER,
+    HardwarePlatform,
+    NEXUS4,
+)
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def platform():
+    return HardwarePlatform(Kernel(), NEXUS4)
+
+
+class TestCpuModel:
+    def test_idle_floor_attributed_to_system(self, platform):
+        assert platform.meter.current_power_mw(SYSTEM_OWNER) >= NEXUS4.cpu.idle_mw
+
+    def test_utilization_adds_dynamic_power(self, platform):
+        cpu = platform.cpu
+        before = platform.meter.current_power_mw()
+        cpu.set_utilization(10001, 0.5)
+        after = platform.meter.current_power_mw()
+        expected = 0.5 * (NEXUS4.cpu.active_mw[-1] - NEXUS4.cpu.idle_mw)
+        assert after - before == pytest.approx(expected)
+
+    def test_utilization_bounds(self, platform):
+        with pytest.raises(ValueError):
+            platform.cpu.set_utilization(1, 1.5)
+        with pytest.raises(ValueError):
+            platform.cpu.set_utilization(1, -0.1)
+
+    def test_oversubscription_scales_shares(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 0.8)
+        cpu.set_utilization(2, 0.8)
+        dyn = NEXUS4.cpu.active_mw[-1] - NEXUS4.cpu.idle_mw
+        assert platform.meter.current_power_mw(1) == pytest.approx(dyn * 0.5)
+        assert platform.meter.current_power_mw(2) == pytest.approx(dyn * 0.5)
+        assert cpu.total_utilization() == 1.0
+
+    def test_clear_utilization(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 0.4)
+        cpu.set_utilization(1, 0.0)
+        assert platform.meter.current_power_mw(1) == 0.0
+        assert cpu.utilization_of(1) == 0.0
+
+    def test_frequency_steps(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 1.0)
+        cpu.set_frequency_index(0)
+        low = platform.meter.current_power_mw(1)
+        cpu.set_frequency_index(len(NEXUS4.cpu.freq_levels_mhz) - 1)
+        high = platform.meter.current_power_mw(1)
+        assert high > low
+
+    def test_invalid_frequency_index(self, platform):
+        with pytest.raises(ValueError):
+            platform.cpu.set_frequency_index(99)
+
+    def test_suspend_halts_app_draw(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 1.0)
+        cpu.suspend()
+        assert cpu.suspended
+        assert platform.meter.current_power_mw(1) == 0.0
+        assert platform.meter.current_power_mw(SYSTEM_OWNER) < NEXUS4.cpu.idle_mw + NEXUS4.system_base_mw
+
+    def test_resume_restores_demand(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 1.0)
+        cpu.suspend()
+        cpu.resume()
+        assert platform.meter.current_power_mw(1) > 0.0
+
+    def test_suspend_idempotent(self, platform):
+        platform.cpu.suspend()
+        platform.cpu.suspend()
+        platform.cpu.resume()
+        platform.cpu.resume()
+        assert not platform.cpu.suspended
+
+
+class TestScreenModel:
+    def test_starts_off(self, platform):
+        assert not platform.screen.is_on
+        assert platform.screen.current_power_mw() == 0.0
+
+    def test_turn_on_draws_power(self, platform):
+        platform.screen.turn_on()
+        expected = NEXUS4.screen.power_mw(platform.screen.brightness)
+        assert platform.meter.current_power_mw(SCREEN_OWNER) == pytest.approx(expected)
+
+    def test_brightness_scales_power(self, platform):
+        screen = platform.screen
+        screen.turn_on()
+        screen.set_brightness(0)
+        low = screen.current_power_mw()
+        screen.set_brightness(255)
+        high = screen.current_power_mw()
+        assert high - low == pytest.approx(255 * NEXUS4.screen.per_level_mw)
+
+    def test_brightness_clamped(self, platform):
+        platform.screen.set_brightness(9999)
+        assert platform.screen.brightness == 255
+        platform.screen.set_brightness(-5)
+        assert platform.screen.brightness == 0
+
+    def test_dim_state_power(self, platform):
+        screen = platform.screen
+        screen.turn_on()
+        screen.set_brightness(200)
+        screen.dim()
+        assert screen.is_dimmed
+        assert screen.current_power_mw() == pytest.approx(
+            NEXUS4.screen.power_mw(NEXUS4.screen.dim_brightness)
+        )
+        screen.undim()
+        assert not screen.is_dimmed
+
+    def test_turn_off_resets_dim(self, platform):
+        screen = platform.screen
+        screen.turn_on()
+        screen.dim()
+        screen.turn_off()
+        assert not screen.is_dimmed
+        assert platform.meter.current_power_mw(SCREEN_OWNER) == 0.0
+
+    def test_listeners_fire_on_change(self, platform):
+        events = []
+        platform.screen.add_listener(lambda: events.append(platform.screen.is_on))
+        platform.screen.turn_on()
+        platform.screen.turn_on()  # no-op, no event
+        platform.screen.turn_off()
+        assert events == [True, False]
+
+    def test_energy_integrates_brightness_change(self, platform):
+        kernel = platform.kernel
+        screen = platform.screen
+        screen.turn_on()
+        screen.set_brightness(0)
+        kernel.run_for(10.0)
+        screen.set_brightness(255)
+        kernel.run_for(10.0)
+        low_j = NEXUS4.screen.power_mw(0) * 10 / 1000
+        high_j = NEXUS4.screen.power_mw(255) * 10 / 1000
+        assert platform.meter.screen_energy_j() == pytest.approx(low_j + high_j)
+
+
+class TestRadioModel:
+    def test_levels_validated(self, platform):
+        with pytest.raises(ValueError):
+            platform.radio.set_activity(1, 9)
+
+    def test_high_activity_power(self, platform):
+        platform.radio.set_activity(1, platform.radio.HIGH)
+        expected = NEXUS4.radio.high_mw - NEXUS4.radio.idle_mw
+        assert platform.meter.current_power_mw(1) == pytest.approx(expected)
+
+    def test_tail_after_activity(self, platform):
+        radio = platform.radio
+        radio.set_activity(1, radio.HIGH)
+        platform.kernel.run_for(5.0)
+        radio.set_activity(1, radio.IDLE)
+        expected_tail = NEXUS4.radio.tail_mw - NEXUS4.radio.idle_mw
+        assert platform.meter.current_power_mw(1) == pytest.approx(expected_tail)
+        platform.kernel.run_for(NEXUS4.radio.tail_seconds + 0.1)
+        assert platform.meter.current_power_mw(1) == 0.0
+
+    def test_new_activity_cancels_tail(self, platform):
+        radio = platform.radio
+        radio.set_activity(1, radio.LOW)
+        radio.set_activity(1, radio.IDLE)
+        radio.set_activity(2, radio.HIGH)
+        platform.kernel.run_for(NEXUS4.radio.tail_seconds + 1)
+        # uid 2 still active at HIGH; tail gone.
+        assert platform.meter.current_power_mw(2) > 0
+
+
+class TestGpsModel:
+    def test_on_off(self, platform):
+        gps = platform.gps
+        gps.start(1)
+        assert gps.is_on()
+        assert platform.meter.current_power_mw(1) == pytest.approx(NEXUS4.gps.on_mw)
+        gps.stop(1)
+        assert not gps.is_on()
+        assert platform.meter.current_power_mw(1) == 0.0
+
+    def test_shared_holders_split_power(self, platform):
+        gps = platform.gps
+        gps.start(1)
+        gps.start(2)
+        assert platform.meter.current_power_mw(1) == pytest.approx(NEXUS4.gps.on_mw / 2)
+
+    def test_refcounted_per_uid(self, platform):
+        gps = platform.gps
+        gps.start(1)
+        gps.start(1)
+        gps.stop(1)
+        assert gps.is_on()
+        gps.stop(1)
+        assert not gps.is_on()
+
+
+class TestCameraModel:
+    def test_exclusive_session(self, platform):
+        platform.camera.open(1)
+        with pytest.raises(RuntimeError):
+            platform.camera.open(2)
+
+    def test_preview_and_record_power(self, platform):
+        camera = platform.camera
+        camera.open(1)
+        assert platform.meter.current_power_mw(1) == pytest.approx(NEXUS4.camera.preview_mw)
+        camera.start_recording()
+        assert platform.meter.current_power_mw(1) == pytest.approx(NEXUS4.camera.record_mw)
+        camera.stop_recording()
+        assert platform.meter.current_power_mw(1) == pytest.approx(NEXUS4.camera.preview_mw)
+        camera.close()
+        assert platform.meter.current_power_mw(1) == 0.0
+        assert camera.session_uid is None
+
+    def test_record_without_session_rejected(self, platform):
+        with pytest.raises(RuntimeError):
+            platform.camera.start_recording()
+
+
+class TestAudioModel:
+    def test_playback(self, platform):
+        audio = platform.audio
+        audio.start(1)
+        assert audio.is_playing(1)
+        assert platform.meter.current_power_mw(1) == pytest.approx(NEXUS4.audio.playback_mw)
+        audio.stop(1)
+        assert not audio.is_playing(1)
+        assert platform.meter.current_power_mw(1) == 0.0
+
+    def test_refcounted(self, platform):
+        audio = platform.audio
+        audio.start(1)
+        audio.start(1)
+        audio.stop(1)
+        assert audio.is_playing(1)
+        audio.stop(1)
+        assert not audio.is_playing(1)
+
+
+class TestPlatformSuspend:
+    def test_suspend_drops_to_floor(self, platform):
+        platform.screen.turn_on()
+        platform.cpu.set_utilization(1, 0.5)
+        platform.suspend()
+        assert platform.suspended
+        total = platform.meter.current_power_mw()
+        assert total == pytest.approx(NEXUS4.suspend_mw + NEXUS4.cpu.suspend_mw)
+
+    def test_resume_restores_base(self, platform):
+        platform.suspend()
+        platform.resume()
+        assert not platform.suspended
+        assert platform.meter.current_power_mw() == pytest.approx(
+            NEXUS4.system_base_mw + NEXUS4.cpu.idle_mw
+        )
+
+
+class TestRoutineAccounting:
+    """eprof-style per-routine CPU decomposition (§II)."""
+
+    def test_routines_get_separate_channels(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 0.2, routine="render")
+        cpu.set_utilization(1, 0.3, routine="network")
+        platform.kernel.run_for(10.0)
+        breakdown = platform.meter.energy_by_component(1)
+        assert set(breakdown) == {"cpu:render", "cpu:network"}
+        assert breakdown["cpu:network"] > breakdown["cpu:render"]
+
+    def test_default_routine_keeps_plain_channel(self, platform):
+        platform.cpu.set_utilization(1, 0.5)
+        platform.kernel.run_for(5.0)
+        assert set(platform.meter.energy_by_component(1)) == {"cpu"}
+
+    def test_total_utilization_sums_routines(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 0.2, routine="a")
+        cpu.set_utilization(1, 0.3, routine="b")
+        assert cpu.utilization_of(1) == pytest.approx(0.5)
+        assert cpu.routine_utilization(1, "a") == pytest.approx(0.2)
+        assert cpu.routine_utilization(1, "zzz") == 0.0
+
+    def test_clearing_one_routine_leaves_others(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 0.2, routine="a")
+        cpu.set_utilization(1, 0.3, routine="b")
+        cpu.set_utilization(1, 0.0, routine="a")
+        assert cpu.utilization_of(1) == pytest.approx(0.3)
+        assert platform.meter.current_power_mw(1) > 0
+
+    def test_app_total_unchanged_by_labelling(self, platform):
+        """Splitting load into routines never changes the app's total."""
+        kernel = platform.kernel
+        cpu = platform.cpu
+        cpu.set_utilization(1, 0.6)
+        kernel.run_for(10.0)
+        plain = platform.meter.energy_j(owner=1)
+        cpu.set_utilization(1, 0.0)
+        cpu.set_utilization(1, 0.3, routine="x")
+        cpu.set_utilization(1, 0.3, routine="y")
+        start = kernel.now
+        kernel.run_for(10.0)
+        split = platform.meter.energy_j(owner=1, start=start)
+        assert split == pytest.approx(plain)
+
+    def test_suspend_zeroes_routine_channels(self, platform):
+        cpu = platform.cpu
+        cpu.set_utilization(1, 0.4, routine="bg")
+        cpu.suspend()
+        assert platform.meter.current_power_mw(1) == 0.0

@@ -1,0 +1,208 @@
+"""Unit tests for the hardware energy meter and battery model."""
+
+import pytest
+
+from repro.power import (
+    Battery,
+    EnergyMeter,
+    SCREEN_OWNER,
+    SYSTEM_OWNER,
+)
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def meter(kernel):
+    return EnergyMeter(kernel)
+
+
+class TestEnergyMeter:
+    def test_energy_single_channel(self, kernel, meter):
+        meter.set_draw(10001, "cpu", 1000.0)
+        kernel.run_for(10.0)
+        assert meter.energy_j(owner=10001) == pytest.approx(10.0)
+
+    def test_zero_draw_channels_not_materialised(self, meter):
+        meter.set_draw(10001, "cpu", 0.0)
+        assert meter.channels() == []
+
+    def test_energy_filters(self, kernel, meter):
+        meter.set_draw(1, "cpu", 1000.0)
+        meter.set_draw(1, "radio", 500.0)
+        meter.set_draw(2, "cpu", 2000.0)
+        kernel.run_for(10.0)
+        assert meter.energy_j(owner=1) == pytest.approx(15.0)
+        assert meter.energy_j(component="cpu") == pytest.approx(30.0)
+        assert meter.energy_j(owner=1, component="cpu") == pytest.approx(10.0)
+        assert meter.energy_j() == pytest.approx(35.0)
+
+    def test_energy_by_owner(self, kernel, meter):
+        meter.set_draw(1, "cpu", 1000.0)
+        meter.set_draw(2, "cpu", 3000.0)
+        kernel.run_for(5.0)
+        by_owner = meter.energy_by_owner()
+        assert by_owner[1] == pytest.approx(5.0)
+        assert by_owner[2] == pytest.approx(15.0)
+
+    def test_energy_by_component(self, kernel, meter):
+        meter.set_draw(1, "cpu", 1000.0)
+        meter.set_draw(1, "gps", 500.0)
+        kernel.run_for(4.0)
+        breakdown = meter.energy_by_component(1)
+        assert breakdown["cpu"] == pytest.approx(4.0)
+        assert breakdown["gps"] == pytest.approx(2.0)
+
+    def test_windowed_energy(self, kernel, meter):
+        meter.set_draw(1, "cpu", 1000.0)
+        kernel.run_for(10.0)
+        meter.set_draw(1, "cpu", 0.0)
+        kernel.run_for(10.0)
+        assert meter.energy_j(owner=1, start=5.0, end=15.0) == pytest.approx(5.0)
+
+    def test_current_power(self, kernel, meter):
+        meter.set_draw(1, "cpu", 700.0)
+        meter.set_draw(SCREEN_OWNER, "screen", 300.0)
+        assert meter.current_power_mw() == pytest.approx(1000.0)
+        assert meter.current_power_mw(owner=1) == pytest.approx(700.0)
+
+    def test_listener_notified(self, kernel, meter):
+        seen = []
+        meter.add_listener(lambda t, owner, comp, mw: seen.append((t, owner, comp, mw)))
+        kernel.run_for(2.0)
+        meter.set_draw(5, "cpu", 123.0)
+        assert seen == [(2.0, 5, "cpu", 123.0)]
+
+    def test_screen_and_app_helpers(self, kernel, meter):
+        meter.set_draw(SCREEN_OWNER, "screen", 400.0)
+        meter.set_draw(42, "cpu", 100.0)
+        kernel.run_for(10.0)
+        assert meter.screen_energy_j() == pytest.approx(4.0)
+        assert meter.app_energy_j(42) == pytest.approx(1.0)
+        assert meter.total_energy_j() == pytest.approx(5.0)
+
+    def test_total_power_breakpoints(self, kernel, meter):
+        meter.set_draw(1, "cpu", 100.0)
+        kernel.run_for(10.0)
+        meter.set_draw(2, "gps", 200.0)
+        curve = meter.total_power_breakpoints()
+        assert curve == [(0.0, 100.0), (10.0, 300.0)]
+
+    def test_owners(self, kernel, meter):
+        meter.set_draw(1, "cpu", 1.0)
+        meter.set_draw(SYSTEM_OWNER, "base", 1.0)
+        assert set(meter.owners()) == {1, SYSTEM_OWNER}
+
+
+class TestBattery:
+    def test_percent_full_at_start(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        assert battery.percent() == 100.0
+
+    def test_invalid_capacity(self, kernel, meter):
+        with pytest.raises(ValueError):
+            Battery(kernel, meter, capacity_j=0.0)
+
+    def test_linear_discharge(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        meter.set_draw(1, "cpu", 1000.0)  # 1 W -> 100 J in 100 s
+        kernel.run_for(50.0)
+        assert battery.percent() == pytest.approx(50.0)
+        assert battery.energy_used_j() == pytest.approx(50.0)
+
+    def test_percent_clamps_at_zero(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=10.0)
+        meter.set_draw(1, "cpu", 1000.0)
+        kernel.run_for(100.0)
+        assert battery.percent() == 0.0
+        assert battery.is_dead()
+
+    def test_time_until_dead(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        meter.set_draw(1, "cpu", 1000.0)
+        kernel.run_for(1.0)  # materialise the breakpoint
+        assert battery.time_until_dead() == pytest.approx(100.0)
+
+    def test_time_of_percent_piecewise(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        meter.set_draw(1, "cpu", 1000.0)  # 1 W for 10 s -> 10 J
+        kernel.run_for(10.0)
+        meter.set_draw(1, "cpu", 2000.0)  # then 2 W
+        kernel.run_for(1.0)
+        # 50% = 50 J: 10 J in first 10 s, then 40 J at 2 W = 20 s more.
+        assert battery.time_of_percent(50.0) == pytest.approx(30.0)
+
+    def test_time_of_percent_never_reached(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=1e9)
+        meter.set_draw(1, "cpu", 0.0)
+        assert battery.time_until_dead() is None
+
+    def test_invalid_percent(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=10.0)
+        with pytest.raises(ValueError):
+            battery.time_of_percent(150.0)
+
+    def test_discharge_curve_monotone(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        meter.set_draw(1, "cpu", 1000.0)
+        kernel.run_for(100.0)
+        curve = battery.discharge_curve(step_s=10.0)
+        percents = [sample.percent for sample in curve]
+        assert percents[0] == pytest.approx(100.0)
+        assert percents[-1] == pytest.approx(0.0)
+        assert all(a >= b for a, b in zip(percents, percents[1:]))
+
+    def test_discharge_curve_invalid_step(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        with pytest.raises(ValueError):
+            battery.discharge_curve(step_s=0.0)
+
+    def test_per_percent_times(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        meter.set_draw(1, "cpu", 1000.0)
+        kernel.run_for(1.0)
+        levels = battery.per_percent_times()
+        assert levels[0][0] == 99
+        assert levels[0][1] == pytest.approx(1.0)
+        assert levels[-1][0] == 0
+        assert levels[-1][1] == pytest.approx(100.0)
+
+    def test_battery_epoch_after_kernel_start(self, kernel, meter):
+        meter.set_draw(1, "cpu", 1000.0)
+        kernel.run_for(10.0)
+        battery = Battery(kernel, meter, capacity_j=100.0)
+        kernel.run_for(10.0)
+        # Only energy after the epoch counts.
+        assert battery.energy_used_j() == pytest.approx(10.0)
+        assert battery.percent() == pytest.approx(90.0)
+
+
+class TestBatteryInverseProperty:
+    """time_of_percent is the inverse of percent(t)."""
+
+    def test_inverse_roundtrip(self, kernel, meter):
+        from hypothesis import given, strategies as st
+
+        battery = Battery(kernel, meter, capacity_j=1000.0)
+        meter.set_draw(1, "cpu", 800.0)
+        kernel.run_for(100.0)
+        meter.set_draw(1, "cpu", 2400.0)
+        kernel.run_for(100.0)
+        meter.set_draw(1, "cpu", 500.0)
+        kernel.run_for(10.0)
+        for target in (95.0, 80.0, 60.0, 40.0, 10.0, 0.0):
+            t = battery.time_of_percent(target)
+            assert t is not None
+            assert battery.percent(t) == pytest.approx(target, abs=1e-6)
+
+    def test_monotone_targets_monotone_times(self, kernel, meter):
+        battery = Battery(kernel, meter, capacity_j=500.0)
+        meter.set_draw(1, "cpu", 1000.0)
+        kernel.run_for(1.0)
+        times = [battery.time_of_percent(p) for p in (90.0, 70.0, 50.0, 30.0, 0.0)]
+        assert all(t is not None for t in times)
+        assert times == sorted(times)

@@ -1,0 +1,163 @@
+"""Unit and property tests for piecewise-constant power traces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power import PowerTrace
+
+
+class TestPowerTrace:
+    def test_empty_trace(self):
+        trace = PowerTrace()
+        assert trace.power_at(5.0) == 0.0
+        assert trace.energy_j(0.0, 10.0) == 0.0
+        assert trace.last_power == 0.0
+        assert trace.last_time is None
+
+    def test_single_segment_energy(self):
+        trace = PowerTrace()
+        trace.append(0.0, 1000.0)  # 1 W
+        assert trace.energy_j(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_energy_before_first_breakpoint_is_zero(self):
+        trace = PowerTrace()
+        trace.append(5.0, 1000.0)
+        assert trace.energy_j(0.0, 5.0) == 0.0
+        assert trace.energy_j(0.0, 7.0) == pytest.approx(2.0)
+
+    def test_multi_segment_energy(self):
+        trace = PowerTrace()
+        trace.append(0.0, 500.0)
+        trace.append(10.0, 1500.0)
+        trace.append(20.0, 0.0)
+        # 0-10s at 0.5W, 10-20 at 1.5W, then nothing.
+        assert trace.energy_j(0.0, 30.0) == pytest.approx(5.0 + 15.0)
+
+    def test_partial_window(self):
+        trace = PowerTrace()
+        trace.append(0.0, 1000.0)
+        trace.append(10.0, 2000.0)
+        assert trace.energy_j(5.0, 15.0) == pytest.approx(5.0 + 10.0)
+
+    def test_zero_width_window(self):
+        trace = PowerTrace()
+        trace.append(0.0, 1000.0)
+        assert trace.energy_j(4.0, 4.0) == 0.0
+
+    def test_reverse_window_rejected(self):
+        trace = PowerTrace()
+        trace.append(0.0, 100.0)
+        with pytest.raises(ValueError):
+            trace.energy_j(5.0, 1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace().append(0.0, -1.0)
+
+    def test_out_of_order_append_rejected(self):
+        trace = PowerTrace()
+        trace.append(5.0, 10.0)
+        with pytest.raises(ValueError):
+            trace.append(4.0, 10.0)
+
+    def test_same_time_append_overwrites(self):
+        trace = PowerTrace()
+        trace.append(1.0, 10.0)
+        trace.append(1.0, 30.0)
+        assert trace.last_power == 30.0
+        assert len(trace) == 1
+
+    def test_redundant_append_compacted(self):
+        trace = PowerTrace()
+        trace.append(0.0, 10.0)
+        trace.append(5.0, 10.0)
+        assert len(trace) == 1
+
+    def test_power_at(self):
+        trace = PowerTrace()
+        trace.append(1.0, 100.0)
+        trace.append(3.0, 50.0)
+        assert trace.power_at(0.5) == 0.0
+        assert trace.power_at(1.0) == 100.0
+        assert trace.power_at(2.9) == 100.0
+        assert trace.power_at(3.0) == 50.0
+        assert trace.power_at(99.0) == 50.0
+
+    def test_final_power_extends_beyond_last_breakpoint(self):
+        trace = PowerTrace()
+        trace.append(0.0, 1000.0)
+        assert trace.energy_j(100.0, 200.0) == pytest.approx(100.0)
+
+    def test_breakpoints_copy(self):
+        trace = PowerTrace()
+        trace.append(0.0, 1.0)
+        points = trace.breakpoints()
+        points.append((9.9, 9.9))
+        assert len(trace.breakpoints()) == 1
+
+
+@st.composite
+def trace_segments(draw):
+    """Random ordered breakpoints with non-negative powers."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    powers = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return list(zip(times, powers))
+
+
+class TestPowerTraceProperties:
+    @given(trace_segments(), st.floats(min_value=0.0, max_value=500.0),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_energy_additive_over_split_windows(self, segments, a, b):
+        """E[s, m) + E[m, e) == E[s, e) for any split point."""
+        trace = PowerTrace()
+        for t, p in segments:
+            trace.append(t, p)
+        start, end = min(a, b), max(a, b)
+        mid = (start + end) / 2.0
+        whole = trace.energy_j(start, end)
+        parts = trace.energy_j(start, mid) + trace.energy_j(mid, end)
+        assert whole == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+    @given(trace_segments(), st.floats(min_value=0.0, max_value=500.0),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_energy_nonnegative_and_bounded(self, segments, a, b):
+        """Energy is non-negative and bounded by max power * window."""
+        trace = PowerTrace()
+        for t, p in segments:
+            trace.append(t, p)
+        start, end = min(a, b), max(a, b)
+        energy = trace.energy_j(start, end)
+        assert energy >= 0.0
+        max_power = max(p for _, p in segments)
+        assert energy <= max_power * (end - start) / 1000.0 + 1e-9
+
+    @given(trace_segments())
+    def test_energy_matches_manual_integration(self, segments):
+        """Closed-form integral agrees with fine Riemann sampling."""
+        trace = PowerTrace()
+        for t, p in segments:
+            trace.append(t, p)
+        start, end = 0.0, 1000.0
+        steps = 2000
+        dt = (end - start) / steps
+        riemann = sum(
+            trace.power_at(start + (i + 0.5) * dt) * dt for i in range(steps)
+        ) / 1000.0
+        exact = trace.energy_j(start, end)
+        assert exact == pytest.approx(riemann, rel=0.05, abs=0.5)

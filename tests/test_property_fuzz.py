@@ -1,0 +1,255 @@
+"""Property-based fuzzing of the whole stack.
+
+A hypothesis rule-based state machine drives random framework operations
+(launches, IPC, wakelocks, brightness, kills, time) against a device
+with E-Android attached, and checks the system-wide invariants from
+DESIGN.md §5 after every step:
+
+1. energy conservation (per-owner sums == device total == battery drain);
+2. map/link consistency (open elements == live-link reachability);
+3. element-window well-formedness (ordered, non-overlapping);
+4. no over-charging (collateral per (host, target) <= target ground truth);
+5. profiler conservation (PowerTutor redistributes, never invents);
+6. tracker/framework agreement (screen-wakelock counts, foreground uid).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.accounting import PowerTutor
+from repro.android import (
+    ActivityNotFoundError,
+    BadStateError,
+    SCREEN_BRIGHTNESS,
+    SCREEN_BRIGHTNESS_MODE,
+    SCREEN_BRIGHT_WAKE_LOCK,
+    PARTIAL_WAKE_LOCK,
+    explicit,
+)
+from repro.core import SCREEN_TARGET, attach_eandroid
+
+from helpers import make_app
+
+PACKAGES = ("com.fuzz.alpha", "com.fuzz.beta", "com.fuzz.gamma")
+
+package_st = st.sampled_from(PACKAGES)
+pair_st = st.tuples(package_st, package_st)
+
+
+class EAndroidFuzz(RuleBasedStateMachine):
+    """Random-operation driver with global invariants."""
+
+    @initialize()
+    def build_device(self):
+        from repro.android import AndroidSystem
+
+        self.system = AndroidSystem()
+        for package in PACKAGES:
+            self.system.install(make_app(package))
+        self.system.boot()
+        self.ea = attach_eandroid(self.system)
+        self.connections = []
+        self.locks = []
+
+    # -- operations -----------------------------------------------------
+    @rule(package=package_st)
+    def user_launches(self, package):
+        self.system.launch_app(package)
+
+    @rule(pair=pair_st)
+    def app_starts_activity(self, pair):
+        caller, target = pair
+        self.system.am.start_activity(
+            self.system.uid_of(caller), explicit(target, "PlainActivity")
+        )
+
+    @rule(pair=pair_st)
+    def app_starts_service(self, pair):
+        caller, target = pair
+        self.system.am.start_service(
+            self.system.uid_of(caller), explicit(target, "PlainService")
+        )
+
+    @rule(pair=pair_st)
+    def app_stops_service(self, pair):
+        caller, target = pair
+        self.system.am.stop_service(
+            self.system.uid_of(caller), explicit(target, "PlainService")
+        )
+
+    @rule(pair=pair_st)
+    def app_binds_service(self, pair):
+        caller, target = pair
+        connection = self.system.am.bind_service(
+            self.system.uid_of(caller), explicit(target, "PlainService")
+        )
+        self.connections.append(connection)
+
+    @rule(index=st.integers(min_value=0, max_value=30))
+    def app_unbinds_service(self, index):
+        live = [c for c in self.connections if c.bound]
+        if live:
+            self.system.am.unbind_service(live[index % len(live)])
+
+    @rule(package=package_st, screen=st.booleans())
+    def app_acquires_wakelock(self, package, screen):
+        lock_type = SCREEN_BRIGHT_WAKE_LOCK if screen else PARTIAL_WAKE_LOCK
+        lock = self.system.power_manager.acquire(
+            self.system.uid_of(package), lock_type, "fuzz"
+        )
+        self.locks.append(lock)
+
+    @rule(index=st.integers(min_value=0, max_value=30))
+    def app_releases_wakelock(self, index):
+        held = [lock for lock in self.locks if lock.held]
+        if held:
+            held[index % len(held)].release()
+
+    @rule(package=package_st, level=st.integers(min_value=0, max_value=255))
+    def app_sets_brightness(self, package, level):
+        self.system.settings.put(
+            self.system.uid_of(package), SCREEN_BRIGHTNESS, level
+        )
+
+    @rule(package=package_st, mode=st.integers(min_value=0, max_value=1))
+    def app_toggles_mode(self, package, mode):
+        self.system.settings.put(
+            self.system.uid_of(package), SCREEN_BRIGHTNESS_MODE, mode
+        )
+
+    @rule(level=st.integers(min_value=0, max_value=255))
+    def user_sets_brightness(self, level):
+        self.system.systemui.user_set_brightness(level)
+
+    @rule()
+    def user_presses_home(self):
+        self.system.press_home()
+
+    @rule()
+    def user_presses_back(self):
+        self.system.press_back()
+
+    @rule(package=package_st)
+    def force_stop(self, package):
+        self.system.am.force_stop(package)
+        self.connections = [c for c in self.connections if c.bound]
+        self.locks = [lock for lock in self.locks if lock.held]
+
+    @rule(seconds=st.floats(min_value=0.1, max_value=120.0))
+    def time_passes(self, seconds):
+        self.system.run_for(seconds)
+
+    @rule(package=package_st, load=st.floats(min_value=0.0, max_value=1.0))
+    def app_burns_cpu(self, package, load):
+        self.system.hardware.cpu.set_utilization(
+            self.system.uid_of(package), load
+        )
+
+    @rule(ring=st.floats(min_value=1.0, max_value=30.0))
+    def incoming_call(self, ring):
+        self.system.incoming_call(ring_seconds=ring)
+
+    @rule()
+    def user_taps_dialog(self, ):
+        self.system.tap_dialog_ok()
+
+    @rule(pair=pair_st)
+    def app_moves_task_to_front(self, pair):
+        caller, target = pair
+        from repro.android import ActivityNotFoundError
+
+        try:
+            self.system.am.move_task_to_front(
+                self.system.uid_of(caller), target
+            )
+        except ActivityNotFoundError:
+            pass  # target never launched: legal no-op
+
+    @rule(package=package_st, level=st.integers(min_value=0, max_value=255))
+    def app_sets_window_brightness(self, package, level):
+        self.system.display.set_window_brightness(
+            self.system.uid_of(package), level
+        )
+
+    # -- invariants -------------------------------------------------------
+    @invariant()
+    def energy_conservation(self):
+        meter = self.system.hardware.meter
+        total = meter.total_energy_j()
+        by_owner = sum(meter.energy_by_owner().values())
+        assert total == pytest.approx(by_owner, rel=1e-9, abs=1e-9)
+        assert self.system.battery.energy_used_j() == pytest.approx(
+            total, rel=1e-9, abs=1e-9
+        )
+
+    @invariant()
+    def maps_match_reachability(self):
+        graph = self.ea.accounting.graph
+        for host in graph.hosts():
+            open_targets = self.ea.accounting.map_for(host).open_targets()
+            assert open_targets == graph.reachable_from(host)
+
+    @invariant()
+    def element_windows_well_formed(self):
+        now = self.system.now
+        for host in self.ea.accounting.graph.hosts():
+            for _, element in self.ea.accounting.map_for(host).items():
+                previous_end = -1.0
+                for start, end in element.closed:
+                    assert start < end <= now + 1e-9
+                    assert start >= previous_end - 1e-9
+                    previous_end = end
+                if element.open_since is not None:
+                    assert element.open_since >= previous_end - 1e-9
+                    assert element.open_since <= now + 1e-9
+
+    @invariant()
+    def no_over_charging(self):
+        meter = self.system.hardware.meter
+        for host in self.ea.accounting.hosts():
+            for target, joules in self.ea.accounting.collateral_breakdown(
+                host
+            ).items():
+                if target == SCREEN_TARGET:
+                    ground = meter.screen_energy_j()
+                else:
+                    ground = meter.energy_j(owner=target)
+                assert joules <= ground + 1e-6
+
+    @invariant()
+    def powertutor_conserves_energy(self):
+        report = PowerTutor(self.system).report()
+        assert report.total_energy_j() == pytest.approx(
+            self.system.hardware.meter.total_energy_j(), rel=1e-6, abs=1e-6
+        )
+
+    @invariant()
+    def wakelock_tracking_agrees(self):
+        monitor_counts = self.ea.monitor._screen_lock_counts
+        for package in PACKAGES:
+            uid = self.system.uid_of(package)
+            actual = sum(
+                1
+                for lock in self.system.power_manager.held_locks(uid)
+                if lock.keeps_screen_on
+            )
+            assert monitor_counts.get(uid, 0) == actual
+
+    @invariant()
+    def foreground_agrees_with_timeline(self):
+        assert (
+            self.system.am.timeline.current_uid == self.system.foreground_uid()
+        )
+
+
+EAndroidFuzzTest = EAndroidFuzz.TestCase
+EAndroidFuzzTest.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

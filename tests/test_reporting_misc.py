@@ -1,0 +1,163 @@
+"""Coverage for report structures, context misc, and app plumbing."""
+
+import pytest
+
+from repro.accounting.base import AppEnergyEntry, EnergyProfiler, ProfilerReport
+from repro.android import App, AndroidManifest, Context, explicit
+
+from helpers import booted_system, make_app
+
+
+class TestProfilerReport:
+    def _report(self):
+        report = ProfilerReport(profiler="test", start=0.0, end=10.0)
+        report.entries.append(AppEnergyEntry(uid=1, label="A", energy_j=30.0))
+        report.entries.append(AppEnergyEntry(uid=2, label="B", energy_j=70.0))
+        return report.finalize()
+
+    def test_finalize_sorts_and_percents(self):
+        report = self._report()
+        assert [e.label for e in report.entries] == ["B", "A"]
+        assert report.entry_for("B").percent == pytest.approx(70.0)
+        assert sum(e.percent for e in report.entries) == pytest.approx(100.0)
+
+    def test_lookup_helpers(self):
+        report = self._report()
+        assert report.entry_for("nope") is None
+        assert report.entry_for_uid(1).label == "A"
+        assert report.entry_for_uid(99) is None
+        assert report.energy_of("A") == 30.0
+        assert report.energy_of("nope") == 0.0
+        assert report.percent_of("nope") == 0.0
+        assert report.total_energy_j() == 100.0
+
+    def test_finalize_empty_report(self):
+        report = ProfilerReport(profiler="t", start=0.0, end=1.0).finalize()
+        assert report.entries == []
+        assert report.total_energy_j() == 0.0
+
+    def test_own_energy_subtracts_collateral(self):
+        entry = AppEnergyEntry(
+            uid=1, label="A", energy_j=10.0, collateral_j={"B": 4.0, "C": 1.0}
+        )
+        assert entry.own_energy_j == pytest.approx(5.0)
+
+    def test_render_text_top_limits_rows(self):
+        report = ProfilerReport(profiler="t", start=0.0, end=1.0)
+        for i in range(20):
+            report.entries.append(
+                AppEnergyEntry(uid=i, label=f"App{i}", energy_j=float(i + 1))
+            )
+        report.finalize()
+        text = report.render_text(top=3)
+        assert text.count("App") == 3
+
+    def test_abstract_profiler_rejects_report(self):
+        with pytest.raises(NotImplementedError):
+            EnergyProfiler().report()
+
+
+class TestContextMisc:
+    @pytest.fixture
+    def system(self):
+        return booted_system(make_app("com.app"), make_app("com.other"))
+
+    def test_identity_properties(self, system):
+        app = system.package_manager.app_for_package("com.app")
+        context = Context(system, app)
+        assert context.uid == app.uid
+        assert context.package == "com.app"
+        assert context.app is app
+        assert context.system is system
+        assert context.now == system.now
+
+    def test_schedule_runs_app_code(self, system):
+        app = system.package_manager.app_for_package("com.app")
+        context = Context(system, app)
+        fired = []
+        context.schedule(5.0, lambda: fired.append(context.now))
+        system.run_for(6.0)
+        assert fired == [5.0]
+
+    def test_settings_round_trip(self, system):
+        app = system.package_manager.app_for_package("com.app")
+        context = Context(system, app)
+        context.put_setting("custom_key", 17)
+        assert context.get_setting("custom_key") == 17
+        assert context.get_setting("missing", "fallback") == "fallback"
+
+    def test_stop_service_via_context(self, system):
+        app = system.package_manager.app_for_package("com.app")
+        context = Context(system, app)
+        context.start_service(explicit("com.other", "PlainService"))
+        assert context.stop_service(explicit("com.other", "PlainService")) is True
+        assert context.stop_service(explicit("com.other", "PlainService")) is False
+
+
+class TestAppPlumbing:
+    def test_register_component(self):
+        from helpers import PlainActivity
+
+        app = App(AndroidManifest(package="com.x"))
+        returned = app.register_component(PlainActivity)
+        assert returned is PlainActivity
+        assert app.component_class("PlainActivity") is PlainActivity
+
+    def test_component_class_missing(self):
+        from repro.android import ComponentNotFoundError
+
+        app = App(AndroidManifest(package="com.x"))
+        with pytest.raises(ComponentNotFoundError):
+            app.component_class("Nope")
+
+    def test_label_derivation(self):
+        assert App(AndroidManifest(package="com.vendor.supertool")).label == "Supertool"
+        assert App(AndroidManifest(package="solo")).label == "Solo"
+
+    def test_repr_mentions_package(self):
+        app = App(AndroidManifest(package="com.x"))
+        assert "com.x" in repr(app)
+
+
+class TestMalwareFlags:
+    def test_malware_manifest_shape(self):
+        """Every attack app ships launcher + payload + autostart receiver."""
+        from repro.android import ComponentKind
+        from repro.attacks import (
+            build_background_malware,
+            build_bind_malware,
+            build_brightness_malware,
+            build_gps_hog_malware,
+            build_hijack_malware,
+            build_interrupt_malware,
+            build_wakelock_malware,
+        )
+
+        for builder in (
+            build_hijack_malware,
+            build_background_malware,
+            build_bind_malware,
+            build_interrupt_malware,
+            build_brightness_malware,
+            build_wakelock_malware,
+            build_gps_hog_malware,
+        ):
+            manifest = builder().manifest
+            assert manifest.category == "tools"  # camouflage
+            kinds = {c.kind for c in manifest.components}
+            assert ComponentKind.RECEIVER in kinds  # auto-start
+            assert manifest.launcher_activity() is not None
+
+    def test_payload_runs_once_by_default(self):
+        from repro.attacks.base import MalwareService
+
+        class Counting(MalwareService):
+            count = 0
+
+            def run_payload(self, intent):
+                Counting.count += 1
+
+        service = Counting()
+        service.on_start_command(None)
+        service.on_start_command(None)
+        assert Counting.count == 1

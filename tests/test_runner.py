@@ -1,0 +1,27 @@
+"""Smoke test for the all-in-one experiment runner."""
+
+from repro.experiments import run_all
+
+
+def test_run_all_claims_hold():
+    outcomes = run_all(micro_iterations=10, antutu_rounds=6)
+    assert len(outcomes) == 10
+    names = [o.name for o in outcomes]
+    assert names[0] == "fig1" and names[-1] == "efficiency"
+    failed = [o.name for o in outcomes if not o.claim_holds]
+    # AnTuTu at tiny sizes can be noisy; everything else must hold.
+    assert [n for n in failed if n != "fig11"] == []
+    for outcome in outcomes:
+        assert outcome.text  # every experiment renders something
+
+
+def test_save_outcomes(tmp_path):
+    from repro.experiments import run_fig1
+    from repro.experiments.runner import ExperimentOutcome, save_outcomes
+
+    fig1 = run_fig1()
+    outcomes = [ExperimentOutcome("fig1", fig1.camera_blamed, fig1.render_text())]
+    written = save_outcomes(outcomes, str(tmp_path))
+    assert len(written) == 2  # fig1.txt + summary.txt
+    assert (tmp_path / "fig1.txt").read_text().startswith("[REPRODUCED]")
+    assert "fig1" in (tmp_path / "summary.txt").read_text()

@@ -1,0 +1,292 @@
+"""Unit tests for the discrete-event kernel, clock, and event queue."""
+
+import pytest
+
+from repro.sim import (
+    EventCancelledError,
+    EventQueue,
+    Kernel,
+    KernelStateError,
+    SchedulingError,
+    VirtualClock,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+
+    def test_backwards_advance_rejected(self):
+        clock = VirtualClock(2.0)
+        with pytest.raises(SchedulingError):
+            clock.advance_to(1.0)
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, "b")
+        queue.push(1.0, lambda: None, "a")
+        queue.push(3.0, lambda: None, "c")
+        names = [queue.pop().name for _ in range(3)]
+        assert names == ["a", "b", "c"]
+
+    def test_fifo_for_same_time(self):
+        queue = EventQueue()
+        for label in "abcde":
+            queue.push(1.0, lambda: None, label)
+        names = [queue.pop().name for _ in range(5)]
+        assert names == list("abcde")
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None, "a")
+        queue.push(2.0, lambda: None, "b")
+        first.cancel()
+        queue.note_cancelled()
+        assert queue.pop().name == "b"
+
+    def test_double_cancel_raises(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        with pytest.raises(EventCancelledError):
+            event.cancel()
+
+    def test_cancel_if_pending(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert event.cancel_if_pending() is True
+        assert event.cancel_if_pending() is False
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        first.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 4.0
+
+    def test_event_state_properties(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert event.pending and not event.cancelled and not event.dispatched
+        event.mark_dispatched()
+        assert event.dispatched and not event.pending
+
+
+class TestKernel:
+    def test_call_later_runs_at_right_time(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_later(5.0, lambda: seen.append(kernel.now))
+        kernel.run_for(10.0)
+        assert seen == [5.0]
+        assert kernel.now == 10.0
+
+    def test_call_at_absolute(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_at(3.0, lambda: seen.append(kernel.now))
+        kernel.run_until(3.0)
+        assert seen == [3.0]
+
+    def test_call_soon(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_soon(lambda: seen.append("x"))
+        kernel.run_for(0.0)
+        assert seen == ["x"]
+
+    def test_past_scheduling_rejected(self):
+        kernel = Kernel()
+        kernel.call_later(5.0, lambda: None)
+        kernel.run_for(5.0)
+        with pytest.raises(SchedulingError):
+            kernel.call_at(2.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Kernel().call_later(-1.0, lambda: None)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            Kernel().run_for(-1.0)
+
+    def test_events_schedule_more_events(self):
+        kernel = Kernel()
+        seen = []
+
+        def first():
+            seen.append(("first", kernel.now))
+            kernel.call_later(2.0, second)
+
+        def second():
+            seen.append(("second", kernel.now))
+
+        kernel.call_later(1.0, first)
+        kernel.run_for(10.0)
+        assert seen == [("first", 1.0), ("second", 3.0)]
+
+    def test_cancel_via_kernel(self):
+        kernel = Kernel()
+        seen = []
+        event = kernel.call_later(1.0, lambda: seen.append("x"))
+        assert kernel.cancel(event) is True
+        assert kernel.cancel(event) is False
+        kernel.run_for(5.0)
+        assert seen == []
+        assert kernel.pending_events == 0
+
+    def test_run_until_deadline_before_now_rejected(self):
+        kernel = Kernel()
+        kernel.run_for(5.0)
+        with pytest.raises(SchedulingError):
+            kernel.run_until(1.0)
+
+    def test_run_until_returns_dispatch_count(self):
+        kernel = Kernel()
+        for i in range(4):
+            kernel.call_later(float(i), lambda: None)
+        assert kernel.run_until(2.0) == 3
+
+    def test_drain(self):
+        kernel = Kernel()
+        kernel.call_later(1.0, lambda: None)
+        kernel.call_later(100.0, lambda: None)
+        assert kernel.drain() == 2
+        assert kernel.now == 100.0
+
+    def test_drain_livelock_detection(self):
+        kernel = Kernel()
+
+        def perpetuate():
+            kernel.call_soon(perpetuate)
+
+        kernel.call_soon(perpetuate)
+        with pytest.raises(KernelStateError):
+            kernel.drain(max_events=100)
+
+    def test_step(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_later(2.0, lambda: seen.append("a"))
+        assert kernel.step() is True
+        assert kernel.now == 2.0
+        assert kernel.step() is False
+
+    def test_error_propagates_without_handler(self):
+        kernel = Kernel()
+        kernel.call_later(1.0, lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            kernel.run_for(2.0)
+
+    def test_error_handler_receives_exception(self):
+        kernel = Kernel()
+        captured = []
+        kernel.set_error_handler(lambda event, exc: captured.append(exc))
+        kernel.call_later(1.0, lambda: 1 / 0)
+        kernel.run_for(2.0)
+        assert len(captured) == 1
+        assert isinstance(captured[0], ZeroDivisionError)
+
+    def test_dispatched_count(self):
+        kernel = Kernel()
+        for _ in range(3):
+            kernel.call_soon(lambda: None)
+        kernel.run_for(0.0)
+        assert kernel.dispatched_count == 3
+
+    def test_reentrancy_guard(self):
+        kernel = Kernel()
+        errors = []
+
+        def nested():
+            try:
+                kernel.run_for(1.0)
+            except KernelStateError as exc:
+                errors.append(exc)
+
+        kernel.call_later(1.0, nested)
+        kernel.run_for(2.0)
+        assert len(errors) == 1
+
+    def test_same_time_fifo_through_kernel(self):
+        kernel = Kernel()
+        seen = []
+        for label in "abc":
+            kernel.call_at(1.0, lambda label=label: seen.append(label))
+        kernel.run_for(2.0)
+        assert seen == ["a", "b", "c"]
+
+
+class TestRepeatingTimer:
+    def test_fires_on_interval(self):
+        kernel = Kernel()
+        ticks = []
+        kernel.call_repeating(2.0, lambda: ticks.append(kernel.now))
+        kernel.run_for(7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_immediate_start(self):
+        kernel = Kernel()
+        ticks = []
+        kernel.call_repeating(5.0, lambda: ticks.append(kernel.now), immediately=True)
+        kernel.run_for(6.0)
+        assert ticks == [0.0, 5.0]
+
+    def test_cancel_stops_firing(self):
+        kernel = Kernel()
+        timer = kernel.call_repeating(1.0, lambda: None)
+        kernel.run_for(3.5)
+        timer.cancel()
+        fired = timer.fire_count
+        kernel.run_for(10.0)
+        assert timer.fire_count == fired
+        assert not timer.active
+
+    def test_cancel_idempotent(self):
+        kernel = Kernel()
+        timer = kernel.call_repeating(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+
+    def test_cancel_from_inside_callback(self):
+        kernel = Kernel()
+        holder = {}
+
+        def tick():
+            if holder["timer"].fire_count >= 2:
+                holder["timer"].cancel()
+
+        holder["timer"] = kernel.call_repeating(1.0, tick)
+        kernel.run_for(10.0)
+        assert holder["timer"].fire_count == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(SchedulingError):
+            Kernel().call_repeating(0.0, lambda: None)

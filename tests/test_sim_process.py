@@ -1,0 +1,114 @@
+"""Unit tests for the simulated process table and link-to-death."""
+
+import pytest
+
+from repro.sim import DeadProcessError, ProcessTable, UnknownPidError
+
+
+class TestProcessTable:
+    def test_spawn_assigns_distinct_pids(self):
+        table = ProcessTable()
+        a = table.spawn(uid=10001, name="com.example.a")
+        b = table.spawn(uid=10002, name="com.example.b")
+        assert a.pid != b.pid
+        assert a.alive and b.alive
+
+    def test_get_unknown_pid(self):
+        with pytest.raises(UnknownPidError):
+            ProcessTable().get(424242)
+
+    def test_is_alive(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x")
+        assert table.is_alive(record.pid)
+        table.kill(record.pid)
+        assert not table.is_alive(record.pid)
+        assert not table.is_alive(999999)
+
+    def test_kill_records_time(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x", now=1.0)
+        table.kill(record.pid, now=9.0)
+        assert record.death_time == 9.0
+        assert record.start_time == 1.0
+
+    def test_double_kill_raises(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x")
+        table.kill(record.pid)
+        with pytest.raises(DeadProcessError):
+            table.kill(record.pid)
+
+    def test_processes_of_uid(self):
+        table = ProcessTable()
+        a = table.spawn(uid=7, name="a")
+        b = table.spawn(uid=7, name="b")
+        table.spawn(uid=8, name="c")
+        assert {p.pid for p in table.processes_of_uid(7)} == {a.pid, b.pid}
+        table.kill(a.pid)
+        assert [p.pid for p in table.processes_of_uid(7)] == [b.pid]
+        assert {p.pid for p in table.processes_of_uid(7, alive_only=False)} == {
+            a.pid,
+            b.pid,
+        }
+
+    def test_kill_uid(self):
+        table = ProcessTable()
+        table.spawn(uid=7, name="a")
+        table.spawn(uid=7, name="b")
+        killed = table.kill_uid(7)
+        assert len(killed) == 2
+        assert table.processes_of_uid(7) == []
+
+    def test_live_count(self):
+        table = ProcessTable()
+        a = table.spawn(uid=1, name="a")
+        table.spawn(uid=2, name="b")
+        assert table.live_count() == 2
+        table.kill(a.pid)
+        assert table.live_count() == 1
+
+
+class TestLinkToDeath:
+    def test_observer_fires_on_kill(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x")
+        deaths = []
+        record.link_to_death(lambda rec: deaths.append(rec.pid))
+        table.kill(record.pid)
+        assert deaths == [record.pid]
+
+    def test_observers_fire_in_registration_order(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x")
+        order = []
+        record.link_to_death(lambda _: order.append("first"))
+        record.link_to_death(lambda _: order.append("second"))
+        table.kill(record.pid)
+        assert order == ["first", "second"]
+
+    def test_link_to_dead_process_raises(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x")
+        table.kill(record.pid)
+        with pytest.raises(DeadProcessError):
+            record.link_to_death(lambda _: None)
+
+    def test_unlink(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x")
+        deaths = []
+        observer = lambda rec: deaths.append(rec.pid)  # noqa: E731
+        record.link_to_death(observer)
+        assert record.unlink_to_death(observer) is True
+        assert record.unlink_to_death(observer) is False
+        table.kill(record.pid)
+        assert deaths == []
+
+    def test_observers_cleared_after_death(self):
+        table = ProcessTable()
+        record = table.spawn(uid=1, name="x")
+        deaths = []
+        record.link_to_death(lambda rec: deaths.append(rec.pid))
+        table.kill(record.pid)
+        assert record._death_observers == []
