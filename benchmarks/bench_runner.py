@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Bench: the experiment engine — serial vs ``--parallel`` wall-clock.
+
+Runs one deterministic slice of the evaluation twice with caching
+disabled (once serially, once fanned out over worker processes),
+verifies the rendered outputs match, and writes the timings to
+``BENCH_runner.json`` (CI uploads it as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py --out BENCH_runner.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_EXPERIMENTS = "fig1,fig3,fig6,fig7,fig8,efficiency"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiments",
+        default=DEFAULT_EXPERIMENTS,
+        help="comma-separated experiment names to time",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=2, help="workers for the parallel leg"
+    )
+    parser.add_argument("--out", default="BENCH_runner.json")
+    args = parser.parse_args(argv)
+
+    from repro.exec import EngineConfig, ExperimentEngine
+
+    names = [n.strip() for n in args.experiments.split(",") if n.strip()]
+    serial = ExperimentEngine(EngineConfig(parallel=1, use_cache=False)).run(names)
+    fanned = ExperimentEngine(
+        EngineConfig(parallel=args.parallel, use_cache=False)
+    ).run(names)
+
+    identical = all(
+        a.outcome.text == b.outcome.text
+        for a, b in zip(serial.results, fanned.results)
+    )
+    payload = {
+        "bench": "runner_engine",
+        "experiments": names,
+        "parallel": args.parallel,
+        "serial_s": serial.total_wall_time_s,
+        "parallel_s": fanned.total_wall_time_s,
+        "speedup": (
+            serial.total_wall_time_s / fanned.total_wall_time_s
+            if fanned.total_wall_time_s > 0
+            else None
+        ),
+        "outputs_identical": identical,
+        "per_experiment_serial_s": {
+            r.name: r.wall_time_s for r in serial.results
+        },
+        "claims_hold": all(r.outcome.claim_holds for r in serial.results),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,10 @@
 Commands:
 
 * ``experiments [NAME ...]`` — regenerate evaluation tables/figures
-  (default: all, in paper order);
+  through the registry + parallel engine (default: all, in paper order;
+  ``--only fig9,fig10`` selects, ``--parallel N`` fans out,
+  ``--cache-dir``/``--no-cache``/``--refresh`` control the result cache,
+  ``--save DIR`` writes text artifacts plus ``manifest.json``);
 * ``attack NAME`` — run one attack scenario and print the Android vs
   E-Android views plus the detector's verdict;
 * ``census [--seed N]`` — the Fig. 2 corpus census;
@@ -18,51 +21,61 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
-
-EXPERIMENT_RUNNERS: Dict[str, Callable[[], object]] = {}
-
-
-def _experiment_runners() -> Dict[str, Callable[[], object]]:
-    from .experiments import (
-        run_efficiency,
-        run_fig1,
-        run_fig2,
-        run_fig3,
-        run_fig6,
-        run_fig7,
-        run_fig8,
-        run_fig9,
-        run_fig10,
-        run_fig11,
-    )
-
-    return {
-        "fig1": run_fig1,
-        "fig2": run_fig2,
-        "fig3": run_fig3,
-        "fig6": run_fig6,
-        "fig7": run_fig7,
-        "fig8": run_fig8,
-        "fig9": run_fig9,
-        "fig10": run_fig10,
-        "fig11": run_fig11,
-        "efficiency": run_efficiency,
-    }
+from typing import List, Optional
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    runners = _experiment_runners()
-    names = args.names or list(runners)
-    unknown = [name for name in names if name not in runners]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(runners)}", file=sys.stderr)
+    from .exec import EngineConfig, ExperimentEngine, write_manifest
+    from .experiments.registry import (
+        UnknownExperimentError,
+        available_names,
+        load_registry,
+        resolve_selection,
+    )
+    from .experiments.runner import save_outcomes
+
+    load_registry()
+    names = list(args.names)
+    if args.only:
+        names += [n.strip() for n in args.only.split(",") if n.strip()]
+    try:
+        specs = resolve_selection(names)
+    except UnknownExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        print(f"available: {', '.join(available_names())}", file=sys.stderr)
         return 2
-    for name in names:
-        print(f"\n=== {name} ===")
-        result = runners[name]()
-        print(result.render_text())
+    if args.list:
+        for spec in specs:
+            print(f"{spec.name:<12} {spec.description}")
+        return 0
+
+    engine = ExperimentEngine(
+        EngineConfig(
+            parallel=args.parallel,
+            cache_dir=args.cache_dir or None,
+            use_cache=not args.no_cache,
+            refresh=args.refresh,
+        )
+    )
+    run = engine.run([spec.name for spec in specs])
+    for result in run.results:
+        print(f"\n=== {result.name} ===")
+        print(result.outcome.text)
+
+    outcomes = run.outcomes()
+    failed = [o.name for o in outcomes if not o.claim_holds]
+    stats = run.cache_stats
+    print(
+        f"\n{len(outcomes) - len(failed)}/{len(outcomes)} claims hold; "
+        f"cache: {stats.hits} hit(s), {stats.misses} miss(es); "
+        f"wall time {run.total_wall_time_s:.2f}s"
+    )
+    if failed:
+        print("deviations:", ", ".join(failed))
+    if args.save:
+        written = save_outcomes(outcomes, args.save)
+        written.append(str(write_manifest(run, args.save)))
+        print(f"wrote {len(written)} artifact files to {args.save}")
     return 0
 
 
@@ -164,6 +177,38 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate evaluation tables/figures"
     )
     experiments.add_argument("names", nargs="*", help="fig1..fig11, efficiency")
+    experiments.add_argument(
+        "--only",
+        default="",
+        help="comma-separated selection, e.g. --only fig9,fig10",
+    )
+    experiments.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="run up to N experiments in worker processes (default: serial)",
+    )
+    experiments.add_argument(
+        "--cache-dir",
+        default="",
+        help="result cache directory (default: ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    experiments.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    experiments.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every experiment and overwrite its cache entry",
+    )
+    experiments.add_argument(
+        "--save", default="", help="write text artifacts + manifest.json here"
+    )
+    experiments.add_argument(
+        "--list", action="store_true", help="list the selection and exit"
+    )
     experiments.set_defaults(func=_cmd_experiments)
 
     attack = sub.add_parser("attack", help="run one attack scenario")

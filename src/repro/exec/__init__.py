@@ -1,0 +1,32 @@
+"""Parallel experiment execution: engine, result cache, run manifests.
+
+The evaluation pipeline on top of the experiment registry
+(:mod:`repro.experiments.registry`): fan registered experiments out over
+worker processes, replay previous results from a content-addressed
+on-disk cache, and record every run in a machine-readable manifest.
+"""
+
+from .cache import (
+    CACHE_ENV_VAR,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    source_tree_hash,
+)
+from .engine import EngineConfig, EngineRun, ExperimentEngine, JobResult
+from .manifest import MANIFEST_FILENAME, build_manifest, write_manifest
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "source_tree_hash",
+    "EngineConfig",
+    "EngineRun",
+    "ExperimentEngine",
+    "JobResult",
+    "MANIFEST_FILENAME",
+    "build_manifest",
+    "write_manifest",
+]

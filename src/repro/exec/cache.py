@@ -1,0 +1,146 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry is keyed by the experiment's canonical name, its resolved
+parameters, and a hash of the whole ``repro`` source tree — so editing
+any module invalidates every entry automatically, and the same
+name+params pair always replays the same result.  Entries are plain JSON
+files (one per key) so they are greppable and survive interpreter
+upgrades; corrupt or truncated entries degrade to a miss.
+
+Default location: ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``,
+else ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+PathLike = Union[str, Path]
+
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+CACHE_SCHEMA = 1
+
+_TREE_HASH: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when none is given explicitly."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def source_tree_hash(refresh: bool = False) -> str:
+    """SHA-256 over every ``.py`` file in the installed ``repro`` package.
+
+    Memoised per process; ``refresh=True`` forces a re-scan (only needed
+    if sources change under a long-lived interpreter).
+    """
+    global _TREE_HASH
+    if _TREE_HASH is not None and not refresh:
+        return _TREE_HASH
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _TREE_HASH = digest.hexdigest()
+    return _TREE_HASH
+
+
+def _canonical_params(params: Mapping[str, Any]) -> str:
+    """Deterministic JSON encoding of a parameter mapping."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready counters (for the run manifest)."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Content-addressed experiment-result store under one directory."""
+
+    def __init__(self, directory: Optional[PathLike] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.stats = CacheStats()
+
+    def key_for(self, name: str, params: Mapping[str, Any]) -> str:
+        """The content address of one (experiment, params) pair."""
+        material = "\0".join(
+            (str(CACHE_SCHEMA), name, _canonical_params(params), source_tree_hash())
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, name: str, params: Mapping[str, Any]) -> Path:
+        """Where the entry lives on disk (name prefix keeps it greppable)."""
+        return self.directory / f"{name}-{self.key_for(name, params)[:24]}.json"
+
+    def load(self, name: str, params: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        """Return the stored payload, or None (counting a hit or miss)."""
+        path = self.path_for(name, params)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store(
+        self,
+        name: str,
+        params: Mapping[str, Any],
+        outcome: Mapping[str, Any],
+        wall_time_s: float = 0.0,
+    ) -> Path:
+        """Persist one result; the write is atomic (tmp file + rename)."""
+        path = self.path_for(name, params)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "name": name,
+            "params": dict(params),
+            "tree_hash": source_tree_hash(),
+            "created_at": time.time(),
+            "wall_time_s": wall_time_s,
+            "outcome": dict(outcome),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        tmp.replace(path)
+        self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

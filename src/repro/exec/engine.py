@@ -1,0 +1,279 @@
+"""The parallel experiment-execution engine.
+
+Each experiment owns its own :class:`~repro.sim.kernel.Kernel`, so the
+evaluation is embarrassingly parallel: the engine fans independent
+experiments out over a ``ProcessPoolExecutor`` (``parallel`` workers),
+consults the on-disk :class:`~repro.exec.cache.ResultCache` before
+simulating anything, retries crashed workers a bounded number of times,
+and surfaces unrecoverable failures as ``DEVIATION`` outcomes instead of
+aborting the whole run.
+
+Results come back in request order regardless of completion order, so
+serial and parallel runs render identically.
+
+Typical use::
+
+    from repro.exec import EngineConfig, ExperimentEngine
+
+    engine = ExperimentEngine(EngineConfig(parallel=4))
+    run = engine.run([("fig1", {}), ("fig10", {"iterations": 10})])
+    for outcome in run.outcomes():
+        print(outcome.status, outcome.name)
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..experiments.registry import (
+    ExperimentOutcome,
+    get_spec,
+    load_registry,
+    outcome_from_result,
+)
+from .cache import CacheStats, PathLike, ResultCache
+
+ExperimentRequest = Union[str, Tuple[str, Dict[str, Any]]]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs for one engine instance."""
+
+    parallel: int = 1
+    cache_dir: Optional[PathLike] = None
+    use_cache: bool = True
+    refresh: bool = False
+    retries: int = 1  # extra attempts after a worker failure
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (for the run manifest)."""
+        return {
+            "parallel": self.parallel,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "use_cache": self.use_cache,
+            "refresh": self.refresh,
+            "retries": self.retries,
+        }
+
+
+@dataclass
+class JobResult:
+    """One experiment's execution record within an engine run."""
+
+    name: str
+    params: Dict[str, Any]
+    outcome: ExperimentOutcome
+    wall_time_s: float = 0.0
+    cached: bool = False
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class EngineRun:
+    """Everything one :meth:`ExperimentEngine.run` call produced."""
+
+    results: List[JobResult]
+    config: EngineConfig
+    cache_stats: CacheStats
+    total_wall_time_s: float = 0.0
+
+    def outcomes(self) -> List[ExperimentOutcome]:
+        """The flattened outcomes, in request order."""
+        return [result.outcome for result in self.results]
+
+
+def _execute_job(name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one experiment to a JSON-ready payload (worker entry point).
+
+    Must stay a module-level function so it pickles into pool workers;
+    exceptions are converted to an error payload so a failing experiment
+    cannot poison the pool.
+    """
+    start = time.perf_counter()
+    try:
+        load_registry()
+        spec = get_spec(name)
+        result = spec.run(**params)
+        outcome = outcome_from_result(result)
+        return {
+            "ok": True,
+            "outcome": outcome.to_dict(),
+            "wall_time_s": time.perf_counter() - start,
+        }
+    except BaseException:  # noqa: BLE001 - the payload is the error channel
+        return {
+            "ok": False,
+            "error": traceback.format_exc(),
+            "wall_time_s": time.perf_counter() - start,
+        }
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for a job that still needs executing."""
+
+    index: int
+    name: str
+    params: Dict[str, Any]
+    attempts: int = 0
+    last_error: Optional[str] = None
+
+
+class ExperimentEngine:
+    """Runs registered experiments with caching, fan-out, and retries."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.cache = ResultCache(self.config.cache_dir)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[ExperimentRequest]) -> EngineRun:
+        """Execute every request; results come back in request order."""
+        started = time.perf_counter()
+        load_registry()
+        jobs = [self._normalise(request) for request in requests]
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+
+        pending: List[_Pending] = []
+        for index, (name, params) in enumerate(jobs):
+            replay = self._try_replay(name, params)
+            if replay is not None:
+                results[index] = replay
+            else:
+                pending.append(_Pending(index, name, params))
+
+        for attempt in range(self.config.retries + 1):
+            if not pending:
+                break
+            payloads = self._run_wave(pending)
+            still_pending: List[_Pending] = []
+            for job, payload in zip(pending, payloads):
+                job.attempts += 1
+                if payload.get("ok"):
+                    results[job.index] = self._record_success(job, payload)
+                else:
+                    job.last_error = payload.get("error", "unknown worker failure")
+                    still_pending.append(job)
+            pending = still_pending
+
+        for job in pending:  # retries exhausted — surface as DEVIATION
+            results[job.index] = self._record_failure(job)
+
+        final = [result for result in results if result is not None]
+        return EngineRun(
+            results=final,
+            config=self.config,
+            cache_stats=self.cache.stats,
+            total_wall_time_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(request: ExperimentRequest) -> Tuple[str, Dict[str, Any]]:
+        if isinstance(request, str):
+            name, overrides = request, {}
+        else:
+            name, overrides = request
+        spec = get_spec(name)
+        return spec.name, spec.resolve_params(**overrides)
+
+    def _cache_enabled(self) -> bool:
+        return self.config.use_cache
+
+    def _try_replay(self, name: str, params: Dict[str, Any]) -> Optional[JobResult]:
+        """A cache hit replayed as a finished job, else None."""
+        if not self._cache_enabled() or self.config.refresh:
+            return None
+        payload = self.cache.load(name, params)
+        if payload is None:
+            return None
+        outcome = ExperimentOutcome.from_dict(payload["outcome"])
+        outcome.cached = True
+        return JobResult(
+            name=name,
+            params=params,
+            outcome=outcome,
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            cached=True,
+        )
+
+    def _record_success(self, job: _Pending, payload: Dict[str, Any]) -> JobResult:
+        outcome = ExperimentOutcome.from_dict(payload["outcome"])
+        outcome.wall_time_s = float(payload["wall_time_s"])
+        if self._cache_enabled():
+            self.cache.store(
+                job.name, job.params, payload["outcome"], outcome.wall_time_s
+            )
+        return JobResult(
+            name=job.name,
+            params=job.params,
+            outcome=outcome,
+            wall_time_s=outcome.wall_time_s,
+            attempts=job.attempts,
+        )
+
+    def _record_failure(self, job: _Pending) -> JobResult:
+        error = job.last_error or "unknown worker failure"
+        text = (
+            f"experiment {job.name!r} failed after {job.attempts} attempt(s):\n"
+            f"{error}"
+        )
+        outcome = ExperimentOutcome(
+            name=job.name,
+            claim_holds=False,
+            text=text,
+            params=dict(job.params),
+            error=error,
+        )
+        return JobResult(
+            name=job.name,
+            params=job.params,
+            outcome=outcome,
+            attempts=job.attempts,
+            error=error,
+        )
+
+    def _run_wave(self, wave: List[_Pending]) -> List[Dict[str, Any]]:
+        """Run one attempt for every pending job; never raises."""
+        if self.config.parallel > 1 and len(wave) > 1:
+            return self._run_wave_pool(wave)
+        return [_execute_job(job.name, job.params) for job in wave]
+
+    def _run_wave_pool(self, wave: List[_Pending]) -> List[Dict[str, Any]]:
+        """Fan a wave out over a fresh process pool; degrade gracefully.
+
+        A worker that dies (OOM-kill, segfault) breaks the whole pool and
+        every still-running future raises ``BrokenProcessPool``; those
+        jobs are reported as failures for this wave and get retried in
+        the next one.  If the pool cannot even start (restricted
+        platforms), the wave falls back to serial execution.
+        """
+        import concurrent.futures as futures
+
+        workers = min(self.config.parallel, len(wave))
+        try:
+            pool = futures.ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, NotImplementedError):
+            return [_execute_job(job.name, job.params) for job in wave]
+        payloads: List[Dict[str, Any]] = []
+        with pool:
+            submitted = [
+                pool.submit(_execute_job, job.name, job.params) for job in wave
+            ]
+            for future in submitted:
+                try:
+                    payloads.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - pool breakage
+                    payloads.append(
+                        {"ok": False, "error": f"worker crashed: {exc!r}"}
+                    )
+        return payloads

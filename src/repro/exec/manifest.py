@@ -1,0 +1,63 @@
+"""Machine-readable run manifests (``manifest.json``).
+
+The manifest is the engine's structured counterpart to
+``save_outcomes``' text artifacts: one JSON document per run recording
+what ran, with which parameters, how long each experiment took, whether
+it replayed from cache, and the run-level cache statistics.  CI uses it
+to verify that a warm run actually hit the cache; see
+``docs/PARALLEL.md`` for the full format.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from .cache import PathLike, source_tree_hash
+from .engine import EngineRun
+
+MANIFEST_SCHEMA = 1
+MANIFEST_FILENAME = "manifest.json"
+
+
+def build_manifest(run: EngineRun) -> Dict[str, Any]:
+    """The JSON-ready manifest for one engine run."""
+    deviations = [r.name for r in run.results if not r.outcome.claim_holds]
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "tree_hash": source_tree_hash(),
+        "engine": run.config.as_dict(),
+        "cache": run.cache_stats.as_dict(),
+        "total_wall_time_s": run.total_wall_time_s,
+        "experiments": [
+            {
+                "name": result.name,
+                "params": dict(result.params),
+                "claim_holds": result.outcome.claim_holds,
+                "status": result.outcome.status,
+                "cached": result.cached,
+                "wall_time_s": result.wall_time_s,
+                "attempts": result.attempts,
+                "error": result.error,
+                "metrics": dict(result.outcome.metrics),
+            }
+            for result in run.results
+        ],
+        "summary": {
+            "total": len(run.results),
+            "reproduced": len(run.results) - len(deviations),
+            "deviations": deviations,
+        },
+    }
+
+
+def write_manifest(run: EngineRun, directory: PathLike) -> Path:
+    """Write ``manifest.json`` into ``directory`` (created if missing)."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / MANIFEST_FILENAME
+    path.write_text(json.dumps(build_manifest(run), indent=2), encoding="utf-8")
+    return path

@@ -1,4 +1,10 @@
-"""One module per evaluation table/figure, plus the all-in-one runner."""
+"""One module per evaluation table/figure, plus the registry and runner.
+
+Importing this package registers every experiment in
+:data:`~repro.experiments.registry.REGISTRY`; the parallel execution
+engine (:mod:`repro.exec`), the all-in-one runner, and the CLI all drive
+the evaluation through that registry.
+"""
 
 from .efficiency import EfficiencyResult, run_efficiency
 from .fig1 import Fig1Result, run_fig1
@@ -9,7 +15,20 @@ from .fig8 import Fig8Result, run_fig8
 from .fig9 import Fig9Result, PanelResult, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .fig11 import Fig11Result, run_fig11
-from .runner import ExperimentOutcome, run_all
+from .registry import (
+    REGISTRY,
+    ExperimentOutcome,
+    ExperimentResultMixin,
+    ExperimentSpec,
+    RestoredResult,
+    UnknownExperimentError,
+    available_names,
+    get_spec,
+    ordered_specs,
+    register,
+    resolve_selection,
+)
+from .runner import run_all, run_evaluation, save_outcomes
 
 __all__ = [
     "run_fig1",
@@ -23,6 +42,8 @@ __all__ = [
     "run_fig11",
     "run_efficiency",
     "run_all",
+    "run_evaluation",
+    "save_outcomes",
     "Fig1Result",
     "Fig2Result",
     "Fig3Result",
@@ -35,4 +56,14 @@ __all__ = [
     "Fig11Result",
     "EfficiencyResult",
     "ExperimentOutcome",
+    "ExperimentResultMixin",
+    "ExperimentSpec",
+    "RestoredResult",
+    "UnknownExperimentError",
+    "REGISTRY",
+    "register",
+    "get_spec",
+    "ordered_specs",
+    "available_names",
+    "resolve_selection",
 ]

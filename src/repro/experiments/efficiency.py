@@ -14,14 +14,15 @@ bit-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Dict, List, Tuple
 
 from ..android import AndroidSystem, explicit
 from ..apps import VICTIM_PACKAGE, build_camera_app, build_victim_app
 from ..attacks import BIND_PACKAGE, build_bind_malware, build_hijack_malware
 from ..attacks.hijack import HIJACK_PACKAGE
 from ..core import attach_eandroid
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 
@@ -67,15 +68,30 @@ class EfficiencyRow:
 
 
 @dataclass
-class EfficiencyResult:
+class EfficiencyResult(ExperimentResultMixin):
     """The §VI-B comparison."""
 
     rows: List[EfficiencyRow]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "efficiency"
 
     @property
     def all_identical(self) -> bool:
         """True when every scenario drains identically."""
         return all(row.identical for row in self.rows)
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: exact drain parity everywhere."""
+        return self.all_identical
+
+    def metrics(self) -> Dict[str, Any]:
+        """Per-scenario joule totals for both configurations."""
+        return {
+            row.scenario: {"android_j": row.android_j, "eandroid_j": row.eandroid_j}
+            for row in self.rows
+        }
 
     def render_text(self) -> str:
         """The comparison as a table."""
@@ -112,3 +128,13 @@ def run_efficiency() -> EfficiencyResult:
             )
         )
     return EfficiencyResult(rows=rows)
+
+
+register(
+    ExperimentSpec(
+        name="efficiency",
+        runner=run_efficiency,
+        description="§VI-B energy efficiency: battery drain parity",
+        order=10,
+    )
+)

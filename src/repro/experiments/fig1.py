@@ -9,25 +9,43 @@ Camera or how it was opened." (§II)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict
 
 from ..workloads.scenarios import ScenarioRun, run_scene1
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 
 @dataclass
-class Fig1Result:
+class Fig1Result(ExperimentResultMixin):
     """Energy percentages in the stock Android view for scene #1."""
 
     message_percent: float
     camera_percent: float
     screen_percent: float
     run: ScenarioRun
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig1"
 
     @property
     def camera_blamed(self) -> bool:
         """The paper's observation: Camera ≫ Message in the stock view."""
         return self.camera_percent > 5 * max(self.message_percent, 1e-9)
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: the Camera gets the blame."""
+        return self.camera_blamed
+
+    def metrics(self) -> Dict[str, Any]:
+        """The three percentages the figure shows."""
+        return {
+            "message_percent": self.message_percent,
+            "camera_percent": self.camera_percent,
+            "screen_percent": self.screen_percent,
+        }
 
     def render_text(self) -> str:
         """Fig. 1 as a table."""
@@ -52,3 +70,13 @@ def run_fig1() -> Fig1Result:
         screen_percent=report.percent_of("Screen"),
         run=run,
     )
+
+
+register(
+    ExperimentSpec(
+        name="fig1",
+        runner=run_fig1,
+        description="BatteryStats view while filming in Message (motivation)",
+        order=1,
+    )
+)

@@ -9,7 +9,8 @@ because they never reach the accounting module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict
 
 from ..workloads.microbench import (
     MICRO_OPERATION_DEFINITIONS,
@@ -17,6 +18,7 @@ from ..workloads.microbench import (
     MicroBenchmark,
     MicrobenchResult,
 )
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 CROSS_APP_OPERATIONS = (
@@ -30,14 +32,29 @@ CROSS_APP_OPERATIONS = (
 
 
 @dataclass
-class Fig10Result:
+class Fig10Result(ExperimentResultMixin):
     """The measured grid plus claim checks."""
 
     result: MicrobenchResult
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig10"
 
     def median(self, operation: str, configuration: str) -> float:
         """Median latency (ms)."""
         return self.result.for_op(operation)[configuration].median
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: both overhead claims hold."""
+        return self.framework_overhead_small and self.complete_overhead_bounded
+
+    def metrics(self) -> Dict[str, Any]:
+        """The two claim components."""
+        return {
+            "framework_overhead_small": self.framework_overhead_small,
+            "complete_overhead_bounded": self.complete_overhead_bounded,
+        }
 
     @property
     def framework_overhead_small(self) -> bool:
@@ -74,4 +91,19 @@ class Fig10Result:
 
 def run_fig10(iterations: int = 50) -> Fig10Result:
     """Run the 13x3 micro-benchmark grid."""
-    return Fig10Result(result=MicroBenchmark(iterations=iterations).run_all())
+    return Fig10Result(
+        result=MicroBenchmark(iterations=iterations).run_all(),
+        params={"iterations": iterations},
+    )
+
+
+register(
+    ExperimentSpec(
+        name="fig10",
+        runner=run_fig10,
+        description="Table I / Fig. 10 micro-operation overhead grid",
+        default_params={"iterations": 50},
+        aliases=("fig10_table1", "table1"),
+        order=8,
+    )
+)

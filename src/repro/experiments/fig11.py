@@ -7,19 +7,36 @@ within noise of each other.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict
 
 from ..workloads.antutu import SUBTESTS, AnTuTuBenchmark, AnTuTuResult
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 
 @dataclass
-class Fig11Result:
+class Fig11Result(ExperimentResultMixin):
     """Both configurations' scores."""
 
     android: AnTuTuResult
     eandroid: AnTuTuResult
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig11"
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: similar scores under both configurations."""
+        return self.similar_performance
+
+    def metrics(self) -> Dict[str, Any]:
+        """Totals and their ratio."""
+        return {
+            "android_total": self.android.total,
+            "eandroid_total": self.eandroid.total,
+            "score_ratio": self.score_ratio(),
+        }
 
     def score_ratio(self) -> float:
         """E-Android total / Android total (≈ 1.0 expected)."""
@@ -52,4 +69,19 @@ def run_fig11(rounds: int = 40, inner: int = 4000) -> Fig11Result:
     """Run the suite under both configurations."""
     bench = AnTuTuBenchmark(rounds=rounds, inner=inner)
     results: Dict[str, AnTuTuResult] = bench.compare()
-    return Fig11Result(android=results["android"], eandroid=results["eandroid"])
+    return Fig11Result(
+        android=results["android"],
+        eandroid=results["eandroid"],
+        params={"rounds": rounds, "inner": inner},
+    )
+
+
+register(
+    ExperimentSpec(
+        name="fig11",
+        runner=run_fig11,
+        description="AnTuTu-style benchmark: E-Android vs Android scores",
+        default_params={"rounds": 40, "inner": 4000},
+        order=9,
+    )
+)

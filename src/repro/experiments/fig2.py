@@ -6,10 +6,12 @@ component, 81% request WAKE_LOCK, 21% request WRITE_SETTINGS (§III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict
 
 from ..apps.apktool import CensusResult, run_census
 from ..apps.corpus import generate_corpus
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 PAPER_EXPORTED_PCT = 72.0
@@ -18,10 +20,27 @@ PAPER_WRITE_SETTINGS_PCT = 21.0
 
 
 @dataclass
-class Fig2Result:
+class Fig2Result(ExperimentResultMixin):
     """Census outcome with the paper's targets alongside."""
 
     census: CensusResult
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig2"
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: within 3 points of the paper's numbers."""
+        return self.max_deviation_pct() < 3.0
+
+    def metrics(self) -> Dict[str, Any]:
+        """The three census percentages plus the worst gap to the paper."""
+        return {
+            "exported_pct": self.exported_pct,
+            "wake_lock_pct": self.wake_lock_pct,
+            "write_settings_pct": self.write_settings_pct,
+            "max_deviation_pct": self.max_deviation_pct(),
+        }
 
     @property
     def exported_pct(self) -> float:
@@ -82,4 +101,17 @@ class Fig2Result:
 
 def run_fig2(seed: int = 7) -> Fig2Result:
     """Generate the corpus, reverse-engineer it, and census it."""
-    return Fig2Result(census=run_census(generate_corpus(seed=seed)))
+    return Fig2Result(
+        census=run_census(generate_corpus(seed=seed)), params={"seed": seed}
+    )
+
+
+register(
+    ExperimentSpec(
+        name="fig2",
+        runner=run_fig2,
+        description="Google-Play census of attack preconditions",
+        default_params={"seed": 7},
+        order=2,
+    )
+)

@@ -11,22 +11,35 @@ drain".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List
 
 from ..workloads.scenarios import DrainResult, run_fig3_drains
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_ascii_series, render_table
 
 
 @dataclass
-class Fig3Result:
+class Fig3Result(ExperimentResultMixin):
     """All five discharge series."""
 
     drains: List[DrainResult]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig3"
 
     def hours(self) -> Dict[str, float]:
         """name -> hours to 0%."""
         return {d.name: d.hours_to_dead for d in self.drains}
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: the paper's drain-time ordering."""
+        return self.ordering_holds
+
+    def metrics(self) -> Dict[str, Any]:
+        """Hours-to-dead per configuration."""
+        return {"hours_to_dead": self.hours()}
 
     @property
     def ordering_holds(self) -> bool:
@@ -57,3 +70,13 @@ class Fig3Result:
 def run_fig3() -> Fig3Result:
     """Run all five drain configurations."""
     return Fig3Result(drains=run_fig3_drains())
+
+
+register(
+    ExperimentSpec(
+        name="fig3",
+        runner=run_fig3,
+        description="time lapsed to drain the battery under the simple attacks",
+        order=3,
+    )
+)

@@ -12,27 +12,44 @@ end the rest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List
 
 from ..core.links import SCREEN_TARGET, AttackLink
 from ..workloads.scenarios import ScenarioRun, run_hybrid_attack, run_multi_attack
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 
 @dataclass
-class Fig6Result:
+class Fig6Result(ExperimentResultMixin):
     """Multi-collateral attack outcome."""
 
     run: ScenarioRun
     links: List[AttackLink]
     victim_charged_j: float
     victim_ground_truth_j: float
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig6"
 
     @property
     def union_not_sum(self) -> bool:
         """The invariant Fig. 6 is about: no double charging."""
         return self.victim_charged_j <= self.victim_ground_truth_j + 1e-9
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: union, not sum."""
+        return self.union_not_sum
+
+    def metrics(self) -> Dict[str, Any]:
+        """Charged vs ground-truth joules and the link count."""
+        return {
+            "victim_charged_j": self.victim_charged_j,
+            "victim_ground_truth_j": self.victim_ground_truth_j,
+            "links": len(self.links),
+        }
 
     def render_text(self) -> str:
         """Fig. 6 as a link table plus the charge comparison."""
@@ -71,16 +88,28 @@ def run_fig6() -> Fig6Result:
 
 
 @dataclass
-class Fig7Result:
+class Fig7Result(ExperimentResultMixin):
     """Hybrid-chain attack outcome."""
 
     run: ScenarioRun
     root_breakdown: Dict[str, float]  # label -> joules charged to A
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig7"
 
     @property
     def chain_complete(self) -> bool:
         """A is charged for B, C, and the screen."""
         return {"Relayb", "Relayc", "Screen"} <= set(self.root_breakdown)
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: the full chain lands in A's map."""
+        return self.chain_complete
+
+    def metrics(self) -> Dict[str, Any]:
+        """The root's per-element charges."""
+        return {"root_breakdown_j": dict(self.root_breakdown)}
 
     def render_text(self) -> str:
         """Fig. 7 as the root's map contents."""
@@ -109,3 +138,21 @@ def run_fig7() -> Fig7Result:
         label = "Screen" if target == SCREEN_TARGET else pm.label_for_uid(target)
         breakdown[label] = joules
     return Fig7Result(run=run, root_breakdown=breakdown)
+
+
+register(
+    ExperimentSpec(
+        name="fig6",
+        runner=run_fig6,
+        description="multi-collateral accounting timeline (one victim)",
+        order=4,
+    )
+)
+register(
+    ExperimentSpec(
+        name="fig7",
+        runner=run_fig7,
+        description="hybrid attack chain A->B->C->screen accounting",
+        order=5,
+    )
+)

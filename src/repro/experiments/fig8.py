@@ -8,20 +8,25 @@ Message's row its Camera collateral.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict
 
 from ..accounting.base import AppEnergyEntry
 from ..workloads.scenarios import ScenarioRun, run_scene2
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 
 @dataclass
-class Fig8Result:
+class Fig8Result(ExperimentResultMixin):
     """The two per-app inventories the figure shows."""
 
     run: ScenarioRun
     contacts: AppEnergyEntry
     message: AppEnergyEntry
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig8"
 
     @property
     def breakdown_complete(self) -> bool:
@@ -30,6 +35,20 @@ class Fig8Result:
             {"Message", "Camera"} <= set(self.contacts.collateral_j)
             and "Camera" in self.message.collateral_j
         )
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: both inventories itemise their collateral."""
+        return self.breakdown_complete
+
+    def metrics(self) -> Dict[str, Any]:
+        """Totals and collateral for both panels."""
+        return {
+            "contacts_total_j": self.contacts.energy_j,
+            "contacts_collateral_j": dict(self.contacts.collateral_j),
+            "message_total_j": self.message.energy_j,
+            "message_collateral_j": dict(self.message.collateral_j),
+        }
 
     def render_text(self) -> str:
         """Fig. 8's two panels as tables."""
@@ -64,3 +83,13 @@ def run_fig8() -> Fig8Result:
         contacts=interface.detailed_inventory(contacts_uid, run.start, run.end),
         message=interface.detailed_inventory(message_uid, run.start, run.end),
     )
+
+
+register(
+    ExperimentSpec(
+        name="fig8",
+        runner=run_fig8,
+        description="sample energy-breakdown view (revised PowerTutor)",
+        order=6,
+    )
+)

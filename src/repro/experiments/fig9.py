@@ -13,7 +13,7 @@ For each we tabulate the per-app energy under stock Android
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, ClassVar, Dict, Optional
 
 from ..accounting.base import ProfilerReport
 from ..workloads.scenarios import (
@@ -25,6 +25,7 @@ from ..workloads.scenarios import (
     run_scene1,
     run_scene2,
 )
+from .registry import ExperimentResultMixin, ExperimentSpec, register
 from .tables import render_table
 
 
@@ -88,10 +89,33 @@ class PanelResult:
 
 
 @dataclass
-class Fig9Result:
+class Fig9Result(ExperimentResultMixin):
     """All six panels."""
 
     panels: Dict[str, PanelResult] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fig9"
+
+    @property
+    def claim_holds(self) -> bool:
+        """Registry claim check: stealthy on Android, exposed by E-Android."""
+        return (
+            self.all_attacks_stealthy_on_android
+            and self.all_attacks_detected_by_eandroid
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        """Per-attack-panel stealth share and exposed energy."""
+        return {
+            name: {
+                "android_malware_percent": panel.android_malware_percent,
+                "eandroid_malware_j": panel.eandroid_malware_j,
+                "attack_detected": panel.attack_detected,
+            }
+            for name, panel in sorted(self.panels.items())
+            if panel.malware_label is not None
+        }
 
     @property
     def all_attacks_stealthy_on_android(self) -> bool:
@@ -132,7 +156,7 @@ def _panel(
 
 def run_fig9(attack_duration: float = 60.0) -> Fig9Result:
     """Run all six panels (plus the 9e/9f normal-usage controls)."""
-    result = Fig9Result()
+    result = Fig9Result(params={"attack_duration": attack_duration})
     result.panels["9a_scene1"] = _panel("9a scene #1", run_scene1())
     result.panels["9b_scene2"] = _panel("9b scene #2", run_scene2())
     result.panels["9c_attack3"] = _panel(
@@ -156,3 +180,14 @@ def run_fig9(attack_duration: float = 60.0) -> Fig9Result:
     )
     result.panels["9f_attack6"] = attack6
     return result
+
+
+register(
+    ExperimentSpec(
+        name="fig9",
+        runner=run_fig9,
+        description="effectiveness: Android vs E-Android on scenes and attacks",
+        default_params={"attack_duration": 60.0},
+        order=7,
+    )
+)

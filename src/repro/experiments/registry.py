@@ -1,0 +1,297 @@
+"""The experiment registry — one :class:`ExperimentSpec` per figure/table.
+
+Every experiment module registers itself here at import time, turning
+the evaluation into a uniform, machine-drivable catalogue instead of a
+hard-coded call list.  The registry is what the parallel execution
+engine (:mod:`repro.exec`), the all-in-one runner, and the CLI consume:
+
+* ``REGISTRY`` maps canonical names (``fig1`` .. ``fig11``,
+  ``efficiency``) to specs;
+* every result object follows a uniform protocol — ``name``, ``params``,
+  ``claim_holds``, ``render_text()``, ``metrics()`` and a
+  ``to_dict()``/``from_dict()`` round-trip (what the on-disk result
+  cache serialises);
+* :class:`ExperimentOutcome` is the flattened, JSON-ready record a
+  finished experiment produces.
+
+Typical use::
+
+    from repro.experiments.registry import REGISTRY, ordered_specs
+
+    spec = REGISTRY["fig10"]
+    result = spec.run(iterations=10)      # a Fig10Result
+    outcome = spec.outcome(result)        # flattened ExperimentOutcome
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class UnknownExperimentError(KeyError):
+    """Raised when a selection names an experiment that is not registered."""
+
+    def __init__(self, unknown: Sequence[str]) -> None:
+        super().__init__(", ".join(unknown))
+        self.unknown = list(unknown)
+
+    def __str__(self) -> str:
+        return f"unknown experiment(s): {', '.join(self.unknown)}"
+
+
+# ----------------------------------------------------------------------
+# uniform result protocol
+# ----------------------------------------------------------------------
+class ExperimentResultMixin:
+    """Uniform protocol shared by every experiment's result object.
+
+    Subclasses set ``experiment_name``, declare a ``params`` field, and
+    provide ``claim_holds`` (the figure's pass/fail check),
+    ``render_text()``, and optionally ``metrics()`` (the headline scalar
+    numbers).  ``to_dict()``/``from_dict()`` give the JSON round-trip the
+    on-disk cache relies on; the restored object is a render-equivalent
+    replica (:class:`RestoredResult`), not a re-simulation.
+    """
+
+    experiment_name: ClassVar[str] = ""
+
+    @property
+    def name(self) -> str:
+        """Canonical registry name of the experiment that produced this."""
+        return self.experiment_name
+
+    @property
+    def claim_holds(self) -> bool:
+        """Whether the paper claim this experiment reproduces holds."""
+        raise NotImplementedError
+
+    def render_text(self) -> str:
+        """The figure/table as text."""
+        raise NotImplementedError
+
+    def metrics(self) -> Dict[str, Any]:
+        """Headline scalar numbers (JSON-ready) for manifests and caching."""
+        return {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot: name, params, verdict, rendered text, metrics."""
+        return {
+            "name": self.name,
+            "params": dict(getattr(self, "params", {}) or {}),
+            "claim_holds": bool(self.claim_holds),
+            "text": self.render_text(),
+            "metrics": self.metrics(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RestoredResult":
+        """Rebuild a render-equivalent replica from :meth:`to_dict` data."""
+        return RestoredResult(
+            name=data["name"],
+            params=dict(data.get("params", {})),
+            _claim_holds=bool(data["claim_holds"]),
+            text=data["text"],
+            _metrics=dict(data.get("metrics", {})),
+        )
+
+
+@dataclass
+class RestoredResult:
+    """A deserialised experiment result: same protocol, no live sim objects."""
+
+    name: str
+    params: Dict[str, Any]
+    _claim_holds: bool
+    text: str
+    _metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def claim_holds(self) -> bool:
+        """The verdict recorded when the experiment actually ran."""
+        return self._claim_holds
+
+    def render_text(self) -> str:
+        """The text rendered when the experiment actually ran."""
+        return self.text
+
+    def metrics(self) -> Dict[str, Any]:
+        """The headline numbers recorded when the experiment actually ran."""
+        return dict(self._metrics)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Round-trip back to the :meth:`ExperimentResultMixin.to_dict` shape."""
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "claim_holds": self._claim_holds,
+            "text": self.text,
+            "metrics": dict(self._metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RestoredResult":
+        """Same constructor the mixin uses — restored results re-round-trip."""
+        return ExperimentResultMixin.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# flattened outcome record
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentOutcome:
+    """One experiment's rendered output and pass/fail of its claim.
+
+    The first three fields keep the historical positional constructor;
+    the rest carry the execution metadata the engine and manifest use.
+    """
+
+    name: str
+    claim_holds: bool
+    text: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def status(self) -> str:
+        """``REPRODUCED`` or ``DEVIATION``."""
+        return "REPRODUCED" if self.claim_holds else "DEVIATION"
+
+    def render_text(self) -> str:
+        """The rendered figure/table (uniform with result objects)."""
+        return self.text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (what the cache stores)."""
+        return {
+            "name": self.name,
+            "claim_holds": self.claim_holds,
+            "text": self.text,
+            "params": dict(self.params),
+            "metrics": dict(self.metrics),
+            "wall_time_s": self.wall_time_s,
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentOutcome":
+        """Rebuild an outcome from :meth:`to_dict` data."""
+        return cls(
+            name=data["name"],
+            claim_holds=bool(data["claim_holds"]),
+            text=data["text"],
+            params=dict(data.get("params", {})),
+            metrics=dict(data.get("metrics", {})),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            cached=bool(data.get("cached", False)),
+            error=data.get("error"),
+        )
+
+
+def outcome_from_result(result: Any) -> ExperimentOutcome:
+    """Flatten any protocol-conforming result into an outcome record."""
+    return ExperimentOutcome(
+        name=result.name,
+        claim_holds=bool(result.claim_holds),
+        text=result.render_text(),
+        params=dict(getattr(result, "params", {}) or {}),
+        metrics=result.metrics() if hasattr(result, "metrics") else {},
+    )
+
+
+# ----------------------------------------------------------------------
+# specs and the registry proper
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, parameterised, independently-runnable experiment."""
+
+    name: str
+    runner: Callable[..., Any]
+    description: str = ""
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+    aliases: Tuple[str, ...] = ()
+    order: int = 0  # position in the paper's evaluation section
+
+    def resolve_params(self, **overrides: Any) -> Dict[str, Any]:
+        """Defaults merged with per-run overrides."""
+        params = dict(self.default_params)
+        params.update(overrides)
+        return params
+
+    def run(self, **overrides: Any) -> Any:
+        """Run the experiment; returns its protocol-conforming result."""
+        return self.runner(**self.resolve_params(**overrides))
+
+    def outcome(self, result: Optional[Any] = None, **overrides: Any) -> ExperimentOutcome:
+        """Run (unless given a result) and flatten to an outcome record."""
+        if result is None:
+            result = self.run(**overrides)
+        return outcome_from_result(result)
+
+
+REGISTRY: Dict[str, ExperimentSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to :data:`REGISTRY`; re-registration replaces (idempotent)."""
+    REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def load_registry() -> Dict[str, ExperimentSpec]:
+    """Import every experiment module, guaranteeing a populated registry.
+
+    Safe to call from freshly-spawned worker processes.
+    """
+    import importlib
+
+    importlib.import_module("repro.experiments")
+    return REGISTRY
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up a spec by canonical name or alias."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return REGISTRY[canonical]
+    except KeyError:
+        raise UnknownExperimentError([name]) from None
+
+
+def ordered_specs() -> List[ExperimentSpec]:
+    """All registered specs in paper order."""
+    return sorted(REGISTRY.values(), key=lambda s: (s.order, s.name))
+
+
+def available_names() -> List[str]:
+    """Canonical experiment names, in paper order."""
+    return [spec.name for spec in ordered_specs()]
+
+
+def resolve_selection(names: Optional[Sequence[str]] = None) -> List[ExperimentSpec]:
+    """Turn a user selection into specs (empty = all, in paper order).
+
+    Explicit selections keep the user's order (duplicates collapse to
+    the first occurrence).
+
+    Raises:
+        UnknownExperimentError: listing every unrecognised name at once.
+    """
+    if not names:
+        return ordered_specs()
+    unknown = [n for n in names if _ALIASES.get(n, n) not in REGISTRY]
+    if unknown:
+        raise UnknownExperimentError(unknown)
+    seen: Dict[str, ExperimentSpec] = {}
+    for name in names:
+        spec = get_spec(name)
+        seen.setdefault(spec.name, spec)
+    return list(seen.values())

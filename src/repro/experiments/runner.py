@@ -3,106 +3,88 @@
 ``python -m repro.experiments.runner`` regenerates every table and
 figure of the paper's evaluation section and prints them in order; the
 same entry point produced the measured numbers in EXPERIMENTS.md.
+
+The heavy lifting lives in :mod:`repro.exec`: this module just maps the
+registry (:data:`repro.experiments.REGISTRY`) onto the engine and keeps
+the historical ``run_all()`` / ``save_outcomes()`` API as thin wrappers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from .efficiency import run_efficiency
-from .fig1 import run_fig1
-from .fig2 import run_fig2
-from .fig3 import run_fig3
-from .fig67 import run_fig6, run_fig7
-from .fig8 import run_fig8
-from .fig9 import run_fig9
-from .fig10 import run_fig10
-from .fig11 import run_fig11
+from .registry import (
+    ExperimentOutcome,
+    UnknownExperimentError,
+    resolve_selection,
+)
+
+PathLike = Union[str, Path]
 
 
-@dataclass
-class ExperimentOutcome:
-    """One experiment's rendered output and pass/fail of its claim."""
+def default_jobs(
+    micro_iterations: int = 50,
+    antutu_rounds: int = 40,
+    only: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """The evaluation as engine requests, in paper order.
 
-    name: str
-    claim_holds: bool
-    text: str
+    ``only`` restricts the selection (canonical names or aliases);
+    the two sizing knobs map onto fig10/fig11 parameter overrides.
+    """
+    overrides: Dict[str, Dict[str, Any]] = {
+        "fig10": {"iterations": micro_iterations},
+        "fig11": {"rounds": antutu_rounds},
+    }
+    return [
+        (spec.name, overrides.get(spec.name, {}))
+        for spec in resolve_selection(only)
+    ]
+
+
+def run_evaluation(
+    micro_iterations: int = 50,
+    antutu_rounds: int = 40,
+    only: Optional[Sequence[str]] = None,
+    engine: Optional["ExperimentEngine"] = None,
+) -> "EngineRun":
+    """Run the (possibly restricted) evaluation; returns the full engine run.
+
+    Without an explicit engine this runs serially with caching disabled —
+    the exact historical ``run_all`` behaviour.
+    """
+    from ..exec import EngineConfig, ExperimentEngine
+
+    if engine is None:
+        engine = ExperimentEngine(EngineConfig(parallel=1, use_cache=False))
+    return engine.run(default_jobs(micro_iterations, antutu_rounds, only))
 
 
 def run_all(
     micro_iterations: int = 50, antutu_rounds: int = 40
 ) -> List[ExperimentOutcome]:
     """Run the whole evaluation; returns outcomes in paper order."""
-    outcomes: List[ExperimentOutcome] = []
-
-    fig1 = run_fig1()
-    outcomes.append(ExperimentOutcome("fig1", fig1.camera_blamed, fig1.render_text()))
-
-    fig2 = run_fig2()
-    outcomes.append(
-        ExperimentOutcome("fig2", fig2.max_deviation_pct() < 3.0, fig2.render_text())
-    )
-
-    fig3 = run_fig3()
-    outcomes.append(ExperimentOutcome("fig3", fig3.ordering_holds, fig3.render_text()))
-
-    fig6 = run_fig6()
-    outcomes.append(ExperimentOutcome("fig6", fig6.union_not_sum, fig6.render_text()))
-
-    fig7 = run_fig7()
-    outcomes.append(ExperimentOutcome("fig7", fig7.chain_complete, fig7.render_text()))
-
-    fig8 = run_fig8()
-    outcomes.append(
-        ExperimentOutcome("fig8", fig8.breakdown_complete, fig8.render_text())
-    )
-
-    fig9 = run_fig9()
-    outcomes.append(
-        ExperimentOutcome(
-            "fig9",
-            fig9.all_attacks_stealthy_on_android
-            and fig9.all_attacks_detected_by_eandroid,
-            fig9.render_text(),
-        )
-    )
-
-    fig10 = run_fig10(iterations=micro_iterations)
-    outcomes.append(
-        ExperimentOutcome(
-            "fig10_table1",
-            fig10.framework_overhead_small and fig10.complete_overhead_bounded,
-            fig10.render_text(),
-        )
-    )
-
-    fig11 = run_fig11(rounds=antutu_rounds)
-    outcomes.append(
-        ExperimentOutcome("fig11", fig11.similar_performance, fig11.render_text())
-    )
-
-    efficiency = run_efficiency()
-    outcomes.append(
-        ExperimentOutcome(
-            "efficiency", efficiency.all_identical, efficiency.render_text()
-        )
-    )
-    return outcomes
+    return run_evaluation(micro_iterations, antutu_rounds).outcomes()
 
 
-def save_outcomes(outcomes: List[ExperimentOutcome], directory: str) -> List[str]:
+def save_outcomes(
+    outcomes: Sequence[ExperimentOutcome], directory: PathLike
+) -> List[str]:
     """Write each experiment's rendered output to ``directory``.
 
     Returns the written paths; a ``summary.txt`` records claim status.
+    The directory (and any missing parents) is created on demand.
     """
     from ..export import save_text
 
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
     written = []
     for outcome in outcomes:
         status = "REPRODUCED" if outcome.claim_holds else "DEVIATION"
         path = save_text(
-            f"{directory}/{outcome.name}.txt",
+            base / f"{outcome.name}.txt",
             f"[{status}] {outcome.name}\n\n{outcome.text}\n",
         )
         written.append(str(path))
@@ -110,27 +92,71 @@ def save_outcomes(outcomes: List[ExperimentOutcome], directory: str) -> List[str
         f"{'REPRODUCED' if o.claim_holds else 'DEVIATION':<10} {o.name}"
         for o in outcomes
     )
-    written.append(str(save_text(f"{directory}/summary.txt", summary + "\n")))
+    written.append(str(save_text(base / "summary.txt", summary + "\n")))
     return written
 
 
-def main() -> None:
-    """CLI entry point."""
-    import sys
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.experiments.runner [DIR]``)."""
+    import argparse
 
-    outcomes = run_all()
-    if len(sys.argv) > 1:
-        written = save_outcomes(outcomes, sys.argv[1])
-        print(f"wrote {len(written)} artifact files to {sys.argv[1]}")
+    from ..exec import EngineConfig, ExperimentEngine, write_manifest
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the full E-Android evaluation.",
+    )
+    parser.add_argument(
+        "directory", nargs="?", default="", help="save artifacts + manifest here"
+    )
+    parser.add_argument(
+        "--only", default="", help="comma-separated experiment names (default: all)"
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=1, help="worker processes (default: serial)"
+    )
+    parser.add_argument("--cache-dir", default="", help="result cache directory")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    parser.add_argument(
+        "--refresh", action="store_true", help="recompute and overwrite cache entries"
+    )
+    args = parser.parse_args(argv)
+
+    only = [n.strip() for n in args.only.split(",") if n.strip()] or None
+    engine = ExperimentEngine(
+        EngineConfig(
+            parallel=args.parallel,
+            cache_dir=args.cache_dir or None,
+            use_cache=not args.no_cache,
+            refresh=args.refresh,
+        )
+    )
+    try:
+        run = run_evaluation(only=only, engine=engine)
+    except UnknownExperimentError as exc:
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error exits
+    outcomes = run.outcomes()
+    if args.directory:
+        written = save_outcomes(outcomes, args.directory)
+        written.append(str(write_manifest(run, args.directory)))
+        print(f"wrote {len(written)} artifact files to {args.directory}")
     for outcome in outcomes:
-        status = "REPRODUCED" if outcome.claim_holds else "DEVIATION"
-        print(f"\n{'=' * 72}\n[{status}] {outcome.name}\n{'=' * 72}")
+        print(f"\n{'=' * 72}\n[{outcome.status}] {outcome.name}\n{'=' * 72}")
         print(outcome.text)
     failed = [o.name for o in outcomes if not o.claim_holds]
     print(f"\n{len(outcomes) - len(failed)}/{len(outcomes)} experiment claims hold.")
     if failed:
         print("deviations:", ", ".join(failed))
+    stats = run.cache_stats
+    print(
+        f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.stores} store(s); wall time {run.total_wall_time_s:.2f}s"
+    )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

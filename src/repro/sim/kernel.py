@@ -51,7 +51,11 @@ class Kernel:
 
     @property
     def dispatched_count(self) -> int:
-        """Total number of event callbacks run since kernel creation."""
+        """Total number of event callbacks run since kernel creation.
+
+        Callbacks that raised count too — whether the exception was
+        consumed by the error handler or propagated to the caller.
+        """
         return self._dispatched_count
 
     # ------------------------------------------------------------------
@@ -196,15 +200,17 @@ class Kernel:
     # internals
     # ------------------------------------------------------------------
     def _dispatch(self, event: ScheduledEvent) -> None:
+        # The event is marked and counted exactly once whether the
+        # callback returns, raises into a handler, or propagates out.
         try:
             event.callback()
         except Exception as exc:  # noqa: BLE001 - routed to handler by design
             if self._error_handler is None:
-                event.mark_dispatched()
                 raise
             self._error_handler(event, exc)
-        event.mark_dispatched()
-        self._dispatched_count += 1
+        finally:
+            event.mark_dispatched()
+            self._dispatched_count += 1
 
     def _ensure_not_reentrant(self) -> None:
         if self._running:

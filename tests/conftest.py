@@ -1,0 +1,17 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+from repro.exec.cache import CACHE_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Point the experiment result cache at a per-session temp directory.
+
+    Keeps tests hermetic: nothing under ``~/.cache/repro`` is read or
+    written, and cached results can never leak between unrelated runs of
+    the suite and the user's own evaluations.
+    """
+    cache_root = tmp_path_factory.getbasetemp() / "repro-result-cache"
+    monkeypatch.setenv(CACHE_ENV_VAR, str(cache_root))

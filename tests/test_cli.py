@@ -14,7 +14,93 @@ class TestCli:
 
     def test_experiments_unknown(self, capsys):
         assert main(["experiments", "fig99"]) == 2
-        assert "unknown experiment" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "available:" in err
+
+    def test_experiments_only_selection(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "experiments",
+                    "--only",
+                    "fig6,fig1",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.index("=== fig6 ===") < out.index("=== fig1 ===")
+        assert "2/2 claims hold" in out
+
+    def test_experiments_alias(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "experiments",
+                    "fig10_table1",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        assert "=== fig10 ===" in capsys.readouterr().out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "efficiency" in out
+
+    def test_experiments_save_writes_manifest(self, capsys, tmp_path):
+        import json
+
+        save_dir = tmp_path / "artifacts"
+        assert (
+            main(
+                [
+                    "experiments",
+                    "fig1",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--save",
+                    str(save_dir),
+                ]
+            )
+            == 0
+        )
+        assert (save_dir / "fig1.txt").exists()
+        manifest = json.loads((save_dir / "manifest.json").read_text())
+        assert manifest["experiments"][0]["name"] == "fig1"
+        assert manifest["cache"]["misses"] == 1
+
+    def test_experiments_warm_cache_replays(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["experiments", "fig1", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["experiments", "fig1", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "cache: 1 hit(s)" in second
+        # identical rendered figure either way (strip the stats footer)
+        assert first.split("\n\n1/1")[0] == second.split("\n\n1/1")[0]
+
+    def test_experiments_parallel_flag(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "experiments",
+                    "--only",
+                    "fig1,fig6",
+                    "--parallel",
+                    "2",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "=== fig1 ===" in out and "=== fig6 ===" in out
 
     def test_attack(self, capsys):
         assert main(["attack", "attack3", "--duration", "30"]) == 0

@@ -1,0 +1,187 @@
+"""Tests for the parallel execution engine, result cache, and manifest."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    EngineConfig,
+    ExperimentEngine,
+    ResultCache,
+    build_manifest,
+    source_tree_hash,
+    write_manifest,
+)
+from repro.experiments import ExperimentSpec, REGISTRY
+from repro.experiments.registry import register
+
+CHEAP = [("fig1", {}), ("fig6", {}), ("fig7", {})]
+
+
+def make_engine(tmp_path, **overrides):
+    config = dict(parallel=1, cache_dir=tmp_path / "cache")
+    config.update(overrides)
+    return ExperimentEngine(EngineConfig(**config))
+
+
+class TestCache:
+    def test_key_depends_on_name_and_params(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key_for("fig1", {})
+        assert cache.key_for("fig1", {}) == base
+        assert cache.key_for("fig2", {}) != base
+        assert cache.key_for("fig1", {"seed": 1}) != base
+
+    def test_tree_hash_stable_within_process(self):
+        assert source_tree_hash() == source_tree_hash()
+
+    def test_load_miss_then_store_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("fig1", {}) is None
+        cache.store("fig1", {}, {"name": "fig1", "claim_holds": True, "text": "t"})
+        payload = cache.load("fig1", {})
+        assert payload["outcome"]["text"] == "t"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store("fig1", {}, {"name": "fig1"})
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load("fig1", {}) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("fig1", {}, {"name": "fig1"})
+        assert cache.clear() == 1
+        assert cache.load("fig1", {}) is None
+
+
+class TestEngineSerial:
+    def test_cold_then_warm(self, tmp_path):
+        cold = make_engine(tmp_path).run(CHEAP)
+        assert [r.cached for r in cold.results] == [False, False, False]
+        assert cold.cache_stats.misses == 3
+        assert cold.cache_stats.stores == 3
+
+        warm_engine = make_engine(tmp_path)
+        warm = warm_engine.run(CHEAP)
+        assert [r.cached for r in warm.results] == [True, True, True]
+        assert warm.cache_stats.hits == 3
+        # replay is byte-identical
+        for a, b in zip(cold.results, warm.results):
+            assert a.outcome.text == b.outcome.text
+            assert a.outcome.claim_holds == b.outcome.claim_holds
+
+    def test_refresh_recomputes(self, tmp_path):
+        make_engine(tmp_path).run(CHEAP[:1])
+        refreshed = make_engine(tmp_path, refresh=True).run(CHEAP[:1])
+        assert refreshed.cache_stats.hits == 0
+        assert refreshed.results[0].cached is False
+        assert refreshed.cache_stats.stores == 1
+
+    def test_no_cache_leaves_disk_untouched(self, tmp_path):
+        run = make_engine(tmp_path, use_cache=False).run(CHEAP[:1])
+        assert run.results[0].cached is False
+        assert not (tmp_path / "cache").exists()
+
+    def test_results_in_request_order(self, tmp_path):
+        run = make_engine(tmp_path, use_cache=False).run(
+            [("fig7", {}), ("fig1", {}), ("fig6", {})]
+        )
+        assert [r.name for r in run.results] == ["fig7", "fig1", "fig6"]
+
+    def test_aliases_and_bare_names_accepted(self, tmp_path):
+        run = make_engine(tmp_path, use_cache=False).run(["fig1"])
+        assert run.results[0].name == "fig1"
+
+    def test_params_resolved_against_defaults(self, tmp_path):
+        run = make_engine(tmp_path, use_cache=False).run(
+            [("fig10", {"iterations": 3})]
+        )
+        assert run.results[0].params == {"iterations": 3}
+        assert run.results[0].outcome.claim_holds in (True, False)
+
+
+class TestEngineParallel:
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = make_engine(tmp_path / "a", use_cache=False).run(CHEAP)
+        fanned = make_engine(tmp_path / "b", use_cache=False, parallel=2).run(CHEAP)
+        assert [r.name for r in fanned.results] == [r.name for r in serial.results]
+        for a, b in zip(serial.results, fanned.results):
+            assert a.outcome.text == b.outcome.text
+            assert a.outcome.claim_holds == b.outcome.claim_holds
+
+    def test_parallel_populates_cache_for_serial_replay(self, tmp_path):
+        make_engine(tmp_path, parallel=2).run(CHEAP)
+        warm = make_engine(tmp_path).run(CHEAP)
+        assert warm.cache_stats.hits == 3
+
+
+class TestFailureHandling:
+    @pytest.fixture()
+    def boom_spec(self):
+        def explode():
+            raise RuntimeError("boom")
+
+        spec = ExperimentSpec(name="boom", runner=explode, description="always fails")
+        register(spec)
+        yield spec
+        REGISTRY.pop("boom", None)
+
+    def test_failure_becomes_deviation(self, tmp_path, boom_spec):
+        run = make_engine(tmp_path, use_cache=False, retries=2).run(["boom"])
+        result = run.results[0]
+        assert result.outcome.claim_holds is False
+        assert result.outcome.status == "DEVIATION"
+        assert result.attempts == 3  # 1 + 2 retries
+        assert "boom" in result.error
+
+    def test_failure_does_not_poison_other_jobs(self, tmp_path, boom_spec):
+        run = make_engine(tmp_path, use_cache=False, retries=0).run(
+            [("fig1", {}), ("boom", {}), ("fig6", {})]
+        )
+        statuses = {r.name: r.outcome.claim_holds for r in run.results}
+        assert statuses["fig1"] is True
+        assert statuses["boom"] is False
+        assert statuses["fig6"] is True
+
+    def test_failures_are_never_cached(self, tmp_path, boom_spec):
+        make_engine(tmp_path, retries=0).run(["boom"])
+        warm = make_engine(tmp_path, retries=0).run(["boom"])
+        assert warm.cache_stats.hits == 0
+
+
+class TestManifest:
+    def test_manifest_contents(self, tmp_path):
+        engine = make_engine(tmp_path)
+        run = engine.run(CHEAP)
+        manifest = build_manifest(run)
+        assert manifest["cache"] == {"hits": 0, "misses": 3, "stores": 3}
+        assert manifest["summary"]["total"] == 3
+        assert manifest["summary"]["reproduced"] == 3
+        assert [e["name"] for e in manifest["experiments"]] == [
+            "fig1",
+            "fig6",
+            "fig7",
+        ]
+        for entry in manifest["experiments"]:
+            assert entry["status"] == "REPRODUCED"
+            assert entry["cached"] is False
+            assert entry["wall_time_s"] >= 0.0
+
+    def test_write_manifest_roundtrips_as_json(self, tmp_path):
+        run = make_engine(tmp_path).run(CHEAP[:1])
+        path = write_manifest(run, tmp_path / "out")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["schema"] == 1
+        assert data["tree_hash"] == source_tree_hash()
+        assert data["engine"]["parallel"] == 1
+
+    def test_warm_manifest_shows_cache_hits(self, tmp_path):
+        make_engine(tmp_path).run(CHEAP)
+        warm = make_engine(tmp_path).run(CHEAP)
+        manifest = build_manifest(warm)
+        assert manifest["cache"]["hits"] == 3
+        assert all(e["cached"] for e in manifest["experiments"])

@@ -25,3 +25,62 @@ def test_save_outcomes(tmp_path):
     assert len(written) == 2  # fig1.txt + summary.txt
     assert (tmp_path / "fig1.txt").read_text().startswith("[REPRODUCED]")
     assert "fig1" in (tmp_path / "summary.txt").read_text()
+
+
+def test_save_outcomes_creates_missing_directories(tmp_path):
+    from repro.experiments.runner import ExperimentOutcome, save_outcomes
+
+    target = tmp_path / "deep" / "nested" / "dir"
+    outcomes = [ExperimentOutcome("fig1", True, "body")]
+    written = save_outcomes(outcomes, target)  # Path, not str — both accepted
+    assert target.is_dir()
+    assert (target / "fig1.txt").exists()
+    assert all(str(target) in path for path in written)
+
+
+def test_run_evaluation_selection_and_engine(tmp_path):
+    from repro.exec import EngineConfig, ExperimentEngine
+    from repro.experiments.runner import run_evaluation
+
+    engine = ExperimentEngine(EngineConfig(cache_dir=tmp_path / "cache"))
+    run = run_evaluation(only=["fig6", "fig1"], engine=engine)
+    assert [r.name for r in run.results] == ["fig6", "fig1"]
+    # a second evaluation through a fresh engine replays from cache
+    engine2 = ExperimentEngine(EngineConfig(cache_dir=tmp_path / "cache"))
+    warm = run_evaluation(only=["fig6", "fig1"], engine=engine2)
+    assert warm.cache_stats.hits == 2
+    assert [a.outcome.text for a in run.results] == [
+        b.outcome.text for b in warm.results
+    ]
+
+
+def test_default_jobs_paper_order_and_overrides():
+    from repro.experiments.runner import default_jobs
+
+    jobs = default_jobs(micro_iterations=7, antutu_rounds=3)
+    assert [name for name, _ in jobs][:3] == ["fig1", "fig2", "fig3"]
+    params = dict(jobs)
+    assert params["fig10"] == {"iterations": 7}
+    assert params["fig11"] == {"rounds": 3}
+    assert params["efficiency"] == {}
+
+
+def test_runner_main_writes_manifest(tmp_path, capsys):
+    from repro.experiments.runner import main
+
+    out = tmp_path / "artifacts"
+    code = main(
+        [
+            str(out),
+            "--only",
+            "fig1",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+    )
+    assert code == 0
+    assert (out / "fig1.txt").exists()
+    assert (out / "manifest.json").exists()
+    text = capsys.readouterr().out
+    assert "[REPRODUCED] fig1" in text
+    assert "1/1 experiment claims hold" in text

@@ -244,6 +244,79 @@ class TestKernel:
         assert seen == ["a", "b", "c"]
 
 
+class TestDispatchMarkAndCountSemantics:
+    """Regression: mark/count exactly once under both handler configurations."""
+
+    def test_raising_event_without_handler_is_marked_and_counted_once(self):
+        kernel = Kernel()
+        event = kernel.call_later(1.0, lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            kernel.run_for(2.0)
+        assert event.dispatched
+        assert not event.pending
+        assert kernel.dispatched_count == 1
+        # A dispatched event cannot be revived or re-cancelled.
+        assert event.cancel_if_pending() is False
+        with pytest.raises(EventCancelledError):
+            event.cancel()
+
+    def test_raising_event_with_handler_is_marked_and_counted_once(self):
+        kernel = Kernel()
+        kernel.set_error_handler(lambda event, exc: None)
+        event = kernel.call_later(1.0, lambda: 1 / 0)
+        kernel.run_for(2.0)
+        assert event.dispatched
+        assert kernel.dispatched_count == 1
+
+    def test_count_agrees_across_mixed_success_and_failure(self):
+        kernel = Kernel()
+        consumed = []
+        kernel.set_error_handler(lambda event, exc: consumed.append(exc))
+        ran = []
+        kernel.call_later(1.0, lambda: 1 / 0)
+        kernel.call_later(2.0, lambda: ran.append("ok"))
+        kernel.call_later(3.0, lambda: 1 / 0)
+        assert kernel.run_for(5.0) == 3
+        assert ran == ["ok"]
+        assert len(consumed) == 2
+        assert kernel.dispatched_count == 3
+
+    def test_count_matches_with_and_without_handler(self):
+        """The same timeline yields the same count either way."""
+
+        def build(with_handler):
+            kernel = Kernel()
+            if with_handler:
+                kernel.set_error_handler(lambda event, exc: None)
+            kernel.call_later(1.0, lambda: 1 / 0)
+            kernel.call_later(2.0, lambda: None)
+            return kernel
+
+        handled = build(with_handler=True)
+        handled.run_for(3.0)
+
+        unhandled = build(with_handler=False)
+        with pytest.raises(ZeroDivisionError):
+            unhandled.run_for(3.0)
+        # The raising event itself is counted in both configurations; the
+        # unhandled run aborted before reaching the second event.
+        assert handled.dispatched_count == 2
+        assert unhandled.dispatched_count == 1
+
+    def test_handler_exception_still_marks_event(self):
+        kernel = Kernel()
+
+        def bad_handler(event, exc):
+            raise RuntimeError("handler broke")
+
+        kernel.set_error_handler(bad_handler)
+        event = kernel.call_later(1.0, lambda: 1 / 0)
+        with pytest.raises(RuntimeError):
+            kernel.run_for(2.0)
+        assert event.dispatched
+        assert kernel.dispatched_count == 1
+
+
 class TestRepeatingTimer:
     def test_fires_on_interval(self):
         kernel = Kernel()
@@ -290,3 +363,42 @@ class TestRepeatingTimer:
     def test_invalid_interval(self):
         with pytest.raises(SchedulingError):
             Kernel().call_repeating(0.0, lambda: None)
+
+    def test_cancel_during_first_callback_stops_everything(self):
+        kernel = Kernel()
+        holder = {}
+        times = []
+
+        def tick():
+            times.append(kernel.now)
+            holder["timer"].cancel()
+
+        holder["timer"] = kernel.call_repeating(3.0, tick)
+        kernel.run_for(30.0)
+        assert times == [3.0]
+        assert holder["timer"].fire_count == 1
+        assert not holder["timer"].active
+        assert kernel.pending_events == 0  # no orphaned reschedule
+
+    def test_immediately_first_fire_is_at_creation_time(self):
+        kernel = Kernel()
+        kernel.run_for(4.0)  # arm away from t=0 to pin the fire time
+        times = []
+        kernel.call_repeating(2.5, lambda: times.append(kernel.now), immediately=True)
+        kernel.run_for(6.0)
+        assert times == [4.0, 6.5, 9.0]
+
+    def test_fire_count_spans_n_intervals(self):
+        kernel = Kernel()
+        timer = kernel.call_repeating(2.0, lambda: None)
+        kernel.run_for(11.0)  # fires at 2, 4, 6, 8, 10
+        assert timer.fire_count == 5
+        kernel.run_for(1.0)  # 12.0 lands exactly on the next interval
+        assert timer.fire_count == 6
+        assert timer.active
+
+    def test_fire_count_zero_before_first_interval(self):
+        kernel = Kernel()
+        timer = kernel.call_repeating(5.0, lambda: None)
+        kernel.run_for(4.9)
+        assert timer.fire_count == 0
