@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Bench: telemetry overhead + the meter's delta-merge power curve.
+
+Two measurements, written to ``BENCH_telemetry.json`` (CI uploads it):
+
+1. **Bus overhead** — runs one experiment twice through the engine with
+   caching disabled: once plain (default-on counters only) and once with
+   ``--telemetry`` stats capture attached.  Reports wall times, event
+   count, events/sec, and the overhead percentage; the default-on bus is
+   expected to stay within a few percent.
+2. **Power-curve merge** — times ``EnergyMeter.total_power_breakpoints``
+   (single delta-merge sweep) against the old per-time re-sum on a
+   fig3-sized trace population, verifying the two agree::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --out BENCH_telemetry.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def bench_bus_overhead(experiment: str, repeat: int) -> dict:
+    from repro.exec import EngineConfig, ExperimentEngine
+
+    def leg(telemetry: bool) -> float:
+        engine = ExperimentEngine(
+            EngineConfig(use_cache=False, telemetry=telemetry)
+        )
+        engine.run([experiment])  # warmup: imports, registry, caches
+        best = min(
+            engine.run([experiment]).total_wall_time_s for _ in range(repeat)
+        )
+        return best
+
+    plain_s = leg(telemetry=False)
+    captured_s = leg(telemetry=True)
+    captured = ExperimentEngine(
+        EngineConfig(use_cache=False, telemetry=True)
+    ).run([experiment])
+    stats = captured.results[0].telemetry or {}
+    events = int(stats.get("total_events", 0))
+    return {
+        "experiment": experiment,
+        "repeat": repeat,
+        "plain_s": plain_s,
+        "telemetry_s": captured_s,
+        "overhead_pct": (
+            (captured_s - plain_s) / plain_s * 100.0 if plain_s > 0 else None
+        ),
+        "event_count": events,
+        "events_per_sec": events / captured_s if captured_s > 0 else None,
+        "by_category": stats.get("by_category", {}),
+    }
+
+
+def _naive_breakpoints(meter) -> list:
+    """The pre-optimisation implementation, kept here as the reference."""
+    traces = list(meter._traces.values())
+    times = sorted({t for trace in traces for t, _ in trace.breakpoints()})
+    return [(t, sum(trace.power_at(t) for trace in traces)) for t in times]
+
+
+def bench_power_curve(channels: int, breakpoints: int) -> dict:
+    from repro.power import EnergyMeter
+    from repro.sim import Kernel
+
+    kernel = Kernel()
+    meter = EnergyMeter(kernel)
+    # A fig3-sized population: hours of drain across a handful of
+    # hardware channels, each toggling regularly.
+    for i in range(breakpoints):
+        for channel in range(channels):
+            kernel._clock.advance_to(float(i * channels + channel))
+            meter.set_draw(channel % 7, f"chan{channel}", 100.0 + (i % 5) * 37.0)
+
+    started = time.perf_counter()
+    merged = meter.total_power_breakpoints()
+    merged_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reference = _naive_breakpoints(meter)
+    naive_s = time.perf_counter() - started
+
+    matches = len(merged) == len(reference) and all(
+        a[0] == b[0] and abs(a[1] - b[1]) < 1e-6
+        for a, b in zip(merged, reference)
+    )
+    return {
+        "channels": channels,
+        "breakpoints_per_channel": breakpoints,
+        "total_breakpoints": channels * breakpoints,
+        "delta_merge_s": merged_s,
+        "naive_resum_s": naive_s,
+        "speedup": naive_s / merged_s if merged_s > 0 else None,
+        "curves_match": matches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment", default="fig9", help="experiment for the overhead leg"
+    )
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--channels", type=int, default=12)
+    parser.add_argument("--breakpoints", type=int, default=4000)
+    parser.add_argument("--out", default="BENCH_telemetry.json")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "bench": "telemetry",
+        "bus_overhead": bench_bus_overhead(args.experiment, args.repeat),
+        "power_curve": bench_power_curve(args.channels, args.breakpoints),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+
+    if not payload["power_curve"]["curves_match"]:
+        print("FAIL: delta-merge curve deviates from the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,8 @@ Orchestrates every component interaction the paper's attacks abuse:
 * force-stop and binder-death cleanup.
 
 The paper's E-Android "mainly relies on 'am' ... to record collateral
-energy events" (§V); here those recording points are the
-:class:`~repro.android.observers.ObserverRegistry` notifications.
+energy events" (§V); here those recording points are typed event
+publications on the device's :class:`~repro.telemetry.TelemetryBus`.
 """
 
 from __future__ import annotations
@@ -26,7 +26,18 @@ from .app import App, Context
 from .errors import ActivityNotFoundError, BadStateError, SecurityException
 from .intent import ComponentName, Intent
 from .manifest import REORDER_TASKS, ComponentKind
-from .observers import ObserverRegistry
+from ..telemetry import (
+    ActivityFinishedEvent,
+    ActivityMoveToFrontEvent,
+    ActivityStartEvent,
+    ForegroundChangedEvent,
+    ServiceBindEvent,
+    ServiceStartEvent,
+    ServiceStopEvent,
+    ServiceStopSelfEvent,
+    ServiceUnbindEvent,
+    TelemetryBus,
+)
 from .service import Service, ServiceConnection, ServiceRecord, ServiceState
 from .task_stack import TaskStackSupervisor
 from .timeline import ForegroundTimeline
@@ -55,14 +66,14 @@ class ActivityManager:
         processes: "ProcessTable",
         binder: "Binder",
         display: "DisplayManager",
-        observers: ObserverRegistry,
+        telemetry: TelemetryBus,
     ) -> None:
         self._kernel = kernel
         self._pm = package_manager
         self._processes = processes
         self._binder = binder
         self._display = display
-        self._observers = observers
+        self._telemetry = telemetry
         self.supervisor = TaskStackSupervisor()
         self.timeline = ForegroundTimeline()
         self._services: Dict[ServiceKey, ServiceRecord] = {}
@@ -108,8 +119,14 @@ class ActivityManager:
         now = self._kernel.now
         self.timeline.record(now, new_uid)
         self._display.set_foreground_uid(new_uid)
-        self._observers.notify(
-            "on_foreground_changed", now, previous, new_uid, cause, initiator_uid
+        self._telemetry.publish(
+            ForegroundChangedEvent(
+                time=now,
+                previous_uid=previous,
+                new_uid=new_uid,
+                cause=cause,
+                initiator_uid=initiator_uid,
+            )
         )
         self._ui_invalidate()
 
@@ -185,14 +202,15 @@ class ActivityManager:
         if not record.transparent:
             self._stop_covered(except_record=record)
 
-        self._observers.notify(
-            "on_activity_start",
-            self._kernel.now,
-            caller_uid,
-            app.uid,
-            record,
-            resolved_intent,
-            user_initiated,
+        self._telemetry.publish(
+            ActivityStartEvent(
+                time=self._kernel.now,
+                caller_uid=caller_uid,
+                target_uid=app.uid,
+                record=record,
+                intent=resolved_intent,
+                user_initiated=user_initiated,
+            )
         )
         self._note_foreground("start", None if user_initiated else caller_uid)
         return record
@@ -231,12 +249,13 @@ class ActivityManager:
         self._bring_to_resumed(target)
         if not target.transparent:
             self._stop_covered(except_record=target)
-        self._observers.notify(
-            "on_activity_move_to_front",
-            self._kernel.now,
-            caller_uid,
-            target.uid,
-            user_initiated,
+        self._telemetry.publish(
+            ActivityMoveToFrontEvent(
+                time=self._kernel.now,
+                caller_uid=caller_uid,
+                target_uid=target.uid,
+                user_initiated=user_initiated,
+            )
         )
         self._note_foreground(
             "move_front", None if user_initiated else caller_uid
@@ -253,7 +272,9 @@ class ActivityManager:
             task.remove(record)
             self.supervisor.remove_if_empty(task)
         self._teardown(record)
-        self._observers.notify("on_activity_finished", self._kernel.now, record)
+        self._telemetry.publish(
+            ActivityFinishedEvent(time=self._kernel.now, record=record)
+        )
         if was_foreground:
             new_front = self.supervisor.front_record()
             if new_front is not None:
@@ -295,8 +316,13 @@ class ActivityManager:
         record, app = self._resolve_or_create_service(caller_uid, intent)
         record.started = True
         record.instance.on_start_command(intent)
-        self._observers.notify(
-            "on_service_start", self._kernel.now, caller_uid, record.uid, record
+        self._telemetry.publish(
+            ServiceStartEvent(
+                time=self._kernel.now,
+                caller_uid=caller_uid,
+                target_uid=record.uid,
+                record=record,
+            )
         )
         return record
 
@@ -310,8 +336,13 @@ class ActivityManager:
         assert app.uid is not None
         self._binder.transact(caller_uid, app.uid)
         record.started = False
-        self._observers.notify(
-            "on_service_stop", self._kernel.now, caller_uid, record.uid, record
+        self._telemetry.publish(
+            ServiceStopEvent(
+                time=self._kernel.now,
+                caller_uid=caller_uid,
+                target_uid=record.uid,
+                record=record,
+            )
         )
         self._maybe_destroy_service(record)
         return True
@@ -321,7 +352,9 @@ class ActivityManager:
         if record.state == ServiceState.DESTROYED:
             raise BadStateError(f"{record} already destroyed")
         record.started = False
-        self._observers.notify("on_service_stop_self", self._kernel.now, record)
+        self._telemetry.publish(
+            ServiceStopSelfEvent(time=self._kernel.now, record=record)
+        )
         self._maybe_destroy_service(record)
 
     def bind_service(self, caller_uid: int, intent: Intent) -> ServiceConnection:
@@ -341,8 +374,13 @@ class ActivityManager:
             caller_process.pid,
             lambda _dead, conn=connection: self._unbind_by_death(conn),
         )
-        self._observers.notify(
-            "on_service_bind", self._kernel.now, caller_uid, record.uid, record
+        self._telemetry.publish(
+            ServiceBindEvent(
+                time=self._kernel.now,
+                caller_uid=caller_uid,
+                target_uid=record.uid,
+                record=record,
+            )
         )
         return connection
 
@@ -366,12 +404,13 @@ class ActivityManager:
         record.remove_connection(connection)
         if not record.connections:
             record.instance.on_unbind()
-        self._observers.notify(
-            "on_service_unbind",
-            self._kernel.now,
-            connection.client_uid,
-            record.uid,
-            record,
+        self._telemetry.publish(
+            ServiceUnbindEvent(
+                time=self._kernel.now,
+                caller_uid=connection.client_uid,
+                target_uid=record.uid,
+                record=record,
+            )
         )
         self._maybe_destroy_service(record)
 
@@ -440,7 +479,9 @@ class ActivityManager:
                 task.remove(record)
                 self.supervisor.remove_if_empty(task)
             self._teardown(record)
-            self._observers.notify("on_activity_finished", self._kernel.now, record)
+            self._telemetry.publish(
+                ActivityFinishedEvent(time=self._kernel.now, record=record)
+            )
         # Destroy this app's services (incoming bindings die with it);
         # observers hear the forced unbinds/stops so trackers stay exact.
         for record in [s for s in self._services.values() if s.uid == app.uid]:
@@ -450,17 +491,23 @@ class ActivityManager:
                     connection.death_token = None
                 connection.bound = False
                 record.remove_connection(connection)
-                self._observers.notify(
-                    "on_service_unbind",
-                    self._kernel.now,
-                    connection.client_uid,
-                    record.uid,
-                    record,
+                self._telemetry.publish(
+                    ServiceUnbindEvent(
+                        time=self._kernel.now,
+                        caller_uid=connection.client_uid,
+                        target_uid=record.uid,
+                        record=record,
+                    )
                 )
             if record.started:
                 record.started = False
-                self._observers.notify(
-                    "on_service_stop", self._kernel.now, app.uid, record.uid, record
+                self._telemetry.publish(
+                    ServiceStopEvent(
+                        time=self._kernel.now,
+                        caller_uid=app.uid,
+                        target_uid=record.uid,
+                        record=record,
+                    )
                 )
             self._destroy_service(record)
         # Kill the process: fires link-to-death for wakelocks and for the

@@ -10,7 +10,7 @@ Brightness on Android is resolved from three sources, in priority order:
    switched to manual (§IV-A);
 3. in manual mode, the ``screen_brightness`` setting.
 
-Every effective-brightness change is published to framework observers
+Every effective-brightness change is published on the telemetry bus
 with the causing uid, which is the raw material for E-Android's screen
 attack tracker (Fig. 5d).
 """
@@ -20,7 +20,12 @@ from __future__ import annotations
 from typing import Dict, Optional, TYPE_CHECKING
 
 from ..power.components import ScreenModel
-from .observers import ObserverRegistry
+from ..telemetry import (
+    BrightnessChangeEvent,
+    BrightnessModeChangeEvent,
+    ScreenStateEvent,
+    TelemetryBus,
+)
 from .settings import (
     BRIGHTNESS_MODE_AUTOMATIC,
     BRIGHTNESS_MODE_MANUAL,
@@ -42,12 +47,12 @@ class DisplayManager:
         kernel: "Kernel",
         screen: ScreenModel,
         settings: SettingsProvider,
-        observers: ObserverRegistry,
+        telemetry: TelemetryBus,
     ) -> None:
         self._kernel = kernel
         self._screen = screen
         self._settings = settings
-        self._observers = observers
+        self._telemetry = telemetry
         self._foreground_uid: Optional[int] = None
         self._window_brightness: Dict[int, int] = {}
         # Ambient-sensor-driven level used in automatic mode.
@@ -91,14 +96,18 @@ class DisplayManager:
         """Light the panel and apply the effective brightness."""
         if not self._screen.is_on:
             self._screen.turn_on()
-            self._observers.notify("on_screen_state", self._kernel.now, True)
+            self._telemetry.publish(
+                ScreenStateEvent(time=self._kernel.now, is_on=True)
+            )
         self._recompute(cause_uid=None, via="screen_on")
 
     def screen_off(self) -> None:
         """Power the panel down."""
         if self._screen.is_on:
             self._screen.turn_off()
-            self._observers.notify("on_screen_state", self._kernel.now, False)
+            self._telemetry.publish(
+                ScreenStateEvent(time=self._kernel.now, is_on=False)
+            )
 
     def dim(self) -> None:
         """Enter the dim pre-timeout state."""
@@ -149,12 +158,13 @@ class DisplayManager:
     def _on_setting_change(self, change: SettingChange) -> None:
         if change.key == SCREEN_BRIGHTNESS_MODE:
             manual = change.new_value == BRIGHTNESS_MODE_MANUAL
-            self._observers.notify(
-                "on_brightness_mode_change",
-                change.time,
-                change.caller_uid,
-                manual,
-                "settings",
+            self._telemetry.publish(
+                BrightnessModeChangeEvent(
+                    time=change.time,
+                    caller_uid=change.caller_uid,
+                    manual=manual,
+                    via="settings",
+                )
             )
             self._recompute(cause_uid=change.caller_uid, via="settings")
         elif change.key == SCREEN_BRIGHTNESS:
@@ -165,6 +175,12 @@ class DisplayManager:
         new = self.effective_brightness()
         if new != old:
             self._screen.set_brightness(new)
-            self._observers.notify(
-                "on_brightness_change", self._kernel.now, cause_uid, old, new, via
+            self._telemetry.publish(
+                BrightnessChangeEvent(
+                    time=self._kernel.now,
+                    caller_uid=cause_uid,
+                    old_level=old,
+                    new_level=new,
+                    via=via,
+                )
             )

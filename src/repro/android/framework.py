@@ -6,8 +6,15 @@ scenario drivers use (install apps, press buttons, unlock the screen).
 
 Stock "Android" is an :class:`AndroidSystem` with a baseline profiler
 attached; "E-Android" is the same system with the E-Android monitor
-registered as a framework observer — mirroring the paper's design where
-E-Android is a framework extension, not a separate OS.
+subscribed to the device's telemetry bus — mirroring the paper's design
+where E-Android is a framework extension, not a separate OS.
+
+Every observable event in the device flows through one
+:class:`~repro.telemetry.TelemetryBus` (``system.telemetry``): framework
+services publish typed activity/service/wakelock/screen events, the sim
+kernel publishes dispatch/timer spans, and the hardware meter publishes
+draw changes.  Legacy :class:`FrameworkObserver` registration still
+works through the :class:`ObserverRegistry` bridge.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from ..power.battery import Battery
 from ..power.profiles import NEXUS4, DevicePowerProfile
 from ..sim.kernel import Kernel
 from ..sim.process import ProcessTable
+from ..telemetry import TelemetryBus
 from .activity import ActivityRecord
 from .activity_manager import ActivityManager
 from .app import App
@@ -52,16 +60,18 @@ class AndroidSystem:
 
     def __init__(self, profile: DevicePowerProfile = NEXUS4) -> None:
         self.kernel = Kernel()
+        self.telemetry = TelemetryBus()
+        self.kernel.set_telemetry(self.telemetry)
         self.profile = profile
-        self.hardware = HardwarePlatform(self.kernel, profile)
+        self.hardware = HardwarePlatform(self.kernel, profile, telemetry=self.telemetry)
         self.battery = Battery(self.kernel, self.hardware.meter, profile.battery_capacity_j)
         self.processes = ProcessTable()
         self.binder = Binder(self.processes)
-        self.observers = ObserverRegistry()
+        self.observers = ObserverRegistry(self.telemetry)
         self.package_manager = PackageManager()
         self.settings = SettingsProvider(self.package_manager, lambda: self.kernel.now)
         self.display = DisplayManager(
-            self.kernel, self.hardware.screen, self.settings, self.observers
+            self.kernel, self.hardware.screen, self.settings, self.telemetry
         )
         self.am = ActivityManager(
             self.kernel,
@@ -69,7 +79,7 @@ class AndroidSystem:
             self.processes,
             self.binder,
             self.display,
-            self.observers,
+            self.telemetry,
         )
         self.power_manager = PowerManagerService(
             self.kernel,
@@ -79,7 +89,7 @@ class AndroidSystem:
             self.package_manager,
             self.binder,
             self.am.process_of_uid,
-            self.observers,
+            self.telemetry,
         )
         self.surfaceflinger = SurfaceFlinger(self.am.foreground_record)
         self.am.set_ui_invalidate(self.surfaceflinger.invalidate)
@@ -121,7 +131,11 @@ class AndroidSystem:
         self.package_manager.uninstall(package)
 
     def register_observer(self, observer: FrameworkObserver) -> None:
-        """Attach a framework observer (how E-Android plugs in)."""
+        """Attach a legacy framework observer via the compat bridge.
+
+        Deprecated in favour of subscribing to ``self.telemetry``
+        directly with typed events; kept for existing tools and tests.
+        """
         self.observers.register(observer)
 
     # ------------------------------------------------------------------

@@ -1,17 +1,38 @@
-"""Framework observation interface.
+"""Framework observation interface (legacy) and its bus bridge.
 
 E-Android's first component is "an extension of the Android framework to
 record all events that potentially invoke collateral energy bugs"
-(§IV).  In the simulator those extension points are expressed as an
-observer interface: the ActivityManager, PowerManagerService, display
-manager and settings provider publish every relevant event to registered
-:class:`FrameworkObserver` instances.  Stock "Android" runs with no
-observers; E-Android attaches its monitor; tests attach recorders.
+(§IV).  Those extension points used to be expressed *only* as the
+:class:`FrameworkObserver` interface below, fanned out through a
+stringly-typed ``notify(method, *args)`` reflection loop.  The framework
+services now publish **typed events** on the device's
+:class:`~repro.telemetry.TelemetryBus` instead; this module keeps the
+old observer surface alive as a compatibility shim:
+
+* :class:`ObserverRegistry` subscribes one bridge callback to the bus's
+  framework categories and replays each typed event into the matching
+  ``on_*`` hook of every registered :class:`FrameworkObserver`;
+* fan-out is error-isolated — a raising observer no longer prevents
+  delivery to later observers, and the failure is surfaced once with
+  the offending observer named.
+
+**Deprecation path:** new code should subscribe to the bus directly
+(``system.telemetry.subscribe(...)``) with typed events; direct
+``FrameworkObserver`` registration remains supported for existing tools
+but will not grow new hooks.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, List, Optional
+
+from ..telemetry import (
+    FRAMEWORK_CATEGORIES,
+    TelemetryBus,
+    TelemetrySubscriberWarning,
+)
+from ..telemetry.events import TelemetryEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .activity import ActivityRecord
@@ -118,27 +139,73 @@ class FrameworkObserver:
 
 
 class ObserverRegistry:
-    """Fan-out helper the framework services publish through."""
+    """Compatibility shim bridging legacy observers onto the event bus.
 
-    def __init__(self) -> None:
+    With a bus attached, registering the first observer subscribes one
+    bridge callback per framework category; each typed event is replayed
+    into the matching ``on_*`` hook of every registered observer, in
+    registration order, with per-observer error isolation.  Without a
+    bus (standalone use in tests/tools) only the direct :meth:`notify`
+    path is available.
+    """
+
+    def __init__(self, bus: Optional[TelemetryBus] = None) -> None:
+        self._bus = bus
         self._observers: List[FrameworkObserver] = []
+        self._subscriptions: List[object] = []
 
     def register(self, observer: FrameworkObserver) -> None:
         """Attach an observer; events fan out in registration order."""
         self._observers.append(observer)
+        if self._bus is not None and not self._subscriptions:
+            self._subscriptions = [
+                self._bus.subscribe(
+                    self._bridge, category=category, name="observer-registry"
+                )
+                for category in FRAMEWORK_CATEGORIES
+            ]
 
     def unregister(self, observer: FrameworkObserver) -> bool:
         """Detach an observer; returns whether it was registered."""
         try:
             self._observers.remove(observer)
-            return True
         except ValueError:
             return False
+        if self._bus is not None and not self._observers:
+            for subscription in self._subscriptions:
+                self._bus.unsubscribe(subscription)
+            self._subscriptions = []
+        return True
+
+    def _bridge(self, event: TelemetryEvent) -> None:
+        """Replay one typed event into every observer's legacy hook."""
+        hook = event.hook
+        if hook is None:
+            return
+        self.notify(hook, *event.hook_args())
 
     def notify(self, method: str, *args, **kwargs) -> None:
-        """Invoke ``method`` on every registered observer."""
-        for observer in self._observers:
-            getattr(observer, method)(*args, **kwargs)
+        """Invoke ``method`` on every registered observer, error-isolated.
+
+        A raising observer does not prevent delivery to later observers;
+        each failure is surfaced once as a
+        :class:`~repro.telemetry.TelemetrySubscriberWarning` naming the
+        offending observer (and recorded on the bus, when attached).
+        """
+        for observer in list(self._observers):
+            try:
+                getattr(observer, method)(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                name = f"{type(observer).__name__}.{method}"
+                if self._bus is not None:
+                    self._bus.report_subscriber_error(name, method, exc)
+                else:
+                    warnings.warn(
+                        f"framework observer {name!r} raised {exc!r}; "
+                        "delivery to other observers continued",
+                        TelemetrySubscriberWarning,
+                        stacklevel=2,
+                    )
 
     def __len__(self) -> int:
         return len(self._observers)

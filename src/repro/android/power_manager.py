@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from .errors import BadStateError, SecurityException
 from .manifest import WAKE_LOCK
-from .observers import ObserverRegistry
+from ..telemetry import TelemetryBus, WakelockAcquireEvent, WakelockReleaseEvent
 from .settings import SCREEN_OFF_TIMEOUT, SettingsProvider
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -79,7 +79,7 @@ class PowerManagerService:
         package_manager: "PackageManager",
         binder: "Binder",
         process_of_uid: Callable[[int], Optional["ProcessRecord"]],
-        observers: ObserverRegistry,
+        telemetry: TelemetryBus,
     ) -> None:
         self._kernel = kernel
         self._hardware = hardware
@@ -88,7 +88,7 @@ class PowerManagerService:
         self._package_manager = package_manager
         self._binder = binder
         self._process_of_uid = process_of_uid
-        self._observers = observers
+        self._telemetry = telemetry
         self._lock_ids = itertools.count(1)
         self._locks: Dict[int, WakeLock] = {}
         self._timeout_event: Optional["ScheduledEvent"] = None
@@ -118,8 +118,10 @@ class PowerManagerService:
             lock._death_token = self._binder.link_to_death(
                 process.pid, lambda _dead, lock=lock: self._release_by_death(lock)
             )
-        self._observers.notify(
-            "on_wakelock_acquire", self._kernel.now, uid, lock_type, tag
+        self._telemetry.publish(
+            WakelockAcquireEvent(
+                time=self._kernel.now, uid=uid, lock_type=lock_type, tag=tag
+            )
         )
         if lock.keeps_screen_on:
             self.wake_up()
@@ -149,13 +151,14 @@ class PowerManagerService:
         if lock._death_token is not None and not by_death:
             self._binder.unlink_to_death(lock._death_token)
         lock._death_token = None
-        self._observers.notify(
-            "on_wakelock_release",
-            self._kernel.now,
-            lock.uid,
-            lock.lock_type,
-            lock.tag,
-            by_death,
+        self._telemetry.publish(
+            WakelockReleaseEvent(
+                time=self._kernel.now,
+                uid=lock.uid,
+                lock_type=lock.lock_type,
+                tag=lock.tag,
+                by_death=by_death,
+            )
         )
         if not self._screen_locks() and self._interactive:
             self._restart_timeout()

@@ -8,12 +8,16 @@ Commands:
   ``--cache-dir``/``--no-cache``/``--refresh`` control the result cache,
   ``--save DIR`` writes text artifacts plus ``manifest.json``);
 * ``attack NAME`` — run one attack scenario and print the Android vs
-  E-Android views plus the detector's verdict;
+  E-Android views plus the detector's verdict (``--trace-out FILE``
+  additionally writes a Chrome trace-event JSON of the run,
+  ``--telemetry`` prints the event-bus metrics summary);
 * ``census [--seed N]`` — the Fig. 2 corpus census;
 * ``drain`` — the Fig. 3 battery study;
 * ``dumpsys`` — boot a demo device, run scene #1, dump all services;
 * ``trace NAME --out FILE`` — run an attack, capture the device trace to
-  JSON, and verify the offline analyzer reproduces the live report;
+  JSON, and verify the offline analyzer reproduces the live report
+  (``--trace-out FILE`` writes the Chrome trace-event view,
+  ``--telemetry`` prints bus metrics);
 * ``chains NAME`` — run an attack and print the attack-graph analysis.
 """
 
@@ -55,12 +59,22 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir or None,
             use_cache=not args.no_cache,
             refresh=args.refresh,
+            telemetry=args.telemetry,
         )
     )
     run = engine.run([spec.name for spec in specs])
     for result in run.results:
         print(f"\n=== {result.name} ===")
         print(result.outcome.text)
+
+    if args.telemetry:
+        for result in run.results:
+            stats = result.telemetry or {}
+            print(
+                f"[telemetry] {result.name}: "
+                f"{stats.get('total_events', 0)} event(s) "
+                f"across {stats.get('buses', 0)} bus(es)"
+            )
 
     outcomes = run.outcomes()
     failed = [o.name for o in outcomes if not o.claim_holds]
@@ -87,7 +101,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         print(f"unknown attack {args.name!r}; available: {', '.join(runners)}",
               file=sys.stderr)
         return 2
-    run = runners[args.name](args.duration)
+    run, recorder = _run_with_telemetry(runners[args.name], args)
     print(f"--- stock Android view ({run.name}) ---")
     print(run.android_report().render_text())
     print("\n--- E-Android view ---")
@@ -95,7 +109,48 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     print("\n--- detector ---")
     detector = CollateralEnergyDetector(run.system, run.eandroid.accounting)
     print(detector.render_text(run.start, run.end))
+    _finish_telemetry(run, recorder, args)
     return 0
+
+
+def _run_with_telemetry(runner, args):
+    """Run a scenario, recording bus events when the flags ask for it."""
+    from .telemetry import capture
+
+    if getattr(args, "trace_out", "") or getattr(args, "telemetry", False):
+        with capture() as recorder:
+            run = runner(args.duration)
+        return run, recorder
+    return runner(args.duration), None
+
+
+def _finish_telemetry(run, recorder, args) -> None:
+    """Write ``--trace-out`` / print ``--telemetry`` for a recorded run."""
+    from .telemetry import render_metrics_text, write_chrome_trace
+
+    if recorder is None:
+        return
+    if getattr(args, "trace_out", ""):
+        path = write_chrome_trace(
+            args.trace_out,
+            recorder.events,
+            labels=_uid_labels(run.system),
+            end_time=run.system.now,
+        )
+        print(f"\nchrome trace written to {path} "
+              f"({len(recorder.events)} event(s))")
+    if getattr(args, "telemetry", False):
+        print()
+        print(render_metrics_text(recorder.stats()))
+
+
+def _uid_labels(system) -> dict:
+    """uid -> display label for trace track names."""
+    return {
+        app.uid: app.label
+        for app in system.package_manager.installed_apps()
+        if app.uid is not None
+    }
 
 
 def _attack_runners():
@@ -115,7 +170,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"unknown attack {args.name!r}; available: {', '.join(runners)}",
               file=sys.stderr)
         return 2
-    run = runners[args.name](args.duration)
+    run, recorder = _run_with_telemetry(runners[args.name], args)
     trace = capture_trace(run.system, run.eandroid)
     text = trace.to_json(indent=2)
     if args.out:
@@ -125,6 +180,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     analyzer = OfflineAnalyzer(DeviceTrace.from_json(text))
     print("\n--- offline E-Android reconstruction ---")
     print(analyzer.eandroid_report(run.start, run.end).render_text())
+    _finish_telemetry(run, recorder, args)
     return 0
 
 
@@ -207,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default="", help="write text artifacts + manifest.json here"
     )
     experiments.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-experiment event-bus stats into the manifest",
+    )
+    experiments.add_argument(
         "--list", action="store_true", help="list the selection and exit"
     )
     experiments.set_defaults(func=_cmd_experiments)
@@ -217,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument(
         "--duration", type=float, default=60.0, help="attack window (virtual s)"
+    )
+    attack.add_argument(
+        "--trace-out", default="", help="write a Chrome trace-event JSON here"
+    )
+    attack.add_argument(
+        "--telemetry", action="store_true", help="print event-bus metrics"
     )
     attack.set_defaults(func=_cmd_attack)
 
@@ -234,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("name", help="attack1..attack6, multi, hybrid")
     trace.add_argument("--duration", type=float, default=60.0)
     trace.add_argument("--out", default="", help="write the JSON trace here")
+    trace.add_argument(
+        "--trace-out", default="", help="write a Chrome trace-event JSON here"
+    )
+    trace.add_argument(
+        "--telemetry", action="store_true", help="print event-bus metrics"
+    )
     trace.set_defaults(func=_cmd_trace)
 
     chains = sub.add_parser("chains", help="attack-graph analysis of a run")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..power.meter import EnergyMeter
+from ..telemetry import AttackWindowBeginEvent, AttackWindowEndEvent, TelemetryBus
 from .energy_map import CollateralEnergyMap, CollateralMapSet
 from .links import SCREEN_TARGET, AttackKind, AttackLink, LinkGraph
 from .policy import ChargePolicy, FullCharge
@@ -33,9 +34,11 @@ class EAndroidAccounting:
         kernel: "Kernel",
         meter: EnergyMeter,
         policy: Optional[ChargePolicy] = None,
+        telemetry: Optional[TelemetryBus] = None,
     ) -> None:
         self._kernel = kernel
         self._meter = meter
+        self._telemetry = telemetry
         self.policy = policy if policy is not None else FullCharge()
         self.graph = LinkGraph()
         self.maps = CollateralMapSet()
@@ -51,12 +54,34 @@ class EAndroidAccounting:
             kind, driving_uid, target, self._kernel.now, detail=detail
         )
         self.maps.sync(self._kernel.now, self.graph)
+        if self._telemetry is not None:
+            self._telemetry.publish(
+                AttackWindowBeginEvent(
+                    time=link.begin_time,
+                    kind=kind.value,
+                    attacker_uid=driving_uid,
+                    target=target,
+                    link_id=link.link_id,
+                    detail=detail,
+                )
+            )
         return link
 
     def end_attack(self, link: AttackLink) -> None:
         """Close an attack link and update every affected map."""
         self.graph.end(link, self._kernel.now)
         self.maps.sync(self._kernel.now, self.graph)
+        if self._telemetry is not None:
+            self._telemetry.publish(
+                AttackWindowEndEvent(
+                    time=self._kernel.now,
+                    kind=link.kind.value,
+                    attacker_uid=link.driving_uid,
+                    target=link.target,
+                    link_id=link.link_id,
+                    duration_s=link.duration(self._kernel.now),
+                )
+            )
 
     # ------------------------------------------------------------------
     # energy queries

@@ -2,9 +2,9 @@
 
 :func:`attach_eandroid` is the public one-call entry point: given a
 simulated device and a baseline interface choice, it builds the
-accounting module, registers the monitor as a framework observer, and
-returns an :class:`EAndroid` bundle exposing the revised battery
-interface — the same "modify the framework, keep the interface" shape
+accounting module, subscribes the monitor to the device's telemetry
+bus, and returns an :class:`EAndroid` bundle exposing the revised
+battery interface — the same "modify the framework, keep the interface" shape
 as the paper's implementation on Android 5.0.1.
 """
 
@@ -40,7 +40,7 @@ class EAndroid:
 
     def detach(self) -> None:
         """Unhook the monitor (used by the overhead ablations)."""
-        self.system.observers.unregister(self.monitor)
+        self.monitor.detach()
 
 
 def attach_eandroid(
@@ -61,9 +61,14 @@ def attach_eandroid(
     """
     if baseline is None:
         baseline = BatteryStats(system)
-    accounting = EAndroidAccounting(system.kernel, system.hardware.meter, policy=policy)
+    accounting = EAndroidAccounting(
+        system.kernel,
+        system.hardware.meter,
+        policy=policy,
+        telemetry=system.telemetry,
+    )
     monitor = EAndroidMonitor(system, accounting)
-    system.register_observer(monitor)
+    monitor.attach(system.telemetry)
     interface = EAndroidBatteryInterface(system, baseline, accounting)
     return EAndroid(
         system=system, accounting=accounting, monitor=monitor, interface=interface

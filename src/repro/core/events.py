@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 class CollateralEventType(Enum):
@@ -55,22 +55,29 @@ class CollateralEvent:
 
 
 class EventLog:
-    """Append-only journal of collateral events."""
+    """Append-only journal of collateral events.
+
+    Maintains a per-type index so :meth:`of_type` is O(matches) rather
+    than a scan of the whole journal — profiler report paths query the
+    log once per event type per report.
+    """
 
     def __init__(self) -> None:
-        self._events: list = []
+        self._events: List[CollateralEvent] = []
+        self._by_type: Dict[CollateralEventType, List[CollateralEvent]] = {}
 
     def record(self, event: CollateralEvent) -> None:
         """Append one event."""
         self._events.append(event)
+        self._by_type.setdefault(event.event_type, []).append(event)
 
-    def all(self) -> list:
+    def all(self) -> List[CollateralEvent]:
         """Every event (copy)."""
         return list(self._events)
 
-    def of_type(self, event_type: CollateralEventType) -> list:
-        """Events of one type."""
-        return [e for e in self._events if e.event_type == event_type]
+    def of_type(self, event_type: CollateralEventType) -> List[CollateralEvent]:
+        """Events of one type (copy, in journal order)."""
+        return list(self._by_type.get(event_type, ()))
 
     def __len__(self) -> int:
         return len(self._events)

@@ -24,10 +24,12 @@ never charged as *targets* — but their events are still journaled
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..android.observers import FrameworkObserver
 from ..android.power_manager import SCREEN_LOCK_TYPES
+from ..telemetry import FRAMEWORK_CATEGORIES, Subscription, TelemetryBus
+from ..telemetry.events import TelemetryEvent
 from .accounting import EAndroidAccounting
 from .events import CollateralEvent, CollateralEventType, EventLog
 from .links import SCREEN_TARGET, AttackKind, AttackLink
@@ -40,7 +42,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class EAndroidMonitor(FrameworkObserver):
-    """Framework hooks → event journal + attack-lifecycle tracking."""
+    """Telemetry-bus subscriber → event journal + attack tracking.
+
+    The monitor subscribes to the device bus's framework categories
+    (:meth:`attach`) and dispatches each typed event to the matching
+    ``on_*`` handler below.  The handlers keep the legacy
+    :class:`~repro.android.observers.FrameworkObserver` signatures, so
+    the monitor can still be driven directly in unit tests.
+    """
 
     def __init__(
         self,
@@ -70,6 +79,8 @@ class EAndroidMonitor(FrameworkObserver):
         # Fig. 5e: screen-wakelock held counts and live links per app.
         self._wakelock_links: Dict[int, AttackLink] = {}
         self._screen_lock_counts: Dict[int, int] = {}
+        self._subscriptions: List[Subscription] = []
+        self._bus: Optional[TelemetryBus] = None
         # Attaching mid-run (the real deployment case: E-Android boots
         # with the device, but tests/tools may attach late): prime the
         # wakelock census from PowerManagerService so Fig. 5e tracking
@@ -79,6 +90,36 @@ class EAndroidMonitor(FrameworkObserver):
                 self._screen_lock_counts[lock.uid] = (
                     self._screen_lock_counts.get(lock.uid, 0) + 1
                 )
+
+    # ------------------------------------------------------------------
+    # bus subscription
+    # ------------------------------------------------------------------
+    def attach(self, bus: TelemetryBus) -> None:
+        """Subscribe to the device bus's framework categories."""
+        if self._subscriptions:
+            raise RuntimeError("monitor is already attached")
+        self._subscriptions = [
+            bus.subscribe(self._on_event, category=category, name="eandroid-monitor")
+            for category in FRAMEWORK_CATEGORIES
+        ]
+        self._bus = bus
+
+    def detach(self) -> None:
+        """Unsubscribe (used by the overhead ablations); idempotent."""
+        for subscription in self._subscriptions:
+            self._bus.unsubscribe(subscription)
+        self._subscriptions = []
+
+    @property
+    def attached(self) -> bool:
+        """Whether the monitor is currently subscribed to a bus."""
+        return bool(self._subscriptions)
+
+    def _on_event(self, event: TelemetryEvent) -> None:
+        """Dispatch one typed event to its legacy-signature handler."""
+        hook = event.hook
+        if hook is not None:
+            getattr(self, hook)(*event.hook_args())
 
     # ------------------------------------------------------------------
     # helpers

@@ -117,6 +117,7 @@ class ResultCache:
         params: Mapping[str, Any],
         outcome: Mapping[str, Any],
         wall_time_s: float = 0.0,
+        telemetry: Optional[Mapping[str, Any]] = None,
     ) -> Path:
         """Persist one result; the write is atomic (tmp file + rename)."""
         path = self.path_for(name, params)
@@ -129,6 +130,8 @@ class ResultCache:
             "wall_time_s": wall_time_s,
             "outcome": dict(outcome),
         }
+        if telemetry is not None:
+            payload["telemetry"] = dict(telemetry)
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")

@@ -48,6 +48,7 @@ class EngineConfig:
     use_cache: bool = True
     refresh: bool = False
     retries: int = 1  # extra attempts after a worker failure
+    telemetry: bool = False  # collect per-experiment event-bus stats
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (for the run manifest)."""
@@ -57,6 +58,7 @@ class EngineConfig:
             "use_cache": self.use_cache,
             "refresh": self.refresh,
             "retries": self.retries,
+            "telemetry": self.telemetry,
         }
 
 
@@ -71,6 +73,7 @@ class JobResult:
     cached: bool = False
     attempts: int = 0
     error: Optional[str] = None
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -87,24 +90,39 @@ class EngineRun:
         return [result.outcome for result in self.results]
 
 
-def _execute_job(name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+def _execute_job(
+    name: str, params: Dict[str, Any], telemetry: bool = False
+) -> Dict[str, Any]:
     """Run one experiment to a JSON-ready payload (worker entry point).
 
     Must stay a module-level function so it pickles into pool workers;
     exceptions are converted to an error payload so a failing experiment
-    cannot poison the pool.
+    cannot poison the pool.  With ``telemetry`` the experiment runs
+    under a stats-only bus capture (events are counted per category, not
+    retained) and the payload gains a ``telemetry`` summary.
     """
     start = time.perf_counter()
     try:
         load_registry()
         spec = get_spec(name)
-        result = spec.run(**params)
+        stats: Optional[Dict[str, Any]] = None
+        if telemetry:
+            from ..telemetry import capture
+
+            with capture(record_events=False) as recorder:
+                result = spec.run(**params)
+            stats = recorder.stats()
+        else:
+            result = spec.run(**params)
         outcome = outcome_from_result(result)
-        return {
+        payload = {
             "ok": True,
             "outcome": outcome.to_dict(),
             "wall_time_s": time.perf_counter() - start,
         }
+        if stats is not None:
+            payload["telemetry"] = stats
+        return payload
     except BaseException:  # noqa: BLE001 - the payload is the error channel
         return {
             "ok": False,
@@ -204,6 +222,7 @@ class ExperimentEngine:
             outcome=outcome,
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
             cached=True,
+            telemetry=payload.get("telemetry"),
         )
 
     def _record_success(self, job: _Pending, payload: Dict[str, Any]) -> JobResult:
@@ -211,7 +230,11 @@ class ExperimentEngine:
         outcome.wall_time_s = float(payload["wall_time_s"])
         if self._cache_enabled():
             self.cache.store(
-                job.name, job.params, payload["outcome"], outcome.wall_time_s
+                job.name,
+                job.params,
+                payload["outcome"],
+                outcome.wall_time_s,
+                telemetry=payload.get("telemetry"),
             )
         return JobResult(
             name=job.name,
@@ -219,6 +242,7 @@ class ExperimentEngine:
             outcome=outcome,
             wall_time_s=outcome.wall_time_s,
             attempts=job.attempts,
+            telemetry=payload.get("telemetry"),
         )
 
     def _record_failure(self, job: _Pending) -> JobResult:
@@ -246,7 +270,10 @@ class ExperimentEngine:
         """Run one attempt for every pending job; never raises."""
         if self.config.parallel > 1 and len(wave) > 1:
             return self._run_wave_pool(wave)
-        return [_execute_job(job.name, job.params) for job in wave]
+        return [
+            _execute_job(job.name, job.params, self.config.telemetry)
+            for job in wave
+        ]
 
     def _run_wave_pool(self, wave: List[_Pending]) -> List[Dict[str, Any]]:
         """Fan a wave out over a fresh process pool; degrade gracefully.
@@ -263,11 +290,17 @@ class ExperimentEngine:
         try:
             pool = futures.ProcessPoolExecutor(max_workers=workers)
         except (OSError, ValueError, NotImplementedError):
-            return [_execute_job(job.name, job.params) for job in wave]
+            return [
+                _execute_job(job.name, job.params, self.config.telemetry)
+                for job in wave
+            ]
         payloads: List[Dict[str, Any]] = []
         with pool:
             submitted = [
-                pool.submit(_execute_job, job.name, job.params) for job in wave
+                pool.submit(
+                    _execute_job, job.name, job.params, self.config.telemetry
+                )
+                for job in wave
             ]
             for future in submitted:
                 try:

@@ -43,6 +43,7 @@ def build_manifest(run: EngineRun) -> Dict[str, Any]:
                 "attempts": result.attempts,
                 "error": result.error,
                 "metrics": dict(result.outcome.metrics),
+                "telemetry": result.telemetry,
             }
             for result in run.results
         ],

@@ -1,5 +1,11 @@
-"""Export helpers: battery reports, drain curves, and attack logs to
-JSON/CSV for downstream analysis or plotting outside the simulator."""
+"""Export helpers: battery reports, drain curves, attack logs, and
+telemetry streams to JSON/CSV for downstream analysis or plotting
+outside the simulator.
+
+The telemetry exporters (Chrome trace-event JSON, JSONL, metrics
+summary) live in :mod:`repro.telemetry.export` and are re-exported here
+so every file-producing helper is importable from one place.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +19,15 @@ from .accounting.base import ProfilerReport
 from .core.accounting import EAndroidAccounting
 from .core.links import SCREEN_TARGET
 from .power.battery import BatterySample
+from .telemetry.export import (  # noqa: F401 - re-exported telemetry exporters
+    chrome_trace_json,
+    events_to_jsonl,
+    metrics_summary,
+    render_metrics_text,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 
 PathLike = Union[str, Path]
 

@@ -21,12 +21,15 @@ Attribution granularity mirrors what real hardware/OS counters expose:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..sim.kernel import Kernel
 from ..sim.event_queue import ScheduledEvent
 from .meter import SCREEN_OWNER, SYSTEM_OWNER, EnergyMeter
 from .profiles import DevicePowerProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry import TelemetryBus
 
 CPU = "cpu"
 SCREEN = "screen"
@@ -465,10 +468,15 @@ class SystemBase:
 class HardwarePlatform:
     """Bundle of every hardware model plus the meter and battery capacity."""
 
-    def __init__(self, kernel: Kernel, profile: DevicePowerProfile) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        profile: DevicePowerProfile,
+        telemetry: Optional["TelemetryBus"] = None,
+    ) -> None:
         self.kernel = kernel
         self.profile = profile
-        self.meter = EnergyMeter(kernel)
+        self.meter = EnergyMeter(kernel, telemetry=telemetry)
         self.base = SystemBase(kernel, self.meter, profile)
         self.cpu = CpuModel(kernel, self.meter, profile)
         self.screen = ScreenModel(kernel, self.meter, profile)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sim.kernel import Kernel
+from ..telemetry import Category, DrawChangeEvent, TelemetryBus
 from .trace import PowerTrace
 
 SCREEN_OWNER = -100
@@ -42,8 +43,9 @@ DrawListener = Callable[[float, int, str, float], None]
 class EnergyMeter:
     """Records every channel's power history and integrates energy."""
 
-    def __init__(self, kernel: Kernel) -> None:
+    def __init__(self, kernel: Kernel, telemetry: Optional[TelemetryBus] = None) -> None:
         self._kernel = kernel
+        self._telemetry = telemetry
         self._traces: Dict[ChannelKey, PowerTrace] = {}
         self._listeners: List[DrawListener] = []
 
@@ -61,6 +63,17 @@ class EnergyMeter:
             self._traces[key] = trace
         now = self._kernel.now
         trace.append(now, power_mw)
+        bus = self._telemetry
+        if bus is not None:
+            # Draw changes are hot: only build the event when observed.
+            if bus.wants(Category.POWER):
+                bus.publish(
+                    DrawChangeEvent(
+                        time=now, owner=owner, component=component, power_mw=power_mw
+                    )
+                )
+            else:
+                bus.tick(Category.POWER, now)
         for listener in self._listeners:
             listener(now, owner, component, power_mw)
 
@@ -153,12 +166,24 @@ class EnergyMeter:
 
         Merges every channel's breakpoints; used by the battery model to
         compute charge level over time without sampling.
+
+        Single delta-merge sweep: each channel contributes its power
+        *changes* keyed by time, and one running sum over the sorted
+        times rebuilds the total curve.  O(B log B) in the total number
+        of breakpoints B, versus the old O(B x channels) re-sum of every
+        channel at every time.
         """
-        times = sorted({t for trace in self._traces.values() for t, _ in trace.breakpoints()})
+        deltas: Dict[float, float] = {}
+        for trace in self._traces.values():
+            previous = 0.0
+            for t, power in trace.breakpoints():
+                deltas[t] = deltas.get(t, 0.0) + (power - previous)
+                previous = power
         curve: List[Tuple[float, float]] = []
-        for t in times:
-            power = sum(trace.power_at(t) for trace in self._traces.values())
-            curve.append((t, power))
+        running = 0.0
+        for t in sorted(deltas):
+            running += deltas[t]
+            curve.append((t, running))
         return curve
 
     def owners(self) -> Iterable[int]:

@@ -19,11 +19,16 @@ instant); the kernel processes them in ``(time, insertion order)`` order.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+import time as _wall
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
+from ..telemetry import Category, KernelDispatchEvent, TimerFiredEvent
 from .clock import VirtualClock
 from .errors import KernelStateError, SchedulingError
 from .event_queue import EventQueue, ScheduledEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry import TelemetryBus
 
 
 class Kernel:
@@ -35,6 +40,17 @@ class Kernel:
         self._running = False
         self._dispatched_count = 0
         self._error_handler: Optional[Callable[[ScheduledEvent, Exception], None]] = None
+        self._telemetry: Optional["TelemetryBus"] = None
+
+    def set_telemetry(self, bus: Optional["TelemetryBus"]) -> None:
+        """Attach the device telemetry bus for dispatch/timer spans.
+
+        Dispatch spans are hot (one per event): full
+        :class:`~repro.telemetry.KernelDispatchEvent` construction is
+        gated on ``bus.wants(Category.SIM)``; otherwise only the SIM
+        counter ticks.
+        """
+        self._telemetry = bus
 
     # ------------------------------------------------------------------
     # time
@@ -202,6 +218,13 @@ class Kernel:
     def _dispatch(self, event: ScheduledEvent) -> None:
         # The event is marked and counted exactly once whether the
         # callback returns, raises into a handler, or propagates out.
+        bus = self._telemetry
+        observed = False
+        started = 0.0
+        if bus is not None:
+            observed = bus.wants(Category.SIM)
+            if observed:
+                started = _wall.perf_counter()
         try:
             event.callback()
         except Exception as exc:  # noqa: BLE001 - routed to handler by design
@@ -211,6 +234,18 @@ class Kernel:
         finally:
             event.mark_dispatched()
             self._dispatched_count += 1
+            if bus is not None:
+                if observed:
+                    bus.publish(
+                        KernelDispatchEvent(
+                            time=event.time,
+                            event_name=event.name,
+                            seq=self._dispatched_count,
+                            wall_us=(_wall.perf_counter() - started) * 1e6,
+                        )
+                    )
+                else:
+                    bus.tick(Category.SIM, event.time)
 
     def _ensure_not_reentrant(self) -> None:
         if self._running:
@@ -260,6 +295,17 @@ class RepeatingTimer:
         if self._cancelled:
             return
         self.fire_count += 1
+        bus = self._kernel._telemetry
+        if bus is not None:
+            if bus.wants(Category.SIM):
+                bus.publish(
+                    TimerFiredEvent(
+                        time=self._kernel.now,
+                        timer_name=self._name,
+                        fire_count=self.fire_count,
+                        interval_s=self.interval,
+                    )
+                )
         self._callback()
         if not self._cancelled:
             self._event = self._kernel.call_later(

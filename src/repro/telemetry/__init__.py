@@ -1,0 +1,97 @@
+"""repro.telemetry — the unified telemetry spine.
+
+One typed event bus carries every observable event in the system: the
+Android framework services publish activity/service/wakelock/screen
+events, the sim kernel publishes dispatch/timer spans, the hardware
+meter publishes draw changes, E-Android's accounting publishes attack
+windows, and scenario runners publish phase marks.  Subscribers (the
+E-Android monitor, test recorders, exporters) attach by category with
+typed filters; fan-out is error-isolated and per-category counters stay
+on by default.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .bus import (
+    CategoryStats,
+    Subscription,
+    SubscriberError,
+    TelemetryBus,
+    TelemetryRecorder,
+    TelemetrySubscriberWarning,
+    capture,
+)
+from .events import (
+    ActivityFinishedEvent,
+    ActivityMoveToFrontEvent,
+    ActivityStartEvent,
+    AttackWindowBeginEvent,
+    AttackWindowEndEvent,
+    BrightnessChangeEvent,
+    BrightnessModeChangeEvent,
+    Category,
+    DrawChangeEvent,
+    FRAMEWORK_CATEGORIES,
+    ForegroundChangedEvent,
+    KernelDispatchEvent,
+    PhaseBeginEvent,
+    PhaseEndEvent,
+    ScreenStateEvent,
+    ServiceBindEvent,
+    ServiceStartEvent,
+    ServiceStopEvent,
+    ServiceStopSelfEvent,
+    ServiceUnbindEvent,
+    TelemetryEvent,
+    TimerFiredEvent,
+    WakelockAcquireEvent,
+    WakelockReleaseEvent,
+)
+from .export import (
+    chrome_trace_json,
+    events_to_jsonl,
+    metrics_summary,
+    render_metrics_text,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "ActivityFinishedEvent",
+    "ActivityMoveToFrontEvent",
+    "ActivityStartEvent",
+    "AttackWindowBeginEvent",
+    "AttackWindowEndEvent",
+    "BrightnessChangeEvent",
+    "BrightnessModeChangeEvent",
+    "Category",
+    "CategoryStats",
+    "DrawChangeEvent",
+    "FRAMEWORK_CATEGORIES",
+    "ForegroundChangedEvent",
+    "KernelDispatchEvent",
+    "PhaseBeginEvent",
+    "PhaseEndEvent",
+    "ScreenStateEvent",
+    "ServiceBindEvent",
+    "ServiceStartEvent",
+    "ServiceStopEvent",
+    "ServiceStopSelfEvent",
+    "ServiceUnbindEvent",
+    "SubscriberError",
+    "Subscription",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "TelemetryRecorder",
+    "TelemetrySubscriberWarning",
+    "TimerFiredEvent",
+    "WakelockAcquireEvent",
+    "WakelockReleaseEvent",
+    "capture",
+    "chrome_trace_json",
+    "events_to_jsonl",
+    "metrics_summary",
+    "render_metrics_text",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

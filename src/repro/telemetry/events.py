@@ -1,0 +1,544 @@
+"""Typed telemetry events — the vocabulary of the telemetry spine.
+
+E-Android's framework extension "record[s] all events that potentially
+invoke collateral energy bugs" (§IV).  Historically this reproduction
+scattered that recording across four unrelated mechanisms (a
+stringly-typed observer fan-out, the core event journal, raw meter
+listeners, and the exec manifest); every layer now speaks one language:
+frozen dataclass events sharing a common envelope —
+
+* ``time`` — virtual seconds on the device's kernel clock;
+* ``category`` — the coarse stream the event belongs to (class-level);
+* ``driving_uid`` / ``driven_uid`` — who caused / who was affected
+  (``None`` when not applicable, e.g. user input or hardware events);
+* ``payload()`` — the event-specific details as JSON-ready data.
+
+Framework events additionally carry ``hook`` / ``hook_args()``, the
+bridge used by the deprecated :class:`~repro.android.observers.
+ObserverRegistry` shim to keep legacy ``FrameworkObserver`` subclasses
+working during the migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from enum import Enum
+from typing import Any, ClassVar, Dict, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..android.activity import ActivityRecord
+    from ..android.intent import Intent
+    from ..android.service import ServiceRecord
+
+
+class Category(Enum):
+    """Coarse event streams; subscriptions filter on these."""
+
+    ACTIVITY = "activity"    # activity lifecycle + foreground changes
+    SERVICE = "service"      # service lifecycle (start/stop/bind/unbind)
+    WAKELOCK = "wakelock"    # wakelock acquire/release
+    SCREEN = "screen"        # brightness, mode, panel state
+    POWER = "power"          # hardware meter draw changes
+    SIM = "sim"              # kernel dispatch / timer spans
+    ATTACK = "attack"        # collateral attack-window begin/end
+    PHASE = "phase"          # experiment / scenario phase marks
+
+
+# Categories the Android framework services publish on — what the
+# legacy ObserverRegistry shim bridges to FrameworkObserver hooks.
+FRAMEWORK_CATEGORIES: Tuple[Category, ...] = (
+    Category.ACTIVITY,
+    Category.SERVICE,
+    Category.WAKELOCK,
+    Category.SCREEN,
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Shared envelope every telemetry event carries."""
+
+    time: float
+
+    category: ClassVar[Category]
+    name: ClassVar[str] = "event"
+    #: Legacy ``FrameworkObserver`` method this event maps to (shim only).
+    hook: ClassVar[Optional[str]] = None
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        """The uid that caused the event (None for user/hardware)."""
+        return None
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        """The uid affected by the event (None when not applicable)."""
+        return None
+
+    def payload(self) -> Dict[str, Any]:
+        """Event-specific details as JSON-ready data."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "time"
+        }
+
+    def hook_args(self) -> tuple:
+        """Positional args for the legacy observer hook (shim only)."""
+        raise NotImplementedError(f"{type(self).__name__} has no legacy hook")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full envelope + payload as one JSON-ready mapping."""
+        return {
+            "t": self.time,
+            "category": self.category.value,
+            "name": self.name,
+            "driving_uid": self.driving_uid,
+            "driven_uid": self.driven_uid,
+            "payload": self.payload(),
+        }
+
+
+# ----------------------------------------------------------------------
+# activities / foreground
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ActivityStartEvent(TelemetryEvent):
+    """An activity was started (explicit or resolved implicit intent)."""
+
+    caller_uid: int
+    target_uid: int
+    record: "ActivityRecord"
+    intent: "Intent"
+    user_initiated: bool
+
+    category: ClassVar[Category] = Category.ACTIVITY
+    name: ClassVar[str] = "activity_start"
+    hook: ClassVar[Optional[str]] = "on_activity_start"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.caller_uid
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.target_uid
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "component": self.record.component_name,
+            "package": self.record.package,
+            "user_initiated": self.user_initiated,
+        }
+
+    def hook_args(self) -> tuple:
+        return (
+            self.time,
+            self.caller_uid,
+            self.target_uid,
+            self.record,
+            self.intent,
+            self.user_initiated,
+        )
+
+
+@dataclass(frozen=True)
+class ActivityMoveToFrontEvent(TelemetryEvent):
+    """An existing task was reordered to the front without a start."""
+
+    caller_uid: int
+    target_uid: int
+    user_initiated: bool
+
+    category: ClassVar[Category] = Category.ACTIVITY
+    name: ClassVar[str] = "activity_move_to_front"
+    hook: ClassVar[Optional[str]] = "on_activity_move_to_front"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.caller_uid
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.target_uid
+
+    def payload(self) -> Dict[str, Any]:
+        return {"user_initiated": self.user_initiated}
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.caller_uid, self.target_uid, self.user_initiated)
+
+
+@dataclass(frozen=True)
+class ActivityFinishedEvent(TelemetryEvent):
+    """An activity was destroyed."""
+
+    record: "ActivityRecord"
+
+    category: ClassVar[Category] = Category.ACTIVITY
+    name: ClassVar[str] = "activity_finished"
+    hook: ClassVar[Optional[str]] = "on_activity_finished"
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.record.uid
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "component": self.record.component_name,
+            "package": self.record.package,
+        }
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.record)
+
+
+@dataclass(frozen=True)
+class ForegroundChangedEvent(TelemetryEvent):
+    """The foreground app changed.
+
+    ``cause`` is one of ``start``, ``finish``, ``home``, ``back``,
+    ``move_front``, ``screen_off``; ``initiator_uid`` is who drove the
+    change (None for direct user input).
+    """
+
+    previous_uid: Optional[int]
+    new_uid: Optional[int]
+    cause: str
+    initiator_uid: Optional[int]
+
+    category: ClassVar[Category] = Category.ACTIVITY
+    name: ClassVar[str] = "foreground_changed"
+    hook: ClassVar[Optional[str]] = "on_foreground_changed"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.initiator_uid
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.new_uid
+
+    def hook_args(self) -> tuple:
+        return (
+            self.time,
+            self.previous_uid,
+            self.new_uid,
+            self.cause,
+            self.initiator_uid,
+        )
+
+
+# ----------------------------------------------------------------------
+# services
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ServiceEvent(TelemetryEvent):
+    """Common shape of the caller->target service events."""
+
+    caller_uid: int
+    target_uid: int
+    record: "ServiceRecord"
+
+    category: ClassVar[Category] = Category.SERVICE
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.caller_uid
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.target_uid
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "component": self.record.component_name,
+            "package": self.record.package,
+        }
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.caller_uid, self.target_uid, self.record)
+
+
+@dataclass(frozen=True)
+class ServiceStartEvent(_ServiceEvent):
+    """startService() reached a service."""
+
+    name: ClassVar[str] = "service_start"
+    hook: ClassVar[Optional[str]] = "on_service_start"
+
+
+@dataclass(frozen=True)
+class ServiceStopEvent(_ServiceEvent):
+    """stopService() was called."""
+
+    name: ClassVar[str] = "service_stop"
+    hook: ClassVar[Optional[str]] = "on_service_stop"
+
+
+@dataclass(frozen=True)
+class ServiceBindEvent(_ServiceEvent):
+    """bindService() created a connection."""
+
+    name: ClassVar[str] = "service_bind"
+    hook: ClassVar[Optional[str]] = "on_service_bind"
+
+
+@dataclass(frozen=True)
+class ServiceUnbindEvent(_ServiceEvent):
+    """A connection was unbound (explicitly or by client death)."""
+
+    name: ClassVar[str] = "service_unbind"
+    hook: ClassVar[Optional[str]] = "on_service_unbind"
+
+
+@dataclass(frozen=True)
+class ServiceStopSelfEvent(TelemetryEvent):
+    """The service stopped itself."""
+
+    record: "ServiceRecord"
+
+    category: ClassVar[Category] = Category.SERVICE
+    name: ClassVar[str] = "service_stop_self"
+    hook: ClassVar[Optional[str]] = "on_service_stop_self"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.record.uid
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.record.uid
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "component": self.record.component_name,
+            "package": self.record.package,
+        }
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.record)
+
+
+# ----------------------------------------------------------------------
+# wakelocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WakelockAcquireEvent(TelemetryEvent):
+    """A wakelock was acquired."""
+
+    uid: int
+    lock_type: str
+    tag: str
+
+    category: ClassVar[Category] = Category.WAKELOCK
+    name: ClassVar[str] = "wakelock_acquire"
+    hook: ClassVar[Optional[str]] = "on_wakelock_acquire"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.uid
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.uid, self.lock_type, self.tag)
+
+
+@dataclass(frozen=True)
+class WakelockReleaseEvent(TelemetryEvent):
+    """A wakelock was released (possibly by link-to-death)."""
+
+    uid: int
+    lock_type: str
+    tag: str
+    by_death: bool
+
+    category: ClassVar[Category] = Category.WAKELOCK
+    name: ClassVar[str] = "wakelock_release"
+    hook: ClassVar[Optional[str]] = "on_wakelock_release"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.uid
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.uid, self.lock_type, self.tag, self.by_death)
+
+
+# ----------------------------------------------------------------------
+# screen
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BrightnessChangeEvent(TelemetryEvent):
+    """Effective brightness changed. ``via``: settings/systemui/window/auto."""
+
+    caller_uid: Optional[int]
+    old_level: int
+    new_level: int
+    via: str
+
+    category: ClassVar[Category] = Category.SCREEN
+    name: ClassVar[str] = "brightness_change"
+    hook: ClassVar[Optional[str]] = "on_brightness_change"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.caller_uid
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.caller_uid, self.old_level, self.new_level, self.via)
+
+
+@dataclass(frozen=True)
+class BrightnessModeChangeEvent(TelemetryEvent):
+    """Auto/manual brightness mode toggled."""
+
+    caller_uid: Optional[int]
+    manual: bool
+    via: str
+
+    category: ClassVar[Category] = Category.SCREEN
+    name: ClassVar[str] = "brightness_mode_change"
+    hook: ClassVar[Optional[str]] = "on_brightness_mode_change"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.caller_uid
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.caller_uid, self.manual, self.via)
+
+
+@dataclass(frozen=True)
+class ScreenStateEvent(TelemetryEvent):
+    """The panel turned on or off."""
+
+    is_on: bool
+
+    category: ClassVar[Category] = Category.SCREEN
+    name: ClassVar[str] = "screen_state"
+    hook: ClassVar[Optional[str]] = "on_screen_state"
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.is_on)
+
+
+# ----------------------------------------------------------------------
+# power (hardware meter)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DrawChangeEvent(TelemetryEvent):
+    """One channel's instantaneous draw changed (meter breakpoint)."""
+
+    owner: int
+    component: str
+    power_mw: float
+
+    category: ClassVar[Category] = Category.POWER
+    name: ClassVar[str] = "draw_change"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.owner if self.owner >= 0 else None
+
+
+# ----------------------------------------------------------------------
+# sim kernel
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelDispatchEvent(TelemetryEvent):
+    """One kernel event callback ran (a dispatch span).
+
+    ``wall_us`` is the host wall-clock cost of the callback; ``time`` is
+    the virtual instant it fired at.  Only published while something is
+    subscribed to :data:`Category.SIM` (hot path, gated by
+    ``TelemetryBus.wants``).
+    """
+
+    event_name: str
+    seq: int
+    wall_us: float
+
+    category: ClassVar[Category] = Category.SIM
+    name: ClassVar[str] = "kernel_dispatch"
+
+
+@dataclass(frozen=True)
+class TimerFiredEvent(TelemetryEvent):
+    """A repeating timer fired."""
+
+    timer_name: str
+    fire_count: int
+    interval_s: float
+
+    category: ClassVar[Category] = Category.SIM
+    name: ClassVar[str] = "timer_fired"
+
+
+# ----------------------------------------------------------------------
+# attack windows (E-Android accounting)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttackWindowBeginEvent(TelemetryEvent):
+    """An attack link opened (collateral window begins)."""
+
+    kind: str
+    attacker_uid: int
+    target: int
+    link_id: int
+    detail: str = ""
+
+    category: ClassVar[Category] = Category.ATTACK
+    name: ClassVar[str] = "attack_window_begin"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.attacker_uid
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.target if self.target >= 0 else None
+
+
+@dataclass(frozen=True)
+class AttackWindowEndEvent(TelemetryEvent):
+    """An attack link closed (collateral window ends)."""
+
+    kind: str
+    attacker_uid: int
+    target: int
+    link_id: int
+    duration_s: float = 0.0
+
+    category: ClassVar[Category] = Category.ATTACK
+    name: ClassVar[str] = "attack_window_end"
+
+    @property
+    def driving_uid(self) -> Optional[int]:
+        return self.attacker_uid
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.target if self.target >= 0 else None
+
+
+# ----------------------------------------------------------------------
+# experiment phases
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseBeginEvent(TelemetryEvent):
+    """An experiment/scenario phase opened (e.g. a measurement window)."""
+
+    phase: str
+
+    category: ClassVar[Category] = Category.PHASE
+    name: ClassVar[str] = "phase_begin"
+
+
+@dataclass(frozen=True)
+class PhaseEndEvent(TelemetryEvent):
+    """An experiment/scenario phase closed."""
+
+    phase: str
+
+    category: ClassVar[Category] = Category.PHASE
+    name: ClassVar[str] = "phase_end"

@@ -52,6 +52,7 @@ from ..attacks import (
     build_wakelock_malware,
 )
 from ..core import EAndroid, attach_eandroid, attach_eandroid_powertutor
+from ..telemetry import PhaseBeginEvent, PhaseEndEvent
 
 ATTACK_DURATION_S = 60.0
 FILM_DURATION_S = 30.0
@@ -67,6 +68,13 @@ class ScenarioRun:
     start: float
     end: float
     notes: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Mark the measurement window on the device timeline so trace
+        # exports show the phase alongside the attack windows it frames.
+        bus = self.system.telemetry
+        bus.publish(PhaseBeginEvent(time=self.start, phase=self.name))
+        bus.publish(PhaseEndEvent(time=self.end, phase=self.name))
 
     def android_report(self) -> ProfilerReport:
         """What stock Android's BatteryStats shows for the window."""

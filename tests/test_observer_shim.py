@@ -1,0 +1,100 @@
+"""The legacy FrameworkObserver compatibility shim over the event bus.
+
+Regression coverage for the old ``ObserverRegistry.notify`` fragility:
+an observer that raised used to abort fan-out mid-delivery, silently
+starving every observer registered after it.
+"""
+
+import warnings
+
+import pytest
+
+from repro.android import AndroidSystem
+from repro.android.observers import FrameworkObserver, ObserverRegistry
+from repro.telemetry import TelemetryBus, TelemetrySubscriberWarning, WakelockAcquireEvent
+
+
+class _Recorder(FrameworkObserver):
+    def __init__(self):
+        self.calls = []
+
+    def on_wakelock_acquire(self, time, uid, lock_type, tag):
+        self.calls.append(("acquire", time, uid, lock_type, tag))
+
+    def on_screen_state(self, time, is_on):
+        self.calls.append(("screen", time, is_on))
+
+
+class _Grenade(FrameworkObserver):
+    def on_wakelock_acquire(self, time, uid, lock_type, tag):
+        raise RuntimeError("observer exploded")
+
+
+class TestNotifyIsolation:
+    def test_raising_observer_between_two_recorders(self):
+        """The offender is sandwiched; both neighbours must still hear."""
+        registry = ObserverRegistry()
+        before, after = _Recorder(), _Recorder()
+        registry.register(before)
+        registry.register(_Grenade())
+        registry.register(after)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            registry.notify("on_wakelock_acquire", 1.0, 7, "FULL_WAKE_LOCK", "t")
+        assert before.calls == [("acquire", 1.0, 7, "FULL_WAKE_LOCK", "t")]
+        assert after.calls == [("acquire", 1.0, 7, "FULL_WAKE_LOCK", "t")]
+        ours = [w for w in caught if issubclass(w.category, TelemetrySubscriberWarning)]
+        assert len(ours) == 1
+        assert "_Grenade.on_wakelock_acquire" in str(ours[0].message)
+
+    def test_bus_attached_registry_records_error_on_bus(self):
+        bus = TelemetryBus()
+        registry = ObserverRegistry(bus)
+        survivor = _Recorder()
+        registry.register(_Grenade())
+        registry.register(survivor)
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            bus.publish(
+                WakelockAcquireEvent(time=2.0, uid=9, lock_type="FULL_WAKE_LOCK", tag="g")
+            )
+        assert survivor.calls == [("acquire", 2.0, 9, "FULL_WAKE_LOCK", "g")]
+        assert len(bus.errors) == 1
+        assert "_Grenade" in bus.errors[0].subscriber
+
+
+class TestBridge:
+    def test_registry_bridges_typed_events_to_legacy_hooks(self):
+        bus = TelemetryBus()
+        registry = ObserverRegistry(bus)
+        recorder = _Recorder()
+        registry.register(recorder)
+        bus.publish(
+            WakelockAcquireEvent(time=3.0, uid=5, lock_type="PARTIAL_WAKE_LOCK", tag="p")
+        )
+        assert recorder.calls == [("acquire", 3.0, 5, "PARTIAL_WAKE_LOCK", "p")]
+
+    def test_bridge_unsubscribes_with_last_observer(self):
+        bus = TelemetryBus()
+        registry = ObserverRegistry(bus)
+        recorder = _Recorder()
+        registry.register(recorder)
+        assert registry.unregister(recorder) is True
+        bus.publish(
+            WakelockAcquireEvent(time=4.0, uid=5, lock_type="PARTIAL_WAKE_LOCK", tag="p")
+        )
+        assert recorder.calls == []
+        assert bus.subscriber_count() == 0
+
+    def test_unregister_unknown_observer_returns_false(self):
+        registry = ObserverRegistry()
+        assert registry.unregister(_Recorder()) is False
+
+    def test_system_register_observer_still_works_end_to_end(self):
+        system = AndroidSystem()
+        recorder = _Recorder()
+        system.register_observer(recorder)
+        system.power_manager.acquire(
+            system.package_manager.system_uid, "FULL_WAKE_LOCK", "shim"
+        )
+        assert any(call[0] == "acquire" for call in recorder.calls)

@@ -1,0 +1,202 @@
+"""Unit tests for the typed telemetry bus (repro.telemetry.bus)."""
+
+import warnings
+
+import pytest
+
+from repro.telemetry import (
+    Category,
+    PhaseBeginEvent,
+    ScreenStateEvent,
+    TelemetryBus,
+    TelemetryRecorder,
+    TelemetrySubscriberWarning,
+    WakelockAcquireEvent,
+    WakelockReleaseEvent,
+    capture,
+)
+
+
+def _wl(t=1.0, uid=10001):
+    return WakelockAcquireEvent(time=t, uid=uid, lock_type="PARTIAL_WAKE_LOCK", tag="x")
+
+
+class TestSubscriptions:
+    def test_category_subscription_receives_only_its_category(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append, category=Category.WAKELOCK)
+        bus.publish(_wl())
+        bus.publish(ScreenStateEvent(time=2.0, is_on=True))
+        assert len(seen) == 1
+        assert isinstance(seen[0], WakelockAcquireEvent)
+
+    def test_wildcard_receives_everything(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish(_wl())
+        bus.publish(ScreenStateEvent(time=2.0, is_on=True))
+        assert len(seen) == 2
+
+    def test_event_type_filter_narrows_within_category(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append, event_type=WakelockReleaseEvent)
+        bus.publish(_wl())
+        bus.publish(
+            WakelockReleaseEvent(
+                time=2.0, uid=1, lock_type="PARTIAL_WAKE_LOCK", tag="x", by_death=False
+            )
+        )
+        assert [type(e) for e in seen] == [WakelockReleaseEvent]
+
+    def test_event_type_implies_category(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe(lambda e: None, event_type=WakelockAcquireEvent)
+        assert sub.category is Category.WAKELOCK
+
+    def test_unsubscribe(self):
+        bus = TelemetryBus()
+        seen = []
+        sub = bus.subscribe(seen.append, category=Category.WAKELOCK)
+        assert bus.unsubscribe(sub) is True
+        assert bus.unsubscribe(sub) is False
+        bus.publish(_wl())
+        assert seen == []
+        assert not sub.active
+
+    def test_wants_tracks_subscriptions(self):
+        bus = TelemetryBus()
+        assert not bus.wants(Category.SIM)
+        sub = bus.subscribe(lambda e: None, category=Category.SIM)
+        assert bus.wants(Category.SIM)
+        assert not bus.wants(Category.POWER)
+        bus.unsubscribe(sub)
+        assert not bus.wants(Category.SIM)
+        bus.subscribe(lambda e: None)  # wildcard observes every category
+        assert bus.wants(Category.POWER)
+
+
+class TestErrorIsolation:
+    def test_raising_subscriber_does_not_block_later_ones(self):
+        bus = TelemetryBus()
+        first, last = [], []
+        bus.subscribe(first.append, category=Category.WAKELOCK, name="first")
+
+        def boom(event):
+            raise RuntimeError("subscriber exploded")
+
+        bus.subscribe(boom, category=Category.WAKELOCK, name="boom")
+        bus.subscribe(last.append, category=Category.WAKELOCK, name="last")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bus.publish(_wl())
+        assert len(first) == 1 and len(last) == 1
+        assert len(bus.errors) == 1
+        assert bus.errors[0].subscriber == "boom"
+        assert any(issubclass(w.category, TelemetrySubscriberWarning) for w in caught)
+
+    def test_warns_once_per_subscriber(self):
+        bus = TelemetryBus()
+        bus.subscribe(
+            lambda e: (_ for _ in ()).throw(ValueError("nope")),
+            category=Category.WAKELOCK,
+            name="flaky",
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bus.publish(_wl(1.0))
+            bus.publish(_wl(2.0))
+            bus.publish(_wl(3.0))
+        ours = [w for w in caught if issubclass(w.category, TelemetrySubscriberWarning)]
+        assert len(ours) == 1
+        assert "flaky" in str(ours[0].message)
+        assert len(bus.errors) == 3  # every failure recorded, one warning
+
+
+class TestCounters:
+    def test_stats_on_without_subscribers(self):
+        bus = TelemetryBus()
+        bus.publish(_wl(1.0))
+        bus.publish(_wl(5.0))
+        stats = bus.counters()[Category.WAKELOCK]
+        assert stats.count == 2
+        assert stats.first_time == 1.0
+        assert stats.last_time == 5.0
+        assert bus.total_events() == 2
+
+    def test_tick_counts_without_event_construction(self):
+        bus = TelemetryBus()
+        bus.tick(Category.SIM, 4.2)
+        assert bus.counters()[Category.SIM].count == 1
+        assert bus.stats_dict()["by_category"]["sim"]["last_time"] == 4.2
+
+    def test_stats_dict_shape(self):
+        bus = TelemetryBus()
+        bus.publish(PhaseBeginEvent(time=0.0, phase="warmup"))
+        summary = bus.stats_dict()
+        assert summary["total_events"] == 1
+        assert summary["subscriber_errors"] == 0
+        assert "phase" in summary["by_category"]
+
+
+class TestCapture:
+    def test_capture_records_from_buses_created_inside(self):
+        with capture() as recorder:
+            bus = TelemetryBus()
+            bus.publish(_wl())
+        assert len(recorder.events) == 1
+        assert recorder.stats()["buses"] == 1
+
+    def test_capture_detaches_on_exit(self):
+        with capture() as recorder:
+            bus = TelemetryBus()
+        bus.publish(_wl())
+        assert recorder.events == []  # recorded nothing after exit
+        assert recorder.stats()["total_events"] == 1  # counters still visible
+
+    def test_stats_only_capture_retains_no_events(self):
+        with capture(record_events=False) as recorder:
+            bus = TelemetryBus()
+            bus.publish(_wl())
+        stats = recorder.stats()
+        assert stats["recorded_events"] == 0
+        assert stats["total_events"] == 1
+
+    def test_category_narrowed_capture(self):
+        with capture(categories=[Category.SCREEN]) as recorder:
+            bus = TelemetryBus()
+            bus.publish(_wl())
+            bus.publish(ScreenStateEvent(time=1.0, is_on=True))
+        assert [type(e) for e in recorder.events] == [ScreenStateEvent]
+
+    def test_recorder_attach_detach_single_bus(self):
+        bus = TelemetryBus()
+        recorder = TelemetryRecorder()
+        recorder.attach(bus)
+        bus.publish(_wl())
+        recorder.detach()
+        bus.publish(_wl(2.0))
+        assert len(recorder.events) == 1
+
+
+class TestEnvelope:
+    def test_payload_excludes_time(self):
+        event = _wl(3.0, uid=7)
+        payload = event.payload()
+        assert "time" not in payload
+        assert payload["uid"] == 7
+
+    def test_to_dict_round_trip_fields(self):
+        event = _wl(3.0, uid=7)
+        data = event.to_dict()
+        assert data["t"] == 3.0
+        assert data["category"] == "wakelock"
+        assert data["name"] == "wakelock_acquire"
+        assert data["driving_uid"] == 7
+
+    def test_events_are_frozen(self):
+        event = _wl()
+        with pytest.raises(Exception):
+            event.time = 9.0

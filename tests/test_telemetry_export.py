@@ -1,0 +1,169 @@
+"""Exporter tests: Chrome trace-event JSON, JSONL, metrics summary."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    AttackWindowBeginEvent,
+    AttackWindowEndEvent,
+    Category,
+    PhaseBeginEvent,
+    PhaseEndEvent,
+    TelemetryBus,
+    WakelockAcquireEvent,
+    capture,
+    chrome_trace_json,
+    events_to_jsonl,
+    metrics_summary,
+    render_metrics_text,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _attack_pair(begin=1.0, end=5.0, link_id=1, kind="activity", uid=10001):
+    return [
+        AttackWindowBeginEvent(
+            time=begin, kind=kind, attacker_uid=uid, target=10002, link_id=link_id
+        ),
+        AttackWindowEndEvent(
+            time=end,
+            kind=kind,
+            attacker_uid=uid,
+            target=10002,
+            link_id=link_id,
+            duration_s=end - begin,
+        ),
+    ]
+
+
+class TestChromeTraceSchema:
+    def test_required_fields_on_every_event(self):
+        events = _attack_pair() + [
+            WakelockAcquireEvent(time=2.0, uid=10001, lock_type="FULL_WAKE_LOCK", tag="t"),
+            PhaseBeginEvent(time=0.0, phase="run"),
+            PhaseEndEvent(time=6.0, phase="run"),
+        ]
+        doc = to_chrome_trace(events)
+        assert isinstance(doc["traceEvents"], list)
+        for entry in doc["traceEvents"]:
+            assert "ph" in entry
+            assert "pid" in entry
+            if entry["ph"] != "M":  # metadata records carry no timestamp
+                assert "ts" in entry
+                assert isinstance(entry["ts"], int)
+            assert "name" in entry
+
+    def test_instant_events_carry_scope(self):
+        doc = to_chrome_trace(
+            [WakelockAcquireEvent(time=1.0, uid=1, lock_type="FULL_WAKE_LOCK", tag="t")]
+        )
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_attack_window_becomes_complete_event(self):
+        doc = to_chrome_trace(_attack_pair(begin=1.0, end=5.0))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["ts"] == 1_000_000
+        assert span["dur"] == 4_000_000
+        assert span["name"] == "attack:activity"
+        assert span["args"]["link_id"] == 1
+
+    def test_unclosed_attack_clamps_to_end_time(self):
+        begin = _attack_pair()[0]
+        doc = to_chrome_trace([begin], end_time=30.0)
+        (span,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] + span["dur"] == 30_000_000
+
+    def test_phase_begin_end_nest_monotonically(self):
+        events = [
+            PhaseBeginEvent(time=0.0, phase="outer"),
+            PhaseBeginEvent(time=1.0, phase="inner"),
+            PhaseEndEvent(time=2.0, phase="inner"),
+            PhaseEndEvent(time=3.0, phase="outer"),
+        ]
+        doc = to_chrome_trace(events)
+        stack = []
+        for entry in doc["traceEvents"]:
+            if entry["ph"] == "B":
+                stack.append((entry["name"], entry["ts"]))
+            elif entry["ph"] == "E":
+                name, begin_ts = stack.pop()
+                assert name == entry["name"]
+                assert entry["ts"] >= begin_ts
+        assert stack == []
+
+    def test_timestamps_sorted(self):
+        events = _attack_pair() + [
+            WakelockAcquireEvent(time=0.5, uid=1, lock_type="FULL_WAKE_LOCK", tag="t")
+        ]
+        doc = to_chrome_trace(events)
+        stamps = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert stamps == sorted(stamps)
+
+    def test_per_uid_tracks_and_labels(self):
+        events = [
+            WakelockAcquireEvent(time=1.0, uid=7, lock_type="FULL_WAKE_LOCK", tag="t"),
+            WakelockAcquireEvent(time=2.0, uid=8, lock_type="FULL_WAKE_LOCK", tag="t"),
+        ]
+        doc = to_chrome_trace(events, labels={7: "Malware"})
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["tid"] != instants[1]["tid"]
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "Malware" in names and "uid 8" in names
+
+    def test_json_round_trip(self):
+        text = chrome_trace_json(_attack_pair(), indent=2)
+        doc = json.loads(text)
+        assert doc["otherData"]["event_count"] == 2
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "sub" / "trace.json", _attack_pair())
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestFig9AttackScenario:
+    def test_every_attack_yields_a_collateral_window_span(self):
+        from repro.workloads import ALL_ATTACKS
+
+        for name, runner in sorted(ALL_ATTACKS.items()):
+            with capture() as recorder:
+                run = runner(20.0)
+            doc = to_chrome_trace(recorder.events, end_time=run.system.now)
+            spans = [
+                e
+                for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["cat"] == "attack"
+            ]
+            assert spans, f"{name} produced no attack-window duration events"
+            json.loads(json.dumps(doc))  # the whole document stays serialisable
+
+
+class TestJsonl:
+    def test_one_object_per_line(self):
+        events = _attack_pair()
+        lines = events_to_jsonl(events).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "attack_window_begin"
+        assert first["t"] == 1.0
+
+
+class TestMetrics:
+    def test_summary_from_bus_and_recorder(self):
+        bus = TelemetryBus()
+        bus.publish(
+            WakelockAcquireEvent(time=1.0, uid=1, lock_type="FULL_WAKE_LOCK", tag="t")
+        )
+        summary = metrics_summary(bus)
+        assert summary["total_events"] == 1
+        text = render_metrics_text(summary)
+        assert "wakelock" in text and "1 event(s)" in text
