@@ -31,6 +31,7 @@ from ..telemetry import (
     ActivityMoveToFrontEvent,
     ActivityStartEvent,
     ForegroundChangedEvent,
+    PackageStoppedEvent,
     ServiceBindEvent,
     ServiceStartEvent,
     ServiceStopEvent,
@@ -515,6 +516,16 @@ class ActivityManager:
         if app.process is not None and app.process.alive:
             self._processes.kill(app.process.pid, now=self._kernel.now)
         app.process = None
+        # Window brightness is a *window* attribute: it dies with the
+        # app's windows, so a relaunch must not silently re-apply it.
+        self._display.set_window_brightness(app.uid, None)
+        # Package-level death notification: per-component events above
+        # can't tell observers "this app is gone"; attack windows whose
+        # *target* died must close here or they silently span the app's
+        # next (fresh, user-initiated) life.
+        self._telemetry.publish(
+            PackageStoppedEvent(time=self._kernel.now, uid=app.uid, package=package)
+        )
         if had_foreground:
             new_front = self.supervisor.front_record()
             if new_front is not None:

@@ -68,6 +68,9 @@ class FrameworkObserver:
     def on_activity_finished(self, time: float, record: "ActivityRecord") -> None:
         """An activity was destroyed."""
 
+    def on_package_stopped(self, time: float, uid: int, package: str) -> None:
+        """A package was force-stopped (process + all components gone)."""
+
     def on_foreground_changed(
         self,
         time: float,

@@ -1,0 +1,62 @@
+"""``repro.check`` — the conformance harness.
+
+Promotes the DESIGN.md §5 invariants from the property-test suite into
+a reusable oracle library, adds differential (profiler reconciliation,
+observer purity) and metamorphic (time dilation, block permutation)
+oracles, and drives them at scale: a seeded scenario generator emits
+replayable JSON scripts, a greedy shrinker minimises failures into a
+regression corpus, and ``python -m repro check`` fans seed batches out
+over the parallel experiment engine.
+
+See ``docs/TESTING.md`` for the oracle catalogue and triage workflow.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignReport,
+    CorpusEntry,
+    build_bench,
+    load_corpus_entry,
+    run_campaign,
+    scenario_seeds,
+    write_corpus_entry,
+)
+from .generator import fuzz_packages, generate_scenario
+from .oracles import (
+    END_ORACLES,
+    METAMORPHIC_ORACLES,
+    STEP_ORACLES,
+    OracleViolation,
+    check_end,
+    check_step,
+)
+from .runner import ScenarioExecutor, ScenarioReport, run_scenario
+from .scenario import OP_KINDS, Op, Scenario
+from .shrinker import oracle_predicate, shrink
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CorpusEntry",
+    "OP_KINDS",
+    "Op",
+    "OracleViolation",
+    "Scenario",
+    "ScenarioExecutor",
+    "ScenarioReport",
+    "STEP_ORACLES",
+    "END_ORACLES",
+    "METAMORPHIC_ORACLES",
+    "build_bench",
+    "check_end",
+    "check_step",
+    "fuzz_packages",
+    "generate_scenario",
+    "load_corpus_entry",
+    "oracle_predicate",
+    "run_campaign",
+    "run_scenario",
+    "scenario_seeds",
+    "shrink",
+    "write_corpus_entry",
+]

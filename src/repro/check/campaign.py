@@ -1,0 +1,318 @@
+"""The fuzz campaign driver behind ``python -m repro check``.
+
+Derives one scenario seed per requested case (via the stable
+:func:`~repro.sim.rng.derive_seed`, so campaigns replay identically
+across processes and ``PYTHONHASHSEED`` values), splits the seeds into
+batches, and fans the batches out over the existing
+:class:`~repro.exec.engine.ExperimentEngine` — one ``fuzz`` experiment
+job per batch, cached on disk under the batch's combined script digest.
+
+Failing seeds are then shrunk locally (greedy op deletion while the
+same oracle keeps firing) and written into the replayable failure
+corpus, which ``tests/test_corpus_replay.py`` replays as regression
+tests.  ``--save`` additionally produces the engine ``manifest.json``
+plus a ``BENCH_fuzz.json`` summary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..sim.rng import derive_seed
+from .generator import generate_scenario
+from .runner import run_scenario
+from .scenario import Scenario
+from .shrinker import oracle_predicate, shrink
+
+CORPUS_SCHEMA = 1
+BENCH_SCHEMA = 1
+MAX_BATCH = 50  # seeds per engine job; keeps cache entries replayable in chunks
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One ``repro check`` invocation's knobs."""
+
+    fuzz: int = 50
+    seed: int = 7
+    jobs: int = 1
+    ops: int = 40
+    stride: int = 1
+    metamorphic: bool = True
+    corpus_dir: Optional[str] = None
+    save_dir: Optional[str] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    refresh: bool = False
+    telemetry: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (for BENCH_fuzz.json)."""
+        return {
+            "fuzz": self.fuzz,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "ops": self.ops,
+            "stride": self.stride,
+            "metamorphic": self.metamorphic,
+        }
+
+
+@dataclass
+class CorpusEntry:
+    """One shrunk failing script written to the corpus."""
+
+    path: Path
+    seed: int
+    oracles: List[str]
+    original_ops: int
+    shrunk_ops: int
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced."""
+
+    config: CampaignConfig
+    verdicts: List[Dict[str, Any]]
+    corpus_entries: List[CorpusEntry] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    engine_run: Any = None
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        """The failing verdicts."""
+        return [v for v in self.verdicts if not v["ok"]]
+
+    @property
+    def passed(self) -> bool:
+        """True when every scenario satisfied every oracle."""
+        return not self.failures
+
+    def render_text(self) -> str:
+        """Human summary for the CLI."""
+        lines = [
+            f"fuzzed {len(self.verdicts)} scenario(s) from seed "
+            f"{self.config.seed} ({self.config.ops} body op(s) each): "
+            f"{len(self.verdicts) - len(self.failures)} ok, "
+            f"{len(self.failures)} failing",
+        ]
+        for verdict in self.failures:
+            oracles = sorted({v["oracle"] for v in verdict["violations"]})
+            lines.append(
+                f"  FAIL seed {verdict['seed']} script {verdict['script_hash']}"
+                f" — {', '.join(oracles)}"
+            )
+        for entry in self.corpus_entries:
+            lines.append(
+                f"  corpus: {entry.path} ({entry.original_ops} -> "
+                f"{entry.shrunk_ops} op(s))"
+            )
+        lines.append(f"wall time {self.wall_time_s:.2f}s")
+        return "\n".join(lines)
+
+
+def scenario_seeds(base_seed: int, count: int) -> List[int]:
+    """The per-scenario seeds of a campaign (stable derivation)."""
+    return [derive_seed(base_seed, f"scenario-{i}") for i in range(count)]
+
+
+def _batches(seeds: List[int], jobs: int) -> List[List[int]]:
+    """Split seeds into engine jobs: at least one per worker, at most
+    MAX_BATCH seeds each, deterministically from (len(seeds), jobs)."""
+    if not seeds:
+        return []
+    workers = max(1, jobs)
+    count = max(workers, (len(seeds) + MAX_BATCH - 1) // MAX_BATCH)
+    count = min(count, len(seeds))
+    size = (len(seeds) + count - 1) // count
+    return [seeds[i : i + size] for i in range(0, len(seeds), size)]
+
+
+def run_campaign(config: CampaignConfig) -> CampaignReport:
+    """Run one fuzz campaign end to end."""
+    from ..exec import EngineConfig, ExperimentEngine
+
+    started = time.perf_counter()
+    seeds = scenario_seeds(config.seed, config.fuzz)
+    requests = []
+    for batch in _batches(seeds, config.jobs):
+        digest = _batch_digest(batch, config)
+        requests.append((
+            "fuzz",
+            {
+                "seeds": batch,
+                "ops": config.ops,
+                "stride": config.stride,
+                "metamorphic": config.metamorphic,
+                "scripts_digest": digest,
+            },
+        ))
+
+    engine = ExperimentEngine(
+        EngineConfig(
+            parallel=config.jobs,
+            cache_dir=config.cache_dir or None,
+            use_cache=config.use_cache,
+            refresh=config.refresh,
+            telemetry=config.telemetry,
+        )
+    )
+    run = engine.run(requests)
+
+    verdicts: List[Dict[str, Any]] = []
+    for result in run.results:
+        batch_verdicts = result.outcome.metrics.get("verdicts")
+        if batch_verdicts is None:
+            # Worker crashed even after retries: synthesise failing
+            # verdicts so the campaign surfaces every affected seed.
+            batch_verdicts = [
+                {
+                    "seed": seed,
+                    "script_hash": generate_scenario(
+                        seed, ops=config.ops
+                    ).script_hash(),
+                    "ops": 0,
+                    "ok": False,
+                    "violations": [
+                        {"oracle": "harness", "message": result.error or "crash"}
+                    ],
+                }
+                for seed in result.params["seeds"]
+            ]
+        verdicts.extend(batch_verdicts)
+
+    report = CampaignReport(
+        config=config,
+        verdicts=verdicts,
+        wall_time_s=time.perf_counter() - started,
+        cache_stats=run.cache_stats.as_dict(),
+        engine_run=run,
+    )
+    if config.corpus_dir:
+        for verdict in report.failures:
+            entry = _shrink_to_corpus(verdict, config)
+            if entry is not None:
+                report.corpus_entries.append(entry)
+    report.wall_time_s = time.perf_counter() - started
+    if config.save_dir:
+        _save_artifacts(report, run)
+    return report
+
+
+def _batch_digest(batch: List[int], config: CampaignConfig) -> str:
+    """Combined script hash of a seed batch — the cache key's anchor."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for seed in batch:
+        scenario = generate_scenario(seed, ops=config.ops)
+        digest.update(scenario.script_hash().encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# failure corpus
+# ----------------------------------------------------------------------
+def _shrink_to_corpus(
+    verdict: Dict[str, Any], config: CampaignConfig
+) -> Optional[CorpusEntry]:
+    """Shrink one failing seed and write the minimal script."""
+    oracles = sorted({v["oracle"] for v in verdict["violations"]})
+    if oracles == ["harness"]:
+        return None  # worker crash, nothing to replay
+    scenario = generate_scenario(verdict["seed"], ops=config.ops)
+    predicate = oracle_predicate(oracles, stride=config.stride)
+    minimal = shrink(scenario, predicate)
+    final = run_scenario(minimal, stride=config.stride, metamorphic=config.metamorphic)
+    return write_corpus_entry(
+        Path(config.corpus_dir),
+        minimal,
+        oracles=oracles,
+        violations=[v.to_dict() for v in final.violations],
+        original_ops=len(scenario.ops),
+    )
+
+
+def write_corpus_entry(
+    corpus_dir: Path,
+    scenario: Scenario,
+    oracles: List[str],
+    violations: List[Dict[str, str]],
+    original_ops: int,
+) -> CorpusEntry:
+    """Write one corpus JSON document; returns its record."""
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    name = f"{oracles[0]}-seed{scenario.seed}-{scenario.script_hash()}.json"
+    path = corpus_dir / name
+    document = {
+        "schema": CORPUS_SCHEMA,
+        "kind": "repro-check-corpus",
+        "oracles": oracles,
+        "violations": violations,
+        "original_ops": original_ops,
+        "shrunk_ops": len(scenario.ops),
+        "scenario": scenario.to_dict(),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True), encoding="utf-8")
+    return CorpusEntry(
+        path=path,
+        seed=scenario.seed,
+        oracles=oracles,
+        original_ops=original_ops,
+        shrunk_ops=len(scenario.ops),
+    )
+
+
+def load_corpus_entry(path: Path) -> Dict[str, Any]:
+    """Parse one corpus document (validating the schema)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("kind") != "repro-check-corpus":
+        raise ValueError(f"{path} is not a repro-check corpus entry")
+    if document.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(f"{path}: unsupported corpus schema")
+    return document
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+def _save_artifacts(report: CampaignReport, run: Any) -> List[str]:
+    """Write manifest.json + BENCH_fuzz.json into the save directory."""
+    from ..exec import write_manifest
+
+    directory = Path(report.config.save_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = [str(write_manifest(run, directory))]
+    bench = directory / "BENCH_fuzz.json"
+    bench.write_text(
+        json.dumps(build_bench(report), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    written.append(str(bench))
+    return written
+
+
+def build_bench(report: CampaignReport) -> Dict[str, Any]:
+    """The BENCH_fuzz.json payload."""
+    scenarios = len(report.verdicts)
+    return {
+        "schema": BENCH_SCHEMA,
+        "campaign": report.config.as_dict(),
+        "scenarios": scenarios,
+        "passed": scenarios - len(report.failures),
+        "failed": len(report.failures),
+        "failed_seeds": [v["seed"] for v in report.failures],
+        "script_hashes": [v["script_hash"] for v in report.verdicts],
+        "corpus_entries": [str(e.path) for e in report.corpus_entries],
+        "cache": report.cache_stats,
+        "wall_time_s": report.wall_time_s,
+        "scenarios_per_s": (
+            scenarios / report.wall_time_s if report.wall_time_s > 0 else 0.0
+        ),
+    }

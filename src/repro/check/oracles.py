@@ -1,0 +1,333 @@
+"""The conformance oracle catalogue.
+
+Each oracle inspects one live simulated device (an ``AndroidSystem``
+with E-Android attached) and returns the invariant violations it found.
+The six *step* oracles are the DESIGN.md §5 invariants that must hold
+after **every** framework operation; the *end* oracles are differential
+reconciliations run once per scenario.  Metamorphic oracles (observer
+purity, time dilation, window permutation) need whole-scenario replays
+and therefore live in :mod:`repro.check.runner`, but report violations
+through the same :class:`OracleViolation` type.
+
+Both consumers share this single implementation: the hypothesis state
+machine in ``tests/test_property_fuzz.py`` asserts after every random
+rule, and the fuzz campaign (``python -m repro check``) drives the same
+functions over generated scenario scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..android.framework import AndroidSystem
+    from ..core.eandroid import EAndroid
+
+# Conservation identities use the property-test tolerance; charge bounds
+# allow the meter's interval-arithmetic slack.
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+CHARGE_SLACK_J = 1e-6
+DIFF_REL_TOL = 1e-6
+DIFF_ABS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One invariant breach: which oracle fired and why."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-ready form (for verdicts, manifests, corpus entries)."""
+        return {"oracle": self.oracle, "message": self.message}
+
+
+Oracle = Callable[["AndroidSystem", "EAndroid"], List[OracleViolation]]
+
+
+def _close(a: float, b: float, rel: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)
+
+
+# ----------------------------------------------------------------------
+# step oracles — DESIGN.md §5
+# ----------------------------------------------------------------------
+def energy_conservation(system: "AndroidSystem", ea: "EAndroid") -> List[OracleViolation]:
+    """Per-owner energies sum to the device total, which equals drain."""
+    meter = system.hardware.meter
+    out: List[OracleViolation] = []
+    total = meter.total_energy_j()
+    by_owner = sum(meter.energy_by_owner().values())
+    if not _close(total, by_owner):
+        out.append(OracleViolation(
+            "energy_conservation",
+            f"owner sum {by_owner!r} J != meter total {total!r} J",
+        ))
+    drained = system.battery.energy_used_j()
+    if not _close(drained, total):
+        out.append(OracleViolation(
+            "energy_conservation",
+            f"battery drain {drained!r} J != meter total {total!r} J",
+        ))
+    return out
+
+
+def map_link_consistency(system: "AndroidSystem", ea: "EAndroid") -> List[OracleViolation]:
+    """Open map elements mirror live-link reachability exactly."""
+    out: List[OracleViolation] = []
+    graph = ea.accounting.graph
+    for host in sorted(graph.hosts()):
+        open_targets = ea.accounting.map_for(host).open_targets()
+        reachable = graph.reachable_from(host)
+        if open_targets != reachable:
+            out.append(OracleViolation(
+                "map_link_consistency",
+                f"host {host}: open elements {sorted(open_targets)} != "
+                f"reachable {sorted(reachable)}",
+            ))
+    return out
+
+
+def window_well_formedness(system: "AndroidSystem", ea: "EAndroid") -> List[OracleViolation]:
+    """Charge windows are ordered, non-overlapping, and within [0, now]."""
+    out: List[OracleViolation] = []
+    now = system.now
+    for host in sorted(ea.accounting.maps.hosts()):
+        for target, element in sorted(ea.accounting.map_for(host).items()):
+            previous_end = -1.0
+            for start, end in element.closed:
+                if not (start < end <= now + ABS_TOL) or start < previous_end - ABS_TOL:
+                    out.append(OracleViolation(
+                        "window_well_formedness",
+                        f"host {host} target {target}: bad closed window "
+                        f"({start!r}, {end!r}) after end {previous_end!r} "
+                        f"at now {now!r}",
+                    ))
+                previous_end = max(previous_end, end)
+            if element.open_since is not None and not (
+                previous_end - ABS_TOL <= element.open_since <= now + ABS_TOL
+            ):
+                out.append(OracleViolation(
+                    "window_well_formedness",
+                    f"host {host} target {target}: open_since "
+                    f"{element.open_since!r} outside [{previous_end!r}, {now!r}]",
+                ))
+    return out
+
+
+def no_over_charging(system: "AndroidSystem", ea: "EAndroid") -> List[OracleViolation]:
+    """Collateral charged per (host, target) never exceeds the target's
+    own ground-truth energy."""
+    from ..core.links import SCREEN_TARGET
+
+    meter = system.hardware.meter
+    out: List[OracleViolation] = []
+    for host in ea.accounting.hosts():
+        for target, joules in sorted(
+            ea.accounting.collateral_breakdown(host).items()
+        ):
+            if target == SCREEN_TARGET:
+                ground = meter.screen_energy_j()
+            else:
+                ground = meter.energy_j(owner=target)
+            if joules > ground + CHARGE_SLACK_J:
+                out.append(OracleViolation(
+                    "no_over_charging",
+                    f"host {host} charged {joules!r} J for target {target} "
+                    f"but the target only drew {ground!r} J",
+                ))
+    return out
+
+
+def profiler_conservation(system: "AndroidSystem", ea: "EAndroid") -> List[OracleViolation]:
+    """PowerTutor redistributes the meter's energy, never invents any."""
+    from ..accounting import PowerTutor
+
+    report = PowerTutor(system).report()
+    total = system.hardware.meter.total_energy_j()
+    if not _close(report.total_energy_j(), total, rel=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL):
+        return [OracleViolation(
+            "profiler_conservation",
+            f"PowerTutor total {report.total_energy_j()!r} J != "
+            f"meter total {total!r} J",
+        )]
+    return []
+
+
+def tracker_agreement(system: "AndroidSystem", ea: "EAndroid") -> List[OracleViolation]:
+    """E-Android's trackers agree with the framework's own state."""
+    out: List[OracleViolation] = []
+    pm = system.package_manager
+    counts = ea.monitor._screen_lock_counts
+    for app in pm.installed_apps():
+        uid = app.uid
+        if uid is None or pm.is_system_uid(uid):
+            continue
+        actual = sum(
+            1
+            for lock in system.power_manager.held_locks(uid)
+            if lock.keeps_screen_on
+        )
+        if counts.get(uid, 0) != actual:
+            out.append(OracleViolation(
+                "tracker_agreement",
+                f"uid {uid}: monitor counts {counts.get(uid, 0)} screen "
+                f"lock(s), framework holds {actual}",
+            ))
+    if system.am.timeline.current_uid != system.foreground_uid():
+        out.append(OracleViolation(
+            "tracker_agreement",
+            f"timeline foreground {system.am.timeline.current_uid!r} != "
+            f"framework foreground {system.foreground_uid()!r}",
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# end oracles — differential reconciliation
+# ----------------------------------------------------------------------
+def differential_reconciliation(
+    system: "AndroidSystem", ea: "EAndroid"
+) -> List[OracleViolation]:
+    """Reconcile BatteryStats, PowerTutor, and E-Android on one run.
+
+    All three profilers read the same meter, so their *ground-truth*
+    totals must agree with the battery drain; E-Android's rows must be
+    exactly the baseline rows plus collateral superimposition; and the
+    superimposed collateral must match an **independent** recomputation
+    from the raw charge windows — two code paths arriving at the same
+    joules, which is what catches mis-attribution bugs of the kind the
+    paper ascribes to the baselines.
+    """
+    from ..accounting import BatteryStats, PowerTutor
+    from ..core.links import SCREEN_TARGET
+
+    out: List[OracleViolation] = []
+    meter = system.hardware.meter
+    total = meter.total_energy_j()
+    now = system.now
+
+    battery_stats = BatteryStats(system).report()
+    powertutor = PowerTutor(system).report()
+    eandroid = ea.report()
+
+    for name, profiler_total in (
+        ("BatteryStats", battery_stats.total_energy_j()),
+        ("PowerTutor", powertutor.total_energy_j()),
+        ("battery drain", system.battery.energy_used_j()),
+    ):
+        if not _close(profiler_total, total, rel=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL):
+            out.append(OracleViolation(
+                "differential",
+                f"{name} total {profiler_total!r} J != meter total {total!r} J",
+            ))
+
+    # E-Android = baseline + superimposed collateral, row by row.
+    for entry in eandroid.entries:
+        if entry.uid is None:
+            continue
+        baseline_entry = battery_stats.entry_for_uid(entry.uid)
+        baseline_j = baseline_entry.energy_j if baseline_entry else 0.0
+        if not _close(
+            entry.own_energy_j, baseline_j, rel=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL
+        ):
+            out.append(OracleViolation(
+                "differential",
+                f"uid {entry.uid}: E-Android own energy {entry.own_energy_j!r} J "
+                f"!= baseline {baseline_j!r} J",
+            ))
+
+    # Superimposed collateral vs an independent recomputation from the
+    # raw windows (bypasses EAndroidAccounting.collateral_breakdown).
+    accounting = ea.accounting
+    recomputed_sum = 0.0
+    reported_sum = 0.0
+    for host in sorted(accounting.maps.hosts()):
+        recomputed: Dict[int, float] = {}
+        for target, element in accounting.map_for(host).items():
+            intervals = element.clipped_intervals(0.0, now)
+            if not intervals:
+                continue
+            joules = accounting.policy.charged_energy(meter, target, intervals)
+            if joules > 0:
+                recomputed[target] = joules
+        reported = accounting.collateral_breakdown(host)
+        recomputed_sum += sum(recomputed.values())
+        reported_sum += sum(reported.values())
+        for target in sorted(set(recomputed) | set(reported)):
+            a = recomputed.get(target, 0.0)
+            b = reported.get(target, 0.0)
+            if not _close(a, b, rel=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL):
+                label = "screen" if target == SCREEN_TARGET else str(target)
+                out.append(OracleViolation(
+                    "differential",
+                    f"host {host} target {label}: window recomputation "
+                    f"{a!r} J != reported breakdown {b!r} J",
+                ))
+
+    # Interface superimposition identity: report total == ground truth
+    # plus every reported collateral charge.
+    superimposed = eandroid.total_energy_j()
+    if not _close(
+        superimposed, total + reported_sum, rel=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL
+    ):
+        out.append(OracleViolation(
+            "differential",
+            f"E-Android view total {superimposed!r} J != ground truth "
+            f"{total!r} + collateral {reported_sum!r} J",
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# catalogue + drivers
+# ----------------------------------------------------------------------
+STEP_ORACLES: Dict[str, Oracle] = {
+    "energy_conservation": energy_conservation,
+    "map_link_consistency": map_link_consistency,
+    "window_well_formedness": window_well_formedness,
+    "no_over_charging": no_over_charging,
+    "profiler_conservation": profiler_conservation,
+    "tracker_agreement": tracker_agreement,
+}
+
+END_ORACLES: Dict[str, Oracle] = {
+    "differential": differential_reconciliation,
+}
+
+#: metamorphic oracles are replay-based and implemented by the runner;
+#: named here so selections and docs can refer to the full catalogue.
+METAMORPHIC_ORACLES = ("observer_purity", "time_dilation", "window_permutation")
+
+
+def check_step(
+    system: "AndroidSystem",
+    ea: "EAndroid",
+    oracles: Optional[Sequence[str]] = None,
+) -> List[OracleViolation]:
+    """Run the (selected) step oracles once; returns all violations."""
+    names = oracles if oracles is not None else STEP_ORACLES
+    out: List[OracleViolation] = []
+    for name in names:
+        out.extend(STEP_ORACLES[name](system, ea))
+    return out
+
+
+def check_end(
+    system: "AndroidSystem",
+    ea: "EAndroid",
+    oracles: Optional[Sequence[str]] = None,
+) -> List[OracleViolation]:
+    """Run the (selected) end-of-run oracles once."""
+    names = oracles if oracles is not None else END_ORACLES
+    out: List[OracleViolation] = []
+    for name in names:
+        out.extend(END_ORACLES[name](system, ea))
+    return out

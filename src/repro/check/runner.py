@@ -1,0 +1,427 @@
+"""Scenario execution and per-scenario verdicts.
+
+:class:`ScenarioExecutor` replays one scenario script against a fresh
+simulated device; :func:`run_scenario` wraps that with the oracle
+catalogue — step oracles after every op (or every ``stride`` ops), the
+differential reconciliation at the end, and the replay-based
+metamorphic oracles:
+
+* **observer purity** — running the identical script *without*
+  ``attach_eandroid`` must drain the battery bit-identically (the
+  paper's §VI-B "equal efficiency" claim, generalised to arbitrary
+  scripts);
+* **time dilation** — scaling every duration (including the screen-off
+  timeout) by *k* must scale every energy total by exactly *k*;
+* **window permutation** — reordering the script's independent blocks
+  must preserve per-(host, target) collateral totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.links import SCREEN_TARGET
+from .oracles import (
+    DIFF_ABS_TOL,
+    DIFF_REL_TOL,
+    OracleViolation,
+    check_end,
+    check_step,
+)
+from .scenario import Op, Scenario
+
+DILATION_FACTOR = 2.0
+
+
+class ScenarioExecutor:
+    """Replays one scenario script on a fresh simulated device."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        attach: bool = True,
+        dilation: float = 1.0,
+    ) -> None:
+        from ..android.framework import AndroidSystem
+        from ..android.settings import SCREEN_OFF_TIMEOUT
+        from ..apps.testkit import make_app
+
+        self.scenario = scenario
+        self.dilation = dilation
+        self.system = AndroidSystem()
+        for package in scenario.packages:
+            self.system.install(make_app(package))
+        if dilation != 1.0:
+            # Framework time constants must dilate with the script, or
+            # the screen would wink out "early" in dilated runs.
+            timeout = self.system.settings.get(SCREEN_OFF_TIMEOUT)
+            self.system.settings.put_as_system(
+                SCREEN_OFF_TIMEOUT, float(timeout) * dilation
+            )
+        self.system.boot()
+        self.ea = None
+        if attach:
+            from ..core import attach_eandroid
+
+            self.ea = attach_eandroid(self.system)
+        self._connections: List[Any] = []
+        self._locks: List[Any] = []
+        self._brightness_default = self.system.settings.get("screen_brightness")
+        self._mode_default = self.system.settings.get("screen_brightness_mode")
+
+    # ------------------------------------------------------------------
+    def run(self, step_hook=None) -> None:
+        """Execute every op; ``step_hook(index, op)`` runs after each."""
+        for index, op in enumerate(self.scenario.ops):
+            self.apply(op)
+            if step_hook is not None:
+                step_hook(index, op)
+
+    def apply(self, op: Op) -> None:
+        """Execute one op (mirrors the hypothesis state machine rules)."""
+        getattr(self, f"_op_{op.kind}")(**dict(op.args))
+
+    # -- op implementations --------------------------------------------
+    def _op_launch(self, package: str) -> None:
+        self.system.launch_app(package)
+
+    def _op_start_activity(self, caller: str, target: str) -> None:
+        from ..android import explicit
+
+        self.system.am.start_activity(
+            self.system.uid_of(caller), explicit(target, "PlainActivity")
+        )
+
+    def _op_start_service(self, caller: str, target: str) -> None:
+        from ..android import explicit
+
+        self.system.am.start_service(
+            self.system.uid_of(caller), explicit(target, "PlainService")
+        )
+
+    def _op_stop_service(self, caller: str, target: str) -> None:
+        from ..android import explicit
+
+        self.system.am.stop_service(
+            self.system.uid_of(caller), explicit(target, "PlainService")
+        )
+
+    def _op_bind_service(self, caller: str, target: str) -> None:
+        from ..android import explicit
+
+        self._connections.append(
+            self.system.am.bind_service(
+                self.system.uid_of(caller), explicit(target, "PlainService")
+            )
+        )
+
+    def _op_unbind_service(self, index: int) -> None:
+        live = [c for c in self._connections if c.bound]
+        if live:
+            self.system.am.unbind_service(live[index % len(live)])
+
+    def _op_acquire_wakelock(self, package: str, screen: bool) -> None:
+        from ..android import PARTIAL_WAKE_LOCK, SCREEN_BRIGHT_WAKE_LOCK
+
+        lock_type = SCREEN_BRIGHT_WAKE_LOCK if screen else PARTIAL_WAKE_LOCK
+        self._locks.append(
+            self.system.power_manager.acquire(
+                self.system.uid_of(package), lock_type, "check"
+            )
+        )
+
+    def _op_release_wakelock(self, index: int) -> None:
+        held = [lock for lock in self._locks if lock.held]
+        if held:
+            held[index % len(held)].release()
+
+    def _op_set_brightness(self, package: str, level: int) -> None:
+        from ..android import SCREEN_BRIGHTNESS
+
+        self.system.settings.put(
+            self.system.uid_of(package), SCREEN_BRIGHTNESS, level
+        )
+
+    def _op_set_brightness_mode(self, package: str, mode: int) -> None:
+        from ..android import SCREEN_BRIGHTNESS_MODE
+
+        self.system.settings.put(
+            self.system.uid_of(package), SCREEN_BRIGHTNESS_MODE, mode
+        )
+
+    def _op_user_brightness(self, level: int) -> None:
+        self.system.systemui.user_set_brightness(level)
+
+    def _op_window_brightness(self, package: str, level: int) -> None:
+        self.system.display.set_window_brightness(
+            self.system.uid_of(package), level
+        )
+
+    def _op_press_home(self) -> None:
+        self.system.press_home()
+
+    def _op_press_back(self) -> None:
+        self.system.press_back()
+
+    def _op_tap_dialog(self) -> None:
+        self.system.tap_dialog_ok()
+
+    def _op_force_stop(self, package: str) -> None:
+        self.system.am.force_stop(package)
+        self._connections = [c for c in self._connections if c.bound]
+        self._locks = [lock for lock in self._locks if lock.held]
+
+    def _op_advance(self, seconds: float) -> None:
+        self.system.run_for(seconds * self.dilation)
+
+    def _op_burn_cpu(self, package: str, load: float) -> None:
+        self.system.hardware.cpu.set_utilization(
+            self.system.uid_of(package), load
+        )
+
+    def _op_incoming_call(self, ring: float) -> None:
+        self.system.incoming_call(ring_seconds=ring * self.dilation)
+
+    def _op_move_task_front(self, caller: str, target: str) -> None:
+        from ..android import ActivityNotFoundError
+
+        try:
+            self.system.am.move_task_to_front(
+                self.system.uid_of(caller), target
+            )
+        except ActivityNotFoundError:
+            pass  # target never launched: legal no-op
+
+    def _op_quiesce(self, seconds: float) -> None:
+        """Return the device to the canonical quiescent state."""
+        for package in self.scenario.packages:
+            uid = self.system.uid_of(package)
+            # Locks held by a uid with no running process survive a
+            # force-stop, so release explicitly first.
+            for lock in self.system.power_manager.held_locks(uid):
+                lock.release()
+            self.system.am.force_stop(package)
+            self.system.hardware.cpu.set_utilization(uid, 0.0)
+        self._connections = [c for c in self._connections if c.bound]
+        self._locks = [lock for lock in self._locks if lock.held]
+        from ..android.settings import SCREEN_BRIGHTNESS_MODE
+
+        self.system.settings.put_as_system(
+            SCREEN_BRIGHTNESS_MODE, self._mode_default
+        )
+        # Write twice so at least one *user* brightness change is always
+        # recorded — a same-value write short-circuits in the settings
+        # provider and would leave an app's brightness-attack window open.
+        self.system.systemui.user_set_brightness(self._brightness_default - 1)
+        self.system.systemui.user_set_brightness(self._brightness_default)
+        self.system.press_home()
+        self.system.run_for(seconds * self.dilation)
+
+    # ------------------------------------------------------------------
+    def collateral_totals(self) -> Dict[Tuple[int, int], float]:
+        """Per-(host, target) collateral joules for the whole run."""
+        if self.ea is None:
+            return {}
+        out: Dict[Tuple[int, int], float] = {}
+        for host in self.ea.accounting.hosts():
+            for target, joules in self.ea.accounting.collateral_breakdown(
+                host
+            ).items():
+                out[(host, target)] = joules
+        return out
+
+
+@dataclass
+class ScenarioReport:
+    """One scenario's verdict."""
+
+    scenario: Scenario
+    violations: List[OracleViolation] = field(default_factory=list)
+    ops_executed: int = 0
+    final_time_s: float = 0.0
+    total_energy_j: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """True when no oracle fired."""
+        return not self.violations
+
+    def violated_oracles(self) -> List[str]:
+        """Names of the oracles that fired, deduplicated, stable order."""
+        seen: List[str] = []
+        for violation in self.violations:
+            if violation.oracle not in seen:
+                seen.append(violation.oracle)
+        return seen
+
+    def to_verdict(self) -> Dict[str, Any]:
+        """JSON-ready per-scenario verdict (manifests, fuzz batches)."""
+        return {
+            "seed": self.scenario.seed,
+            "script_hash": self.scenario.script_hash(),
+            "ops": len(self.scenario.ops),
+            "ok": self.passed,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _label(target: int) -> str:
+    return "screen" if target == SCREEN_TARGET else str(target)
+
+
+def run_scenario(
+    scenario: Scenario,
+    stride: int = 1,
+    metamorphic: bool = True,
+    step_oracles: Optional[Sequence[str]] = None,
+    end_oracles: Optional[Sequence[str]] = None,
+) -> ScenarioReport:
+    """Execute one scenario under the full oracle catalogue.
+
+    ``stride`` trades coverage for speed: step oracles run after every
+    ``stride``-th op (and always after the last).  ``metamorphic=False``
+    skips the three replay-based oracles (three extra full executions).
+    """
+    report = ScenarioReport(scenario=scenario)
+    executor = ScenarioExecutor(scenario, attach=True)
+    seen_oracles: set = set()
+    last_index = len(scenario.ops) - 1
+
+    def step_hook(index: int, op: Op) -> None:
+        if stride > 1 and index % stride != 0 and index != last_index:
+            return
+        for violation in check_step(executor.system, executor.ea, step_oracles):
+            if violation.oracle not in seen_oracles:
+                seen_oracles.add(violation.oracle)
+                report.violations.append(violation)
+        report.ops_executed = index + 1
+
+    executor.run(step_hook)
+    report.ops_executed = len(scenario.ops)
+    report.final_time_s = executor.system.now
+    report.total_energy_j = executor.system.hardware.meter.total_energy_j()
+
+    for violation in check_end(executor.system, executor.ea, end_oracles):
+        if violation.oracle not in seen_oracles:
+            seen_oracles.add(violation.oracle)
+            report.violations.append(violation)
+
+    if metamorphic:
+        report.violations.extend(_check_observer_purity(scenario, executor))
+        report.violations.extend(_check_time_dilation(scenario, executor))
+        report.violations.extend(_check_window_permutation(scenario, executor))
+    return report
+
+
+# ----------------------------------------------------------------------
+# metamorphic oracles (replay-based)
+# ----------------------------------------------------------------------
+def _check_observer_purity(
+    scenario: Scenario, instrumented: ScenarioExecutor
+) -> List[OracleViolation]:
+    """Attaching E-Android must not change the battery drain at all."""
+    bare = ScenarioExecutor(scenario, attach=False)
+    bare.run()
+    instrumented_drain = instrumented.system.battery.energy_used_j()
+    bare_drain = bare.system.battery.energy_used_j()
+    if instrumented_drain != bare_drain:
+        return [OracleViolation(
+            "observer_purity",
+            f"attach_eandroid changed the drain: {instrumented_drain!r} J "
+            f"instrumented vs {bare_drain!r} J bare",
+        )]
+    return []
+
+
+def _check_time_dilation(
+    scenario: Scenario, base: ScenarioExecutor
+) -> List[OracleViolation]:
+    """Dilating every duration by k scales every energy total by k."""
+    factor = DILATION_FACTOR
+    # Executor-level dilation scales op durations *and* the framework's
+    # screen-off timeout together; Scenario.dilated() alone would leave
+    # fixed timers undilated and break linearity by design.
+    dilated = ScenarioExecutor(scenario, attach=True, dilation=factor)
+    dilated.run()
+    out: List[OracleViolation] = []
+
+    base_total = base.system.hardware.meter.total_energy_j()
+    dilated_total = dilated.system.hardware.meter.total_energy_j()
+    if not math.isclose(
+        dilated_total, base_total * factor, rel_tol=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL
+    ):
+        out.append(OracleViolation(
+            "time_dilation",
+            f"total energy {base_total!r} J dilated x{factor} gave "
+            f"{dilated_total!r} J (expected {base_total * factor!r} J)",
+        ))
+
+    base_collateral = base.collateral_totals()
+    dilated_collateral = dilated.collateral_totals()
+    for key in sorted(set(base_collateral) | set(dilated_collateral)):
+        a = base_collateral.get(key, 0.0)
+        b = dilated_collateral.get(key, 0.0)
+        if not math.isclose(
+            b, a * factor, rel_tol=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL
+        ):
+            host, target = key
+            out.append(OracleViolation(
+                "time_dilation",
+                f"collateral host {host} target {_label(target)}: "
+                f"{a!r} J dilated x{factor} gave {b!r} J",
+            ))
+    return out
+
+
+def _check_window_permutation(
+    scenario: Scenario, base: ScenarioExecutor
+) -> List[OracleViolation]:
+    """Reordering independent blocks preserves collateral totals."""
+    from ..sim.rng import SeededRng
+
+    if len(scenario.block_lens) < 2:
+        return []
+    # Soundness precondition: permutation is only metamorphic when every
+    # block restores the canonical device state, i.e. ends in a quiesce
+    # (and the preamble quiesces too).  Shrinking can delete quiesces;
+    # such candidates are legitimately order-dependent, not failures.
+    if scenario.preamble_len < 1 or not all(
+        op.kind == "quiesce" for op in scenario.ops[: scenario.preamble_len]
+    ):
+        return []  # first block would start from boot, not canonical, state
+    if not all(block[-1].kind == "quiesce" for block in scenario.blocks()):
+        return []
+    order = list(range(len(scenario.block_lens)))
+    SeededRng(scenario.seed).fork("permutation").shuffle(order)
+    if order == sorted(order):
+        order.reverse()  # force a real permutation
+    permuted = ScenarioExecutor(scenario.permuted(order), attach=True)
+    permuted.run()
+    out: List[OracleViolation] = []
+
+    base_total = base.system.hardware.meter.total_energy_j()
+    permuted_total = permuted.system.hardware.meter.total_energy_j()
+    if not math.isclose(
+        permuted_total, base_total, rel_tol=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL
+    ):
+        out.append(OracleViolation(
+            "window_permutation",
+            f"block order {order} changed total energy: {base_total!r} J "
+            f"vs {permuted_total!r} J",
+        ))
+
+    base_collateral = base.collateral_totals()
+    permuted_collateral = permuted.collateral_totals()
+    for key in sorted(set(base_collateral) | set(permuted_collateral)):
+        a = base_collateral.get(key, 0.0)
+        b = permuted_collateral.get(key, 0.0)
+        if not math.isclose(a, b, rel_tol=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL):
+            host, target = key
+            out.append(OracleViolation(
+                "window_permutation",
+                f"block order {order} changed collateral for host {host} "
+                f"target {_label(target)}: {a!r} J vs {b!r} J",
+            ))
+    return out

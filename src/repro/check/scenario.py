@@ -1,0 +1,228 @@
+"""Replayable scenario scripts.
+
+A *scenario script* is a serialisable program of framework operations
+(launch, bind, wakelock, brightness, kill, advance-time, ...) over a
+synthetic app graph.  Scripts are the conformance harness's unit of
+work: the generator emits them from a seed, the runner executes them
+against a fresh simulated device, the shrinker minimises failing ones,
+and the corpus stores them as JSON for pytest to replay.
+
+Scripts are canonically hashable (:meth:`Scenario.script_hash` digests
+the sorted-key JSON form), so a script can serve as a cache key and two
+runs of the same campaign can be compared hash-for-hash.
+
+Block structure
+---------------
+
+Ops are grouped into a *preamble* followed by independent *blocks*.
+Every block ends with a ``quiesce`` op that force-stops all scenario
+apps, zeroes their CPU load, restores brightness defaults, and lets
+pending timers drain — so each block starts from the same device state.
+That independence is what the window-permutation metamorphic oracle
+exercises: permuting blocks must preserve per-(host, target) collateral
+totals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+SCENARIO_SCHEMA = 1
+
+# op kind -> required argument names (the whole scripting surface).
+OP_KINDS: Dict[str, Tuple[str, ...]] = {
+    "launch": ("package",),
+    "start_activity": ("caller", "target"),
+    "start_service": ("caller", "target"),
+    "stop_service": ("caller", "target"),
+    "bind_service": ("caller", "target"),
+    "unbind_service": ("index",),
+    "acquire_wakelock": ("package", "screen"),
+    "release_wakelock": ("index",),
+    "set_brightness": ("package", "level"),
+    "set_brightness_mode": ("package", "mode"),
+    "user_brightness": ("level",),
+    "window_brightness": ("package", "level"),
+    "press_home": (),
+    "press_back": (),
+    "tap_dialog": (),
+    "force_stop": ("package",),
+    "advance": ("seconds",),
+    "burn_cpu": ("package", "load"),
+    "incoming_call": ("ring",),
+    "move_task_front": ("caller", "target"),
+    "quiesce": ("seconds",),
+}
+
+# ops whose arguments are durations, scaled by the time-dilation oracle.
+_TIME_ARGS: Dict[str, str] = {
+    "advance": "seconds",
+    "incoming_call": "ring",
+    "quiesce": "seconds",
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scripted framework operation."""
+
+    kind: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        expected = OP_KINDS.get(self.kind)
+        if expected is None:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        missing = [name for name in expected if name not in self.args]
+        if missing:
+            raise ValueError(f"op {self.kind!r} missing args: {missing}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {"kind": self.kind, **dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Op":
+        """Rebuild from :meth:`to_dict` data."""
+        args = {k: v for k, v in data.items() if k != "kind"}
+        return cls(kind=data["kind"], args=args)
+
+    def dilated(self, factor: float) -> "Op":
+        """This op with its duration argument (if any) scaled."""
+        time_arg = _TIME_ARGS.get(self.kind)
+        if time_arg is None:
+            return self
+        args = dict(self.args)
+        args[time_arg] = args[time_arg] * factor
+        return Op(kind=self.kind, args=args)
+
+
+@dataclass
+class Scenario:
+    """A replayable scenario script over a synthetic app set.
+
+    ``ops[:preamble_len]`` is the fixed preamble; the rest splits into
+    ``block_lens`` consecutive independent blocks (see the module
+    docstring).  ``sum(block_lens) + preamble_len == len(ops)``.
+    """
+
+    seed: int
+    packages: Tuple[str, ...]
+    ops: List[Op]
+    preamble_len: int = 0
+    block_lens: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.block_lens and self.preamble_len + sum(self.block_lens) != len(
+            self.ops
+        ):
+            raise ValueError(
+                "block structure does not cover the op list: "
+                f"{self.preamble_len} + {self.block_lens} != {len(self.ops)}"
+            )
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the on-disk scenario-script format)."""
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "seed": self.seed,
+            "packages": list(self.packages),
+            "preamble_len": self.preamble_len,
+            "block_lens": list(self.block_lens),
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild from :meth:`to_dict` data."""
+        schema = data.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ValueError(f"unsupported scenario schema {schema!r}")
+        return cls(
+            seed=int(data["seed"]),
+            packages=tuple(data["packages"]),
+            ops=[Op.from_dict(op) for op in data["ops"]],
+            preamble_len=int(data.get("preamble_len", 0)),
+            block_lens=[int(n) for n in data.get("block_lens", [])],
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to the scenario-script JSON format."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse a scenario-script JSON document."""
+        return cls.from_dict(json.loads(text))
+
+    def script_hash(self) -> str:
+        """Stable content hash of the script (cache/manifest key)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # metamorphic transforms
+    # ------------------------------------------------------------------
+    def dilated(self, factor: float) -> "Scenario":
+        """The same script with every duration scaled by ``factor``."""
+        return Scenario(
+            seed=self.seed,
+            packages=self.packages,
+            ops=[op.dilated(factor) for op in self.ops],
+            preamble_len=self.preamble_len,
+            block_lens=list(self.block_lens),
+        )
+
+    def blocks(self) -> List[List[Op]]:
+        """The independent blocks (after the preamble), as op lists."""
+        out: List[List[Op]] = []
+        cursor = self.preamble_len
+        for length in self.block_lens:
+            out.append(self.ops[cursor : cursor + length])
+            cursor += length
+        return out
+
+    def permuted(self, order: Sequence[int]) -> "Scenario":
+        """The same script with its blocks reordered by ``order``."""
+        blocks = self.blocks()
+        if sorted(order) != list(range(len(blocks))):
+            raise ValueError(f"order {order!r} is not a permutation of the blocks")
+        ops = list(self.ops[: self.preamble_len])
+        for index in order:
+            ops.extend(blocks[index])
+        return Scenario(
+            seed=self.seed,
+            packages=self.packages,
+            ops=ops,
+            preamble_len=self.preamble_len,
+            block_lens=[self.block_lens[i] for i in order],
+        )
+
+    # ------------------------------------------------------------------
+    # shrinking support
+    # ------------------------------------------------------------------
+    def without_ops(self, start: int, stop: int) -> "Scenario":
+        """The script with ``ops[start:stop]`` deleted, blocks adjusted."""
+        keep = [i for i in range(len(self.ops)) if not start <= i < stop]
+        ops = [self.ops[i] for i in keep]
+        preamble = sum(1 for i in keep if i < self.preamble_len)
+        block_lens: List[int] = []
+        cursor = self.preamble_len
+        for length in self.block_lens:
+            surviving = sum(1 for i in keep if cursor <= i < cursor + length)
+            if surviving:
+                block_lens.append(surviving)
+            cursor += length
+        return Scenario(
+            seed=self.seed,
+            packages=self.packages,
+            ops=ops,
+            preamble_len=preamble,
+            block_lens=block_lens,
+        )

@@ -1,0 +1,82 @@
+"""Greedy scenario minimisation.
+
+Given a failing scenario script and a predicate ("does this candidate
+still trip the same oracle?"), :func:`shrink` deletes ops in
+exponentially shrinking chunks — the classic ddmin sweep — until no
+single op can be removed without losing the failure.  The result is
+what lands in the replayable failure corpus: a minimal script plus the
+seed that found it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .runner import run_scenario
+from .scenario import Scenario
+
+Predicate = Callable[[Scenario], bool]
+
+
+def oracle_predicate(
+    oracles: Sequence[str],
+    stride: int = 1,
+    metamorphic: Optional[bool] = None,
+) -> Predicate:
+    """A predicate that re-runs a candidate and checks the same oracles
+    still fire.
+
+    The metamorphic replays triple the cost of each probe, so they only
+    run when one of the target ``oracles`` is itself metamorphic
+    (unless forced via ``metamorphic``).
+    """
+    from .oracles import METAMORPHIC_ORACLES
+
+    wanted = set(oracles)
+    need_replays = (
+        metamorphic
+        if metamorphic is not None
+        else bool(wanted & set(METAMORPHIC_ORACLES))
+    )
+
+    def predicate(candidate: Scenario) -> bool:
+        report = run_scenario(candidate, stride=stride, metamorphic=need_replays)
+        return bool(wanted & set(report.violated_oracles()))
+
+    return predicate
+
+
+def shrink(
+    scenario: Scenario,
+    still_fails: Predicate,
+    max_probes: int = 400,
+) -> Scenario:
+    """Minimise ``scenario`` while ``still_fails`` holds.
+
+    Greedy chunked deletion: try removing windows of half the script,
+    then quarters, down to single ops; restart from large chunks after
+    any successful deletion, and stop once a full single-op sweep (or
+    the probe budget) finds nothing removable.
+    """
+    current = scenario
+    probes = 0
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        size = max(len(current.ops) // 2, 1)
+        while size >= 1 and probes < max_probes:
+            index = 0
+            while index < len(current.ops) and probes < max_probes:
+                candidate = current.without_ops(index, index + size)
+                if not candidate.ops:
+                    index += size
+                    continue
+                probes += 1
+                if still_fails(candidate):
+                    current = candidate
+                    improved = True
+                    # keep index: the next chunk slid into this slot
+                else:
+                    index += size
+            size //= 2
+    return current

@@ -7,6 +7,11 @@ Commands:
   ``--only fig9,fig10`` selects, ``--parallel N`` fans out,
   ``--cache-dir``/``--no-cache``/``--refresh`` control the result cache,
   ``--save DIR`` writes text artifacts plus ``manifest.json``);
+* ``check`` — fuzz generated device scenarios against the conformance
+  oracles (``--fuzz N --seed S --jobs J``; ``--corpus DIR`` shrinks
+  failures into a replayable corpus, ``--replay FILE`` re-runs one
+  corpus entry, ``--save DIR`` writes ``manifest.json`` +
+  ``BENCH_fuzz.json``);
 * ``attack NAME`` — run one attack scenario and print the Android vs
   E-Android views plus the detector's verdict (``--trace-out FILE``
   additionally writes a Chrome trace-event JSON of the run,
@@ -91,6 +96,47 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         written.append(str(write_manifest(run, args.save)))
         print(f"wrote {len(written)} artifact files to {args.save}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import CampaignConfig, load_corpus_entry, run_campaign, run_scenario
+    from .check.scenario import Scenario
+
+    if args.replay:
+        document = load_corpus_entry(args.replay)
+        scenario = Scenario.from_dict(document["scenario"])
+        report = run_scenario(scenario, stride=args.stride, metamorphic=not args.no_metamorphic)
+        print(
+            f"replayed {args.replay}: seed {scenario.seed}, "
+            f"{len(scenario.ops)} op(s), "
+            f"{'PASS' if report.passed else 'FAIL'}"
+        )
+        for violation in report.violations:
+            print(f"  {violation}")
+        return 0 if report.passed else 1
+
+    config = CampaignConfig(
+        fuzz=args.fuzz,
+        seed=args.seed,
+        jobs=args.jobs,
+        ops=args.ops,
+        stride=args.stride,
+        metamorphic=not args.no_metamorphic,
+        corpus_dir=args.corpus or None,
+        save_dir=args.save or None,
+        cache_dir=args.cache_dir or None,
+        use_cache=not args.no_cache,
+        refresh=args.refresh,
+        telemetry=args.telemetry,
+    )
+    report = run_campaign(config)
+    print(report.render_text())
+    stats = report.cache_stats
+    print(
+        f"cache: {stats.get('hits', 0)} hit(s), "
+        f"{stats.get('misses', 0)} miss(es)"
+    )
+    return 0 if report.passed else 1
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -271,6 +317,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the selection and exit"
     )
     experiments.set_defaults(func=_cmd_experiments)
+
+    check = sub.add_parser(
+        "check", help="fuzz the device against the conformance oracles"
+    )
+    check.add_argument(
+        "--fuzz", type=int, default=50, help="number of scenarios (default 50)"
+    )
+    check.add_argument(
+        "--seed", type=int, default=7, help="campaign base seed (default 7)"
+    )
+    check.add_argument(
+        "--jobs", type=int, default=1, help="engine worker processes"
+    )
+    check.add_argument(
+        "--ops", type=int, default=40, help="body ops per scenario (default 40)"
+    )
+    check.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        help="run step oracles every Nth op (default: every op)",
+    )
+    check.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the replay-based metamorphic oracles (3x faster)",
+    )
+    check.add_argument(
+        "--corpus",
+        default="",
+        help="write shrunk failing scripts into this corpus directory",
+    )
+    check.add_argument(
+        "--replay",
+        default="",
+        help="replay one corpus entry instead of fuzzing",
+    )
+    check.add_argument(
+        "--save", default="", help="write manifest.json + BENCH_fuzz.json here"
+    )
+    check.add_argument(
+        "--cache-dir",
+        default="",
+        help="result cache directory (default: ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    check.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    check.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every batch and overwrite its cache entry",
+    )
+    check.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-batch event-bus stats into the manifest",
+    )
+    check.set_defaults(func=_cmd_check)
 
     attack = sub.add_parser("attack", help="run one attack scenario")
     attack.add_argument(

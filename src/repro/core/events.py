@@ -21,6 +21,7 @@ class CollateralEventType(Enum):
     ACTIVITY_START = "activity_start"
     ACTIVITY_MOVE_TO_FRONT = "activity_move_to_front"
     ACTIVITY_FINISHED = "activity_finished"
+    PACKAGE_STOPPED = "package_stopped"
     FOREGROUND_CHANGED = "foreground_changed"
     SERVICE_START = "service_start"
     SERVICE_STOP = "service_stop"

@@ -225,6 +225,22 @@ class EAndroidMonitor(FrameworkObserver):
             component=record.component_name,
         )
 
+    def on_package_stopped(self, time: float, uid: int, package: str) -> None:
+        self._journal(
+            time,
+            CollateralEventType.PACKAGE_STOPPED,
+            None,
+            uid,
+            package=package,
+        )
+        # Force Stop kills every component, so attacks *against* this app
+        # are physically over: its next life is a fresh, user-initiated
+        # start, and Fig. 5a/5b windows must not span the death.  Links
+        # the dead app *drives* stay open — a brightness setting or a
+        # started-elsewhere activity outlives its driver's process.
+        self._end(self._activity_links.pop(uid, None))
+        self._end(self._interrupt_links.pop(uid, None))
+
     def on_foreground_changed(
         self,
         time: float,

@@ -15,6 +15,7 @@ from .fig8 import Fig8Result, run_fig8
 from .fig9 import Fig9Result, PanelResult, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .fig11 import Fig11Result, run_fig11
+from .fuzz import FuzzBatchResult, run_fuzz_batch
 from .registry import (
     REGISTRY,
     ExperimentOutcome,
@@ -41,6 +42,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_efficiency",
+    "run_fuzz_batch",
     "run_all",
     "run_evaluation",
     "save_outcomes",
@@ -55,6 +57,7 @@ __all__ = [
     "Fig10Result",
     "Fig11Result",
     "EfficiencyResult",
+    "FuzzBatchResult",
     "ExperimentOutcome",
     "ExperimentResultMixin",
     "ExperimentSpec",

@@ -1,0 +1,123 @@
+"""``fuzz`` — one conformance-fuzzing seed batch as an experiment.
+
+The ``repro check`` campaign splits its scenario seeds into batches and
+submits each batch through the parallel experiment engine as a ``fuzz``
+job, which buys the campaign process fan-out, retries, telemetry, and
+on-disk result caching for free.  The batch result carries one verdict
+per seed in its ``metrics()`` (so verdicts survive the cache
+round-trip), and ``claim_holds`` is simply "every oracle passed on
+every seed".
+
+The spec registers as *auxiliary*: it rides on the engine but is not
+part of the paper's evaluation, so ``repro run`` / ``resolve_selection``
+with no explicit selection skip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Sequence
+
+from .registry import ExperimentResultMixin, ExperimentSpec, register
+
+
+@dataclass
+class FuzzBatchResult(ExperimentResultMixin):
+    """Verdicts for one batch of fuzzed scenario seeds."""
+
+    verdicts: List[Dict[str, Any]]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "fuzz"
+
+    @property
+    def claim_holds(self) -> bool:
+        """Every scenario in the batch satisfied every oracle."""
+        return all(v["ok"] for v in self.verdicts)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        """The failing verdicts."""
+        return [v for v in self.verdicts if not v["ok"]]
+
+    def metrics(self) -> Dict[str, Any]:
+        """The per-seed verdicts (the campaign's unit of work) + counts."""
+        return {
+            "scenarios": len(self.verdicts),
+            "failed": len(self.failures),
+            "verdicts": self.verdicts,
+        }
+
+    def render_text(self) -> str:
+        """One line per seed; failures list their oracles."""
+        lines = [
+            f"fuzz batch: {len(self.verdicts)} scenario(s), "
+            f"{len(self.failures)} failing"
+        ]
+        for verdict in self.verdicts:
+            if verdict["ok"]:
+                lines.append(
+                    f"  ok   seed {verdict['seed']} "
+                    f"script {verdict['script_hash']}"
+                )
+            else:
+                oracles = sorted({v["oracle"] for v in verdict["violations"]})
+                lines.append(
+                    f"  FAIL seed {verdict['seed']} "
+                    f"script {verdict['script_hash']} — {', '.join(oracles)}"
+                )
+        return "\n".join(lines)
+
+
+def run_fuzz_batch(
+    seeds: Sequence[int] = (7,),
+    ops: int = 40,
+    stride: int = 1,
+    metamorphic: bool = True,
+    scripts_digest: str = "",
+) -> FuzzBatchResult:
+    """Generate and check one scenario per seed.
+
+    ``scripts_digest`` is the combined script hash of the batch: it is
+    not used here (the scenario is regenerated from the seed), but it is
+    part of the cache key, so a change to the generator or scenario
+    format invalidates stale cached verdicts.
+    """
+    from ..check.generator import generate_scenario
+    from ..check.runner import run_scenario
+
+    verdicts = []
+    for seed in seeds:
+        scenario = generate_scenario(seed, ops=ops)
+        report = run_scenario(
+            scenario, stride=stride, metamorphic=metamorphic
+        )
+        verdicts.append(report.to_verdict())
+    return FuzzBatchResult(
+        verdicts=verdicts,
+        params={
+            "seeds": list(seeds),
+            "ops": ops,
+            "stride": stride,
+            "metamorphic": metamorphic,
+            "scripts_digest": scripts_digest,
+        },
+    )
+
+
+register(
+    ExperimentSpec(
+        name="fuzz",
+        runner=run_fuzz_batch,
+        description="conformance-fuzzing seed batch (repro check)",
+        default_params={
+            "seeds": (7,),
+            "ops": 40,
+            "stride": 1,
+            "metamorphic": True,
+            "scripts_digest": "",
+        },
+        order=99,
+        auxiliary=True,
+    )
+)

@@ -216,6 +216,11 @@ class ExperimentSpec:
     default_params: Mapping[str, Any] = field(default_factory=dict)
     aliases: Tuple[str, ...] = ()
     order: int = 0  # position in the paper's evaluation section
+    #: Auxiliary specs (e.g. the fuzz conformance batches) ride on the
+    #: engine's caching/fan-out but are not part of the paper's
+    #: evaluation: "run everything" selections skip them, explicit
+    #: selection by name still works.
+    auxiliary: bool = False
 
     def resolve_params(self, **overrides: Any) -> Dict[str, Any]:
         """Defaults merged with per-run overrides."""
@@ -277,7 +282,8 @@ def available_names() -> List[str]:
 
 
 def resolve_selection(names: Optional[Sequence[str]] = None) -> List[ExperimentSpec]:
-    """Turn a user selection into specs (empty = all, in paper order).
+    """Turn a user selection into specs (empty = every non-auxiliary
+    experiment, in paper order).
 
     Explicit selections keep the user's order (duplicates collapse to
     the first occurrence).
@@ -286,7 +292,7 @@ def resolve_selection(names: Optional[Sequence[str]] = None) -> List[ExperimentS
         UnknownExperimentError: listing every unrecognised name at once.
     """
     if not names:
-        return ordered_specs()
+        return [spec for spec in ordered_specs() if not spec.auxiliary]
     unknown = [n for n in names if _ALIASES.get(n, n) not in REGISTRY]
     if unknown:
         raise UnknownExperimentError(unknown)

@@ -18,7 +18,7 @@ from .errors import (
 from .event_queue import EventQueue, ScheduledEvent
 from .kernel import Kernel, RepeatingTimer
 from .process import ProcessRecord, ProcessTable
-from .rng import SeededRng
+from .rng import SeededRng, derive_seed
 
 __all__ = [
     "VirtualClock",
@@ -29,6 +29,7 @@ __all__ = [
     "ProcessRecord",
     "ProcessTable",
     "SeededRng",
+    "derive_seed",
     "SimulationError",
     "SchedulingError",
     "EventCancelledError",

@@ -8,10 +8,23 @@ run-to-run and figure outputs are stable.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Stable child seed for ``(seed, label)``.
+
+    Uses SHA-256 rather than :func:`hash` so the derivation does not
+    depend on ``PYTHONHASHSEED`` — forked streams must be identical
+    across processes for cross-process fuzz replay and parallel
+    experiments to be deterministic.
+    """
+    digest = hashlib.sha256(f"{int(seed)}\x1f{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
 
 
 class SeededRng:
@@ -30,10 +43,11 @@ class SeededRng:
         """Derive an independent child stream keyed by ``label``.
 
         Forking keeps unrelated consumers from perturbing each other's
-        streams when one of them changes how many draws it makes.
+        streams when one of them changes how many draws it makes.  The
+        child seed is a stable digest of ``(seed, label)``, so forks are
+        reproducible across processes and interpreter restarts.
         """
-        child_seed = hash((self._seed, label)) & 0x7FFFFFFF
-        return SeededRng(child_seed)
+        return SeededRng(derive_seed(self._seed, label))
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in [low, high]."""

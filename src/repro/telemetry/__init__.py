@@ -32,6 +32,7 @@ from .events import (
     FRAMEWORK_CATEGORIES,
     ForegroundChangedEvent,
     KernelDispatchEvent,
+    PackageStoppedEvent,
     PhaseBeginEvent,
     PhaseEndEvent,
     ScreenStateEvent,
@@ -69,6 +70,7 @@ __all__ = [
     "FRAMEWORK_CATEGORIES",
     "ForegroundChangedEvent",
     "KernelDispatchEvent",
+    "PackageStoppedEvent",
     "PhaseBeginEvent",
     "PhaseEndEvent",
     "ScreenStateEvent",

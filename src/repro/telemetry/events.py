@@ -194,6 +194,31 @@ class ActivityFinishedEvent(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class PackageStoppedEvent(TelemetryEvent):
+    """A package's process and components were force-stopped.
+
+    Published once per ``ActivityManager.force_stop`` after every
+    component of the app has been torn down — the package-level death
+    notification that per-component events (activity finished, service
+    stop) cannot convey on their own.
+    """
+
+    uid: int
+    package: str
+
+    category: ClassVar[Category] = Category.ACTIVITY
+    name: ClassVar[str] = "package_stopped"
+    hook: ClassVar[Optional[str]] = "on_package_stopped"
+
+    @property
+    def driven_uid(self) -> Optional[int]:
+        return self.uid
+
+    def hook_args(self) -> tuple:
+        return (self.time, self.uid, self.package)
+
+
+@dataclass(frozen=True)
 class ForegroundChangedEvent(TelemetryEvent):
     """The foreground app changed.
 

@@ -1,0 +1,44 @@
+"""Replay the checked-in failure corpus as regression tests.
+
+Every ``corpus/*.json`` document is a shrunk scenario script that once
+tripped a conformance oracle on a real (since fixed) bug.  Replaying
+them green pins the fixes; a reintroduced bug turns its entry red with
+the recorded oracle name pointing at the invariant that broke.  See
+``docs/TESTING.md`` for the triage workflow and ``corpus/README.md``
+for what each entry caught.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import load_corpus_entry, run_scenario
+from repro.check.scenario import Scenario
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    # The harness has caught real bugs; their entries must stay checked in.
+    assert len(ENTRIES) >= 3
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_green(path):
+    document = load_corpus_entry(path)
+    scenario = Scenario.from_dict(document["scenario"])
+    assert len(scenario.ops) == document["shrunk_ops"]
+    report = run_scenario(scenario, metamorphic=True)
+    assert report.passed, (
+        f"regression: {path.name} (oracles {document['oracles']}) "
+        f"fails again:\n" + "\n".join(str(v) for v in report.violations)
+    )
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_is_well_formed(path):
+    document = load_corpus_entry(path)
+    assert document["oracles"], "entry must name the oracle it caught"
+    assert document["original_ops"] >= document["shrunk_ops"]
+    assert document["violations"], "entry must record the original failure"

@@ -2,18 +2,23 @@
 
 A hypothesis rule-based state machine drives random framework operations
 (launches, IPC, wakelocks, brightness, kills, time) against a device
-with E-Android attached, and checks the system-wide invariants from
-DESIGN.md §5 after every step:
+with E-Android attached.  The invariants are **not** defined here: the
+machine is a thin adapter over :mod:`repro.check.oracles`, the shared
+oracle library the fuzz campaign (``python -m repro check``) drives over
+generated scenario scripts.  After every step it asserts the six
+DESIGN.md §5 step oracles, and at teardown the end-of-run differential
+reconciliation:
 
 1. energy conservation (per-owner sums == device total == battery drain);
 2. map/link consistency (open elements == live-link reachability);
 3. element-window well-formedness (ordered, non-overlapping);
 4. no over-charging (collateral per (host, target) <= target ground truth);
 5. profiler conservation (PowerTutor redistributes, never invents);
-6. tracker/framework agreement (screen-wakelock counts, foreground uid).
+6. tracker/framework agreement (screen-wakelock counts, foreground uid);
+7. (end) differential reconciliation of BatteryStats / PowerTutor /
+   E-Android against the meter and the raw charge windows.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -23,17 +28,16 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
-from repro.accounting import PowerTutor
 from repro.android import (
     ActivityNotFoundError,
-    BadStateError,
     SCREEN_BRIGHTNESS,
     SCREEN_BRIGHTNESS_MODE,
     SCREEN_BRIGHT_WAKE_LOCK,
     PARTIAL_WAKE_LOCK,
     explicit,
 )
-from repro.core import SCREEN_TARGET, attach_eandroid
+from repro.check import check_end, check_step
+from repro.core import attach_eandroid
 
 from helpers import make_app
 
@@ -44,7 +48,7 @@ pair_st = st.tuples(package_st, package_st)
 
 
 class EAndroidFuzz(RuleBasedStateMachine):
-    """Random-operation driver with global invariants."""
+    """Random-operation driver asserting the shared conformance oracles."""
 
     @initialize()
     def build_device(self):
@@ -157,14 +161,12 @@ class EAndroidFuzz(RuleBasedStateMachine):
         self.system.incoming_call(ring_seconds=ring)
 
     @rule()
-    def user_taps_dialog(self, ):
+    def user_taps_dialog(self):
         self.system.tap_dialog_ok()
 
     @rule(pair=pair_st)
     def app_moves_task_to_front(self, pair):
         caller, target = pair
-        from repro.android import ActivityNotFoundError
-
         try:
             self.system.am.move_task_to_front(
                 self.system.uid_of(caller), target
@@ -178,75 +180,15 @@ class EAndroidFuzz(RuleBasedStateMachine):
             self.system.uid_of(package), level
         )
 
-    # -- invariants -------------------------------------------------------
+    # -- invariants: the shared oracle library --------------------------
     @invariant()
-    def energy_conservation(self):
-        meter = self.system.hardware.meter
-        total = meter.total_energy_j()
-        by_owner = sum(meter.energy_by_owner().values())
-        assert total == pytest.approx(by_owner, rel=1e-9, abs=1e-9)
-        assert self.system.battery.energy_used_j() == pytest.approx(
-            total, rel=1e-9, abs=1e-9
-        )
+    def step_oracles_hold(self):
+        violations = check_step(self.system, self.ea)
+        assert not violations, "\n".join(str(v) for v in violations)
 
-    @invariant()
-    def maps_match_reachability(self):
-        graph = self.ea.accounting.graph
-        for host in graph.hosts():
-            open_targets = self.ea.accounting.map_for(host).open_targets()
-            assert open_targets == graph.reachable_from(host)
-
-    @invariant()
-    def element_windows_well_formed(self):
-        now = self.system.now
-        for host in self.ea.accounting.graph.hosts():
-            for _, element in self.ea.accounting.map_for(host).items():
-                previous_end = -1.0
-                for start, end in element.closed:
-                    assert start < end <= now + 1e-9
-                    assert start >= previous_end - 1e-9
-                    previous_end = end
-                if element.open_since is not None:
-                    assert element.open_since >= previous_end - 1e-9
-                    assert element.open_since <= now + 1e-9
-
-    @invariant()
-    def no_over_charging(self):
-        meter = self.system.hardware.meter
-        for host in self.ea.accounting.hosts():
-            for target, joules in self.ea.accounting.collateral_breakdown(
-                host
-            ).items():
-                if target == SCREEN_TARGET:
-                    ground = meter.screen_energy_j()
-                else:
-                    ground = meter.energy_j(owner=target)
-                assert joules <= ground + 1e-6
-
-    @invariant()
-    def powertutor_conserves_energy(self):
-        report = PowerTutor(self.system).report()
-        assert report.total_energy_j() == pytest.approx(
-            self.system.hardware.meter.total_energy_j(), rel=1e-6, abs=1e-6
-        )
-
-    @invariant()
-    def wakelock_tracking_agrees(self):
-        monitor_counts = self.ea.monitor._screen_lock_counts
-        for package in PACKAGES:
-            uid = self.system.uid_of(package)
-            actual = sum(
-                1
-                for lock in self.system.power_manager.held_locks(uid)
-                if lock.keeps_screen_on
-            )
-            assert monitor_counts.get(uid, 0) == actual
-
-    @invariant()
-    def foreground_agrees_with_timeline(self):
-        assert (
-            self.system.am.timeline.current_uid == self.system.foreground_uid()
-        )
+    def teardown(self):
+        violations = check_end(self.system, self.ea)
+        assert not violations, "\n".join(str(v) for v in violations)
 
 
 EAndroidFuzzTest = EAndroidFuzz.TestCase

@@ -29,14 +29,22 @@ PAPER_ORDER = [
     "efficiency",
 ]
 
+# Auxiliary specs ride on the engine (cache, fan-out) but are not part
+# of the paper's evaluation; default selections skip them.
+AUXILIARY = ["fuzz"]
+
 
 class TestRegistryContents:
     def test_all_experiments_registered(self):
-        assert set(REGISTRY) == set(PAPER_ORDER)
+        assert set(REGISTRY) == set(PAPER_ORDER) | set(AUXILIARY)
 
     def test_paper_order(self):
-        assert available_names() == PAPER_ORDER
-        assert [s.name for s in ordered_specs()] == PAPER_ORDER
+        assert available_names() == PAPER_ORDER + AUXILIARY
+        assert [s.name for s in ordered_specs()] == PAPER_ORDER + AUXILIARY
+
+    def test_auxiliary_flagged(self):
+        assert REGISTRY["fuzz"].auxiliary is True
+        assert all(not REGISTRY[name].auxiliary for name in PAPER_ORDER)
 
     def test_aliases_resolve(self):
         assert get_spec("fig10_table1").name == "fig10"
@@ -52,9 +60,12 @@ class TestRegistryContents:
 
 
 class TestSelection:
-    def test_empty_selection_is_everything(self):
+    def test_empty_selection_is_every_paper_experiment(self):
         assert [s.name for s in resolve_selection(None)] == PAPER_ORDER
         assert [s.name for s in resolve_selection([])] == PAPER_ORDER
+
+    def test_auxiliary_selectable_by_name(self):
+        assert [s.name for s in resolve_selection(["fuzz"])] == ["fuzz"]
 
     def test_selection_keeps_user_order_and_dedups(self):
         specs = resolve_selection(["fig9", "fig1", "fig9"])
