@@ -13,8 +13,9 @@ paper's entire subject:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 
 @dataclass
@@ -35,6 +36,18 @@ class AppEnergyEntry:
     def own_energy_j(self) -> float:
         """Energy minus collateral additions."""
         return self.energy_j - sum(self.collateral_j.values())
+
+    def copy(self) -> "AppEnergyEntry":
+        """An independent replica (callers may mutate report rows)."""
+        return AppEnergyEntry(
+            uid=self.uid,
+            label=self.label,
+            energy_j=self.energy_j,
+            percent=self.percent,
+            is_screen=self.is_screen,
+            is_system=self.is_system,
+            collateral_j=dict(self.collateral_j),
+        )
 
 
 @dataclass
@@ -97,6 +110,53 @@ class ProfilerReport:
             ):
                 lines.append(f"      +{source:<20} {joules:>9.2f} J (collateral)")
         return "\n".join(lines)
+
+
+class ReportCache:
+    """Finalized-entry memoization shared by every profiler.
+
+    Reports are pure functions of (underlying data version, query
+    window); profilers describe their data dependencies as a hashable
+    ``version`` (meter append epoch, foreground-timeline version,
+    collateral map-set version, ...) and the cache replays the finalized
+    entry rows when nothing they depend on has changed.  Entries are
+    copied in both directions, so callers may freely mutate the reports
+    they receive (E-Android's interface superimposes collateral onto the
+    baseline rows in place).
+    """
+
+    def __init__(self, max_windows: int = 8) -> None:
+        self._entries: "OrderedDict[Tuple[float, float], Tuple[Hashable, List[AppEnergyEntry]]]" = (
+            OrderedDict()
+        )
+        self._max_windows = max_windows
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, version: Hashable, start: float, end: float
+    ) -> Optional[List[AppEnergyEntry]]:
+        """Fresh copies of the cached rows, or None on miss/staleness."""
+        cached = self._entries.get((start, end))
+        if cached is None or cached[0] != version:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((start, end))
+        self.hits += 1
+        return [entry.copy() for entry in cached[1]]
+
+    def store(
+        self,
+        version: Hashable,
+        start: float,
+        end: float,
+        entries: List[AppEnergyEntry],
+    ) -> None:
+        """Record finalized rows for one (version, window)."""
+        self._entries[(start, end)] = (version, [entry.copy() for entry in entries])
+        self._entries.move_to_end((start, end))
+        if len(self._entries) > self._max_windows:
+            self._entries.popitem(last=False)
 
 
 class EnergyProfiler:

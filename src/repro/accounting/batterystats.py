@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from ..power.meter import SCREEN_OWNER, SYSTEM_OWNER
-from .base import AppEnergyEntry, EnergyProfiler, ProfilerReport
+from .base import AppEnergyEntry, EnergyProfiler, ProfilerReport, ReportCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..android.framework import AndroidSystem
@@ -31,12 +31,23 @@ class BatteryStats(EnergyProfiler):
 
     def __init__(self, system: "AndroidSystem") -> None:
         self._system = system
+        self._cache = ReportCache()
 
     def report(self, start: float = 0.0, end: Optional[float] = None) -> ProfilerReport:
-        """Per-app direct energy; screen and OS as standalone rows."""
+        """Per-app direct energy; screen and OS as standalone rows.
+
+        Incremental: finalized rows are memoized on the meter's append
+        epoch, so repeated snapshots of an unchanged window replay the
+        cached entries instead of re-integrating every channel.
+        """
         meter = self._system.hardware.meter
         pm = self._system.package_manager
         window_end = self._system.kernel.now if end is None else end
+        cached = self._cache.get(meter.epoch, start, window_end)
+        if cached is not None:
+            return ProfilerReport(
+                profiler=self.name, start=start, end=window_end, entries=cached
+            )
         report = ProfilerReport(profiler=self.name, start=start, end=window_end)
         for owner, energy in meter.energy_by_owner(start, window_end).items():
             if energy <= 0:
@@ -62,4 +73,6 @@ class BatteryStats(EnergyProfiler):
                         is_system=pm.is_system_uid(owner),
                     )
                 )
-        return report.finalize()
+        report.finalize()
+        self._cache.store(meter.epoch, start, window_end, report.entries)
+        return report

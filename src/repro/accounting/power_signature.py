@@ -69,6 +69,10 @@ class PowerSignatureDetector:
         self._system = system
         self.threshold_mw = threshold_mw
         self.sample_period_s = sample_period_s
+        # (window, knobs) -> (meter epoch, uid tuple, verdict); scanning
+        # samples every app's draw over the whole window, so replaying
+        # an unchanged scan is the detector's biggest saving.
+        self._scan_cache: Dict[tuple, tuple] = {}
 
     def signature_of(
         self, uid: int, start: float = 0.0, end: Optional[float] = None
@@ -82,17 +86,15 @@ class PowerSignatureDetector:
         active = 0.0
         steps = max(1, int(duration / self.sample_period_s))
         step = duration / steps
+        # The owner->channels index keeps sampling proportional to the
+        # app's own channel count instead of the whole device's.
+        traces = [
+            meter.trace(*key)
+            for key in meter.channels_of(uid)
+        ]
         for i in range(steps):
             t = start + (i + 0.5) * step
-            draw = sum(
-                trace.power_at(t)
-                for (owner, _), trace in (
-                    (key, meter.trace(*key))
-                    for key in meter.channels()
-                    if key[0] == uid
-                )
-                if trace is not None
-            )
+            draw = sum(trace.power_at(t) for trace in traces if trace is not None)
             peak = max(peak, draw)
             if draw > 0:
                 active += step
@@ -107,8 +109,15 @@ class PowerSignatureDetector:
     def scan(
         self, start: float = 0.0, end: Optional[float] = None
     ) -> SignatureVerdict:
-        """Signature every app uid that ever drew power; flag outliers."""
+        """Signature every app uid that ever drew power; flag outliers.
+
+        Incremental: verdicts are memoized on the meter's append epoch
+        (plus the scanned uid set), so repeated scans of an unchanged
+        window skip the per-app sampling sweep entirely.
+        """
         meter = self._system.hardware.meter
+        window_end = self._system.kernel.now if end is None else end
+        cache_key = (start, window_end, self.threshold_mw, self.sample_period_s)
         verdict = SignatureVerdict()
         # Every installed app gets a signature (a silent app's flat
         # signature is the interesting case), plus any uid the meter saw.
@@ -123,10 +132,23 @@ class PowerSignatureDetector:
                 app.uid
             ):
                 app_uids.add(app.uid)
-        for uid in sorted(app_uids):
-            signature = self.signature_of(uid, start, end)
+        uids = tuple(sorted(app_uids))
+        cached = self._scan_cache.get(cache_key)
+        if cached is not None and cached[0] == meter.epoch and cached[1] == uids:
+            previous = cached[2]
+            verdict.signatures = dict(previous.signatures)
+            verdict.flagged = list(previous.flagged)
+            return verdict
+        for uid in uids:
+            signature = self.signature_of(uid, start, window_end)
             verdict.signatures[uid] = signature
             if signature.exceeds(self.threshold_mw):
                 verdict.flagged.append(signature)
         verdict.flagged.sort(key=lambda s: s.mean_mw, reverse=True)
+        if len(self._scan_cache) > 8:
+            self._scan_cache.clear()
+        snapshot = SignatureVerdict(
+            flagged=list(verdict.flagged), signatures=dict(verdict.signatures)
+        )
+        self._scan_cache[cache_key] = (meter.epoch, uids, snapshot)
         return verdict

@@ -16,7 +16,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 from ..power.components import SCREEN
 from ..power.meter import SCREEN_OWNER, SYSTEM_OWNER
-from .base import AppEnergyEntry, EnergyProfiler, ProfilerReport
+from .base import AppEnergyEntry, EnergyProfiler, ProfilerReport, ReportCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..android.framework import AndroidSystem
@@ -32,13 +32,26 @@ class PowerTutor(EnergyProfiler):
 
     def __init__(self, system: "AndroidSystem") -> None:
         self._system = system
+        self._cache = ReportCache()
 
     def report(self, start: float = 0.0, end: Optional[float] = None) -> ProfilerReport:
-        """Per-app direct energy plus foreground-interval screen shares."""
+        """Per-app direct energy plus foreground-interval screen shares.
+
+        Incremental: finalized rows are memoized on (meter append epoch,
+        foreground-timeline version) — the two inputs the attribution
+        depends on — so unchanged windows replay instead of rescanning
+        every channel and foreground interval.
+        """
         meter = self._system.hardware.meter
         pm = self._system.package_manager
         timeline = self._system.am.timeline
         window_end = self._system.kernel.now if end is None else end
+        version = (meter.epoch, timeline.version)
+        cached = self._cache.get(version, start, window_end)
+        if cached is not None:
+            return ProfilerReport(
+                profiler=self.name, start=start, end=window_end, entries=cached
+            )
 
         energies: Dict[int, float] = {}
         system_energy = 0.0
@@ -96,4 +109,6 @@ class PowerTutor(EnergyProfiler):
                     is_screen=True,
                 )
             )
-        return report.finalize()
+        report.finalize()
+        self._cache.store(version, start, window_end, report.entries)
+        return report

@@ -18,6 +18,12 @@ class ForegroundTimeline:
     def __init__(self) -> None:
         self._times: List[float] = []
         self._uids: List[Optional[int]] = []
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic change counter; keys the profilers' report caches."""
+        return self._version
 
     def record(self, time: float, uid: Optional[int]) -> None:
         """Append a foreground change at ``time``."""
@@ -26,12 +32,15 @@ class ForegroundTimeline:
                 f"timeline appends must be ordered: {time!r} after {self._times[-1]!r}"
             )
         if self._times and self._times[-1] == time:
-            self._uids[-1] = uid
+            if self._uids[-1] != uid:
+                self._uids[-1] = uid
+                self._version += 1
             return
         if self._uids and self._uids[-1] == uid:
             return
         self._times.append(time)
         self._uids.append(uid)
+        self._version += 1
 
     def uid_at(self, time: float) -> Optional[int]:
         """The foreground uid at an instant (None before first record)."""

@@ -1,0 +1,60 @@
+"""The benchmark registry and suite behind ``python -m repro bench``.
+
+* :mod:`repro.bench.registry` — named :class:`BenchSpec` probes;
+* :mod:`repro.bench.benches` — the catalogue (meter queries at 1k/50k
+  breakpoints, kernel dispatch, incremental reports, fig1/fig9 end to
+  end, fuzz-oracle step cost, plus the machine-speed calibration);
+* :mod:`repro.bench.suite` — runs a selection through the experiment
+  engine, emits schema-versioned ``BENCH.json``, and gates against a
+  committed baseline with calibration-normalized ratios.
+"""
+
+from .registry import (
+    BENCH_REGISTRY,
+    BenchMeasurement,
+    BenchSpec,
+    UnknownBenchError,
+    available_bench_names,
+    load_bench_registry,
+    ordered_bench_specs,
+    register_bench,
+    resolve_bench_selection,
+)
+from .suite import (
+    BENCH_SCHEMA,
+    DEFAULT_MAX_REGRESS,
+    SELFTEST_ENV,
+    Comparison,
+    GateReport,
+    SuiteConfig,
+    SuiteReport,
+    compare_benchmarks,
+    load_bench_json,
+    run_suite,
+    selftest_active,
+    write_bench_json,
+)
+
+__all__ = [
+    "BENCH_REGISTRY",
+    "BENCH_SCHEMA",
+    "DEFAULT_MAX_REGRESS",
+    "SELFTEST_ENV",
+    "BenchMeasurement",
+    "BenchSpec",
+    "Comparison",
+    "GateReport",
+    "SuiteConfig",
+    "SuiteReport",
+    "UnknownBenchError",
+    "available_bench_names",
+    "compare_benchmarks",
+    "load_bench_json",
+    "load_bench_registry",
+    "ordered_bench_specs",
+    "register_bench",
+    "resolve_bench_selection",
+    "run_suite",
+    "selftest_active",
+    "write_bench_json",
+]

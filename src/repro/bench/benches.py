@@ -1,0 +1,298 @@
+"""The benchmark catalogue.
+
+Micro benchmarks probe the energy-query fast paths this PR's refactor
+introduced (prefix-sum traces, memoized per-owner integration,
+incremental profiler reports); macro benchmarks time paper experiments
+and the fuzz harness end to end, pinning the paper's "negligible
+overhead" story (Table I / Fig. 10-11) to machine-checked numbers.
+
+Every benchmark is deterministic: fixed seeds, fixed workloads, no
+wall-clock dependencies beyond the timing itself.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+from .registry import BenchMeasurement, BenchSpec, register_bench
+
+_QUERY_WINDOWS = 20  # windows per meter-query batch
+
+
+def _query_windows(horizon: float, count: int = _QUERY_WINDOWS) -> List[Tuple[float, float]]:
+    """Deterministic (start, end) windows spread over [0, horizon)."""
+    windows = []
+    for i in range(count):
+        start = (i * 37 % 101) / 101.0 * horizon * 0.8
+        end = start + (i * 53 % 89 + 1) / 89.0 * (horizon - start)
+        windows.append((start, end))
+    return windows
+
+
+def _build_trace(breakpoints: int):
+    """A single channel with ``breakpoints`` draw changes."""
+    from ..power.trace import PowerTrace
+
+    trace = PowerTrace()
+    for i in range(breakpoints):
+        trace.append(float(i), float((i * 7919) % 1000 + 1))
+    return trace
+
+
+def _bench_meter_query(breakpoints: int, repeats: int) -> BenchMeasurement:
+    """Time a batch of window-energy queries: prefix-sum vs naive walk."""
+    trace = _build_trace(breakpoints)
+    windows = _query_windows(float(breakpoints))
+    times: List[float] = []
+    naive_times: List[float] = []
+    fast_total = naive_total = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fast_total = sum(trace.energy_j(s, e) for s, e in windows)
+        times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        naive_total = sum(trace.naive_energy_j(s, e) for s, e in windows)
+        naive_times.append(time.perf_counter() - started)
+    median_fast = sorted(times)[len(times) // 2]
+    median_naive = sorted(naive_times)[len(naive_times) // 2]
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "breakpoints": breakpoints,
+            "queries": len(windows),
+            "naive_median_s": median_naive,
+            "speedup_vs_naive": (
+                median_naive / median_fast if median_fast > 0 else float("inf")
+            ),
+            "energy_delta_j": abs(fast_total - naive_total),
+        },
+    )
+
+
+def bench_meter_query_1k(repeats: int) -> BenchMeasurement:
+    return _bench_meter_query(1_000, repeats)
+
+
+def bench_meter_query_50k(repeats: int) -> BenchMeasurement:
+    return _bench_meter_query(50_000, repeats)
+
+
+def bench_meter_by_owner(repeats: int) -> BenchMeasurement:
+    """Repeated per-owner reports on a many-channel meter (memo path)."""
+    from ..power.meter import EnergyMeter
+    from ..sim.kernel import Kernel
+
+    kernel = Kernel()
+    meter = EnergyMeter(kernel)
+    for step in range(200):
+        for owner in range(30):
+            meter.set_draw(owner, "cpu" if step % 2 else "radio",
+                           float((owner * step) % 500 + 1))
+        kernel.run_for(1.0)
+    end = kernel.now
+    times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(50):
+            meter.energy_by_owner(0.0, end)
+            meter.total_energy_j(0.0, end)
+        times.append(time.perf_counter() - started)
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "owners": 30,
+            "channels": len(meter.channels()),
+            "query_cache": dict(meter.query_cache_stats),
+        },
+    )
+
+
+def bench_kernel_dispatch(repeats: int) -> BenchMeasurement:
+    """Raw event-queue throughput: schedule + dispatch a timer storm."""
+    from ..sim.kernel import Kernel
+
+    events = 20_000
+    times: List[float] = []
+    for _ in range(repeats):
+        kernel = Kernel()
+        counter = [0]
+
+        def tick() -> None:
+            counter[0] += 1
+
+        started = time.perf_counter()
+        for i in range(events):
+            kernel.call_later(float(i % 997) / 10.0, tick)
+        kernel.run_for(120.0)
+        times.append(time.perf_counter() - started)
+        assert counter[0] == events
+    return BenchMeasurement(times_s=times, metrics={"events": events})
+
+
+def bench_report_incremental(repeats: int) -> BenchMeasurement:
+    """Profiler snapshots on a live attack device (cached + dirtied)."""
+    from ..accounting import BatteryStats, PowerTutor
+    from ..workloads import ALL_ATTACKS
+
+    run = ALL_ATTACKS["attack1"](60.0)
+    battery_stats = BatteryStats(run.system)
+    powertutor = PowerTutor(run.system)
+    times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(40):
+            run.eandroid.report(run.start, run.end)
+            battery_stats.report(run.start, run.end)
+            powertutor.report(run.start, run.end)
+        times.append(time.perf_counter() - started)
+    meter = run.system.hardware.meter
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "reports_per_repeat": 120,
+            "meter_cache": dict(meter.query_cache_stats),
+        },
+    )
+
+
+def _bench_experiment(name: str, repeats: int, **params: Any) -> BenchMeasurement:
+    """Time one registered experiment end to end (fresh device each run)."""
+    from ..experiments.registry import get_spec, load_registry
+
+    load_registry()
+    spec = get_spec(name)
+    times: List[float] = []
+    claim_holds = True
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = spec.run(**params)
+        times.append(time.perf_counter() - started)
+        claim_holds = claim_holds and bool(result.claim_holds)
+    return BenchMeasurement(
+        times_s=times, metrics={"experiment": name, "claim_holds": claim_holds}
+    )
+
+
+def bench_fig1_end_to_end(repeats: int) -> BenchMeasurement:
+    return _bench_experiment("fig1", repeats)
+
+
+def bench_fig9_end_to_end(repeats: int) -> BenchMeasurement:
+    return _bench_experiment("fig9", repeats)
+
+
+def bench_fuzz_oracle_step(repeats: int) -> BenchMeasurement:
+    """Per-op cost of the conformance harness (step oracles every op)."""
+    from ..check.generator import generate_scenario
+    from ..check.runner import run_scenario
+
+    scenario = generate_scenario(1234, ops=30)
+    times: List[float] = []
+    passed = True
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = run_scenario(scenario, stride=1, metamorphic=False)
+        times.append(time.perf_counter() - started)
+        passed = passed and report.passed
+    ops = len(scenario.ops)
+    median = sorted(times)[len(times) // 2]
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "ops": ops,
+            "passed": passed,
+            "ops_per_s": ops / median if median > 0 else float("inf"),
+        },
+    )
+
+
+def bench_calibration(repeats: int) -> BenchMeasurement:
+    """Fixed pure-python workload measuring machine speed.
+
+    The regression gate divides every benchmark's median by this run's
+    calibration median before comparing against the committed baseline,
+    so a slower/faster CI runner shifts both sides equally instead of
+    tripping (or masking) the gate.
+    """
+    times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        acc = 0
+        for i in range(400_000):
+            acc = (acc + i * i) % 1_000_003
+        times.append(time.perf_counter() - started)
+        assert acc >= 0
+    return BenchMeasurement(times_s=times, metrics={})
+
+
+CALIBRATION_BENCH = "calibration"
+
+for _order, _spec in enumerate(
+    [
+        BenchSpec(
+            name=CALIBRATION_BENCH,
+            runner=bench_calibration,
+            kind="calibration",
+            description="fixed workload normalizing machine speed",
+        ),
+        BenchSpec(
+            name="meter_query_1k",
+            runner=bench_meter_query_1k,
+            kind="micro",
+            description="window energy queries, 1k-breakpoint trace",
+        ),
+        BenchSpec(
+            name="meter_query_50k",
+            runner=bench_meter_query_50k,
+            kind="macro",
+            description="window energy queries, 50k-breakpoint trace",
+        ),
+        BenchSpec(
+            name="meter_by_owner",
+            runner=bench_meter_by_owner,
+            kind="micro",
+            description="repeated per-owner energy reports (memoized path)",
+        ),
+        BenchSpec(
+            name="kernel_dispatch",
+            runner=bench_kernel_dispatch,
+            kind="micro",
+            description="event-queue schedule + dispatch throughput",
+        ),
+        BenchSpec(
+            name="report_incremental",
+            runner=bench_report_incremental,
+            kind="micro",
+            description="profiler report snapshots on a live attack device",
+        ),
+        BenchSpec(
+            name="fig1_end_to_end",
+            runner=bench_fig1_end_to_end,
+            kind="macro",
+            description="Fig. 1 experiment, fresh device each repeat",
+        ),
+        BenchSpec(
+            name="fig9_end_to_end",
+            runner=bench_fig9_end_to_end,
+            kind="macro",
+            description="Fig. 9 experiment, fresh device each repeat",
+        ),
+        BenchSpec(
+            name="fuzz_oracle_step",
+            runner=bench_fuzz_oracle_step,
+            kind="macro",
+            description="conformance scenario with step oracles every op",
+        ),
+    ]
+):
+    register_bench(
+        BenchSpec(
+            name=_spec.name,
+            runner=_spec.runner,
+            kind=_spec.kind,
+            description=_spec.description,
+            repeats=_spec.repeats,
+            order=_order,
+        )
+    )

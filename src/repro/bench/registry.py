@@ -1,0 +1,100 @@
+"""The benchmark registry — named, machine-drivable perf probes.
+
+Mirrors the experiment registry's shape: each benchmark is a
+:class:`BenchSpec` registered at import time, and consumers (the CLI's
+``repro bench``, the CI perf gate, the nightly workflow) select by name.
+
+A benchmark's ``runner(repeats)`` owns its setup and timing loop and
+returns a :class:`BenchMeasurement`: one wall-clock sample per repeat
+(``times_s``) plus free-form scalar ``metrics`` (speedups vs the naive
+paths, cache hit counters, ops/s).  The suite layer in
+:mod:`repro.bench.suite` reduces samples to median/p95 and emits the
+schema-versioned ``BENCH.json`` the regression gate consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+#: The kind of the machine-speed yardstick benchmark; the suite always
+#: runs one (the gate normalizes every other benchmark against it).
+CALIBRATION_KIND = "calibration"
+
+
+class UnknownBenchError(KeyError):
+    """Raised when a selection names a benchmark that is not registered."""
+
+    def __init__(self, unknown: Sequence[str]) -> None:
+        super().__init__(", ".join(unknown))
+        self.unknown = list(unknown)
+
+    def __str__(self) -> str:
+        return f"unknown benchmark(s): {', '.join(self.unknown)}"
+
+
+@dataclass
+class BenchMeasurement:
+    """What one benchmark run produced."""
+
+    times_s: List[float]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One named benchmark."""
+
+    name: str
+    runner: Callable[[int], BenchMeasurement]
+    kind: str = "micro"  # "micro" | "macro" | "calibration"
+    description: str = ""
+    repeats: int = 5
+    order: int = 0
+
+    def run(self, repeats: Optional[int] = None) -> BenchMeasurement:
+        """Execute the benchmark (``repeats`` overrides the default)."""
+        return self.runner(repeats if repeats is not None else self.repeats)
+
+
+BENCH_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register_bench(spec: BenchSpec) -> BenchSpec:
+    """Add a spec to the registry; re-registration replaces (idempotent)."""
+    BENCH_REGISTRY[spec.name] = spec
+    return spec
+
+
+def load_bench_registry() -> Dict[str, BenchSpec]:
+    """Import every benchmark module, guaranteeing a populated registry."""
+    import importlib
+
+    importlib.import_module("repro.bench.benches")
+    return BENCH_REGISTRY
+
+
+def ordered_bench_specs() -> List[BenchSpec]:
+    """All registered benchmarks, in registration order."""
+    load_bench_registry()
+    return sorted(BENCH_REGISTRY.values(), key=lambda s: (s.order, s.name))
+
+
+def available_bench_names() -> List[str]:
+    """Canonical benchmark names."""
+    return [spec.name for spec in ordered_bench_specs()]
+
+
+def resolve_bench_selection(names: Optional[Sequence[str]] = None) -> List[BenchSpec]:
+    """Turn a user selection into specs (empty = the full registry)."""
+    load_bench_registry()
+    if not names:
+        return ordered_bench_specs()
+    unknown = [n for n in names if n not in BENCH_REGISTRY]
+    if unknown:
+        raise UnknownBenchError(unknown)
+    seen: Dict[str, BenchSpec] = {}
+    for name in names:
+        seen.setdefault(name, BENCH_REGISTRY[name])
+    return list(seen.values())

@@ -1,0 +1,385 @@
+"""The benchmark suite driver behind ``python -m repro bench``.
+
+Runs a selection of registered benchmarks through the parallel
+experiment engine (one ``bench`` job each, caching off — a benchmark's
+value *is* its fresh samples), reduces every benchmark's wall-clock
+samples to median/p95, and emits the schema-versioned ``BENCH.json``
+document the CI perf gate consumes.
+
+Regression gating is **calibration-normalized**: every benchmark's
+median is divided by its own run's ``calibration`` median (a fixed
+pure-python workload) before comparing against the committed baseline.
+A uniformly slower or faster CI runner shifts numerator and denominator
+together, so the committed baseline stays portable across machines and
+only *relative* regressions — the fast paths actually getting slower —
+trip the gate.
+
+Setting ``REPRO_BENCH_SELFTEST=1`` doubles every measured sample
+*except* calibration's, simulating a uniform 2x code regression.  CI
+runs the gate once normally (must pass) and once under the selftest
+(must fail), proving the gate can actually catch a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .registry import CALIBRATION_KIND, resolve_bench_selection
+
+BENCH_SCHEMA = 1
+BENCH_KIND = "repro-bench"
+SELFTEST_ENV = "REPRO_BENCH_SELFTEST"
+SELFTEST_FACTOR = 2.0
+CALIBRATION_NAME = "calibration"
+DEFAULT_MAX_REGRESS = 1.25
+
+
+def selftest_active() -> bool:
+    """Whether the artificial-regression self-check is switched on."""
+    return os.environ.get(SELFTEST_ENV, "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """One ``repro bench`` invocation's knobs."""
+
+    names: Sequence[str] = ()
+    repeats: Optional[int] = None  # None = each spec's default
+    parallel: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (recorded in BENCH.json)."""
+        return {
+            "names": list(self.names),
+            "repeats": self.repeats,
+            "parallel": self.parallel,
+            "selftest": selftest_active(),
+        }
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's reduced statistics."""
+
+    name: str
+    kind: str
+    times_s: List[float]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the benchmark produced samples."""
+        return self.error is None and bool(self.times_s)
+
+    @property
+    def median_s(self) -> float:
+        """Median wall-clock sample."""
+        return _median(self.times_s)
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile wall-clock sample (nearest-rank)."""
+        return _percentile(self.times_s, 0.95)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The BENCH.json per-benchmark record."""
+        return {
+            "kind": self.kind,
+            "repeats": len(self.times_s),
+            "median_s": self.median_s,
+            "p95_s": self.p95_s,
+            "min_s": min(self.times_s) if self.times_s else 0.0,
+            "mean_s": (
+                sum(self.times_s) / len(self.times_s) if self.times_s else 0.0
+            ),
+            "times_s": list(self.times_s),
+            "metrics": dict(self.metrics),
+            "error": self.error,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """Everything one suite run produced."""
+
+    config: SuiteConfig
+    results: List[BenchResult]
+    wall_time_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """True when every benchmark ran to completion."""
+        return all(result.ok for result in self.results)
+
+    @property
+    def calibration_s(self) -> float:
+        """This run's machine-speed yardstick (0.0 if not measured)."""
+        for result in self.results:
+            if result.name == CALIBRATION_NAME and result.ok:
+                return result.median_s
+        return 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full BENCH.json document."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "kind": BENCH_KIND,
+            "config": self.config.as_dict(),
+            "calibration_s": self.calibration_s,
+            "benchmarks": {r.name: r.to_dict() for r in self.results},
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def render_text(self) -> str:
+        """Human summary for the CLI."""
+        lines = [f"{'benchmark':<22} {'kind':<12} {'median':>12} {'p95':>12}"]
+        for result in self.results:
+            if not result.ok:
+                lines.append(f"{result.name:<22} {result.kind:<12}       FAILED")
+                continue
+            lines.append(
+                f"{result.name:<22} {result.kind:<12} "
+                f"{result.median_s * 1000.0:>10.3f}ms "
+                f"{result.p95_s * 1000.0:>10.3f}ms"
+            )
+            speedup = result.metrics.get("speedup_vs_naive")
+            if speedup is not None:
+                lines.append(f"{'':<22} {'':<12}   speedup vs naive: {speedup:.1f}x")
+        if selftest_active():
+            lines.append(
+                f"[selftest] {SELFTEST_ENV}=1: samples inflated "
+                f"{SELFTEST_FACTOR}x (calibration excluded)"
+            )
+        lines.append(f"wall time {self.wall_time_s:.2f}s")
+        return "\n".join(lines)
+
+
+def run_suite(config: SuiteConfig) -> SuiteReport:
+    """Run the selected benchmarks (always including calibration)."""
+    from ..exec import EngineConfig, ExperimentEngine
+
+    started = time.perf_counter()
+    specs = resolve_bench_selection(list(config.names) or None)
+    if all(spec.kind != CALIBRATION_KIND for spec in specs):
+        specs = resolve_bench_selection([CALIBRATION_NAME]) + specs
+
+    engine = ExperimentEngine(
+        EngineConfig(parallel=config.parallel, use_cache=False)
+    )
+    run = engine.run(
+        [
+            ("bench", {"name": spec.name, "repeats": config.repeats})
+            for spec in specs
+        ]
+    )
+
+    inflate = selftest_active()
+    results: List[BenchResult] = []
+    for spec, job in zip(specs, run.results):
+        metrics = job.outcome.metrics
+        if job.error is not None or "times_s" not in metrics:
+            results.append(
+                BenchResult(
+                    name=spec.name,
+                    kind=spec.kind,
+                    times_s=[],
+                    error=job.error or "benchmark produced no samples",
+                )
+            )
+            continue
+        times = [float(t) for t in metrics["times_s"]]
+        if inflate and spec.kind != CALIBRATION_KIND:
+            times = [t * SELFTEST_FACTOR for t in times]
+        results.append(
+            BenchResult(
+                name=spec.name,
+                kind=spec.kind,
+                times_s=times,
+                metrics=dict(metrics.get("bench_metrics", {})),
+            )
+        )
+    return SuiteReport(
+        config=config,
+        results=results,
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+def write_bench_json(report: SuiteReport, path: Path) -> Path:
+    """Write the BENCH.json document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_bench_json(path: Path) -> Dict[str, Any]:
+    """Parse one BENCH.json document (validating the schema)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("kind") != BENCH_KIND:
+        raise ValueError(f"{path} is not a repro-bench document")
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: unsupported bench schema")
+    return document
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+@dataclass
+class Comparison:
+    """One benchmark's current-vs-baseline verdict."""
+
+    name: str
+    baseline_norm: float  # baseline median / baseline calibration
+    current_norm: float  # current median / current calibration
+    ratio: float  # current_norm / baseline_norm
+    regressed: bool
+    note: str = ""
+
+    def render_line(self) -> str:
+        """One gate-report line."""
+        status = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name:<22} ratio {self.ratio:>6.2f}x "
+            f"(norm {self.baseline_norm:.4f} -> {self.current_norm:.4f})  "
+            f"{status}{'  ' + self.note if self.note else ''}"
+        )
+
+
+@dataclass
+class GateReport:
+    """The regression gate's full verdict."""
+
+    comparisons: List[Comparison]
+    max_regress: float
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Comparison]:
+        """Comparisons that exceeded the threshold."""
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def passed(self) -> bool:
+        """True when nothing regressed."""
+        return not self.regressions
+
+    def render_text(self) -> str:
+        """Human summary for the CLI."""
+        lines = [
+            f"perf gate: max allowed calibration-normalized slowdown "
+            f"{self.max_regress:.2f}x"
+        ]
+        lines.extend(c.render_line() for c in self.comparisons)
+        for name in self.skipped:
+            lines.append(f"{name:<22} skipped (missing on one side)")
+        lines.append(
+            f"{len(self.comparisons) - len(self.regressions)}"
+            f"/{len(self.comparisons)} within budget"
+        )
+        if self.regressions:
+            lines.append(
+                "REGRESSION: " + ", ".join(c.name for c in self.regressions)
+            )
+        return "\n".join(lines)
+
+
+def compare_benchmarks(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regress: float = DEFAULT_MAX_REGRESS,
+) -> GateReport:
+    """Gate a current BENCH.json against a baseline one.
+
+    Benchmarks present on only one side are listed as skipped, not
+    failed — the gate must stay green while the registry grows.
+    Calibration itself is never compared (it is the denominator).
+    """
+    current_benches = current.get("benchmarks", {})
+    baseline_benches = baseline.get("benchmarks", {})
+    current_cal = _calibration_stat(current)
+    baseline_cal = _calibration_stat(baseline)
+
+    comparisons: List[Comparison] = []
+    skipped: List[str] = []
+    for name in sorted(set(current_benches) | set(baseline_benches)):
+        cur = current_benches.get(name)
+        base = baseline_benches.get(name)
+        if (
+            name == CALIBRATION_NAME
+            or cur is None
+            or base is None
+            or cur.get("error")
+            or base.get("error")
+        ):
+            if name != CALIBRATION_NAME:
+                skipped.append(name)
+            continue
+        cur_norm = _normalised(_gate_stat(cur), current_cal)
+        base_norm = _normalised(_gate_stat(base), baseline_cal)
+        ratio = cur_norm / base_norm if base_norm > 0 else float("inf")
+        comparisons.append(
+            Comparison(
+                name=name,
+                baseline_norm=base_norm,
+                current_norm=cur_norm,
+                ratio=ratio,
+                regressed=ratio > max_regress,
+            )
+        )
+    return GateReport(
+        comparisons=comparisons, max_regress=max_regress, skipped=skipped
+    )
+
+
+def _gate_stat(record: Dict[str, Any]) -> float:
+    """The statistic the gate compares: the best (minimum) sample.
+
+    The minimum is the noise-robust choice for timing benchmarks — OS
+    jitter only ever *adds* time, so the best of N repeats converges on
+    the code's true cost — while a uniform code regression (or the
+    selftest's 2x inflation) still shifts it proportionally.
+    """
+    value = record.get("min_s")
+    return float(value if value else record["median_s"])
+
+
+def _calibration_stat(document: Dict[str, Any]) -> float:
+    """A BENCH.json's calibration denominator (same statistic)."""
+    record = document.get("benchmarks", {}).get(CALIBRATION_NAME)
+    if record and not record.get("error"):
+        return _gate_stat(record)
+    return float(document.get("calibration_s") or 0.0)
+
+
+def _normalised(stat_s: float, calibration_s: float) -> float:
+    """Gate statistic divided by calibration (raw seconds if absent)."""
+    return stat_s / calibration_s if calibration_s > 0 else stat_s
+
+
+def _median(samples: Sequence[float]) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * len(ordered) + 0.5)) - 1))
+    return ordered[rank]

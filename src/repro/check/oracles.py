@@ -286,6 +286,82 @@ def differential_reconciliation(
     return out
 
 
+def fastpath_equivalence(
+    system: "AndroidSystem", ea: "EAndroid"
+) -> List[OracleViolation]:
+    """The fast paths equal a naive recomputation, bit for bit (± 1e-9).
+
+    Three layers of caching sit between a query and the raw traces —
+    per-trace prefix sums, the meter's per-owner memo, and the
+    profilers' report caches.  This oracle recomputes each layer the
+    slow way on the same device state:
+
+    * every channel's ``energy_j`` vs its ``naive_energy_j`` O(B) walk;
+    * ``energy_by_owner`` / per-owner ``energy_j`` vs the meter's
+      full-rescan ``naive_*`` paths;
+    * each profiler's (possibly cached) report vs a fresh profiler
+      instance whose caches are stone cold.
+    """
+    from ..accounting import BatteryStats, PowerTutor
+
+    meter = system.hardware.meter
+    out: List[OracleViolation] = []
+    now = system.now
+    windows = [(0.0, now), (now / 3.0, 2.0 * now / 3.0)] if now > 0 else [(0.0, 0.0)]
+
+    for start, end in windows:
+        for key in meter.channels():
+            trace = meter.trace(*key)
+            fast = trace.energy_j(start, end)
+            naive = trace.naive_energy_j(start, end)
+            if not _close(fast, naive, rel=DIFF_REL_TOL, abs_tol=ABS_TOL):
+                out.append(OracleViolation(
+                    "fastpath_equivalence",
+                    f"channel {key}: prefix-sum energy {fast!r} J != "
+                    f"naive walk {naive!r} J over [{start!r}, {end!r})",
+                ))
+        fast_owners = meter.energy_by_owner(start, end)
+        naive_owners = meter.naive_energy_by_owner(start, end)
+        for owner in sorted(set(fast_owners) | set(naive_owners)):
+            a = fast_owners.get(owner, 0.0)
+            b = naive_owners.get(owner, 0.0)
+            if not _close(a, b, rel=DIFF_REL_TOL, abs_tol=ABS_TOL):
+                out.append(OracleViolation(
+                    "fastpath_equivalence",
+                    f"owner {owner}: memoized energy {a!r} J != "
+                    f"naive rescan {b!r} J over [{start!r}, {end!r})",
+                ))
+        fast_total = meter.total_energy_j(start, end)
+        naive_total = meter.naive_energy_j(start=start, end=end)
+        if not _close(fast_total, naive_total, rel=DIFF_REL_TOL, abs_tol=ABS_TOL):
+            out.append(OracleViolation(
+                "fastpath_equivalence",
+                f"meter total {fast_total!r} J != naive total {naive_total!r} J "
+                f"over [{start!r}, {end!r})",
+            ))
+
+    # Possibly-cached reports vs fresh instances with cold caches.
+    for cached_profiler, fresh_profiler in (
+        (BatteryStats(system), BatteryStats(system)),
+        (PowerTutor(system), PowerTutor(system)),
+    ):
+        warmed = cached_profiler.report()  # prime the cache...
+        warmed = cached_profiler.report()  # ...then read through it
+        cold = fresh_profiler.report()
+        warm_rows = {e.uid: e.energy_j for e in warmed.entries}
+        cold_rows = {e.uid: e.energy_j for e in cold.entries}
+        for uid in sorted(set(warm_rows) | set(cold_rows), key=repr):
+            a = warm_rows.get(uid, 0.0)
+            b = cold_rows.get(uid, 0.0)
+            if not _close(a, b, rel=DIFF_REL_TOL, abs_tol=ABS_TOL):
+                out.append(OracleViolation(
+                    "fastpath_equivalence",
+                    f"{cached_profiler.name} uid {uid!r}: cached report row "
+                    f"{a!r} J != cold recompute {b!r} J",
+                ))
+    return out
+
+
 # ----------------------------------------------------------------------
 # catalogue + drivers
 # ----------------------------------------------------------------------
@@ -300,6 +376,7 @@ STEP_ORACLES: Dict[str, Oracle] = {
 
 END_ORACLES: Dict[str, Oracle] = {
     "differential": differential_reconciliation,
+    "fastpath_equivalence": fastpath_equivalence,
 }
 
 #: metamorphic oracles are replay-based and implemented by the runner;

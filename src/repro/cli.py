@@ -12,6 +12,12 @@ Commands:
   failures into a replayable corpus, ``--replay FILE`` re-runs one
   corpus entry, ``--save DIR`` writes ``manifest.json`` +
   ``BENCH_fuzz.json``);
+* ``bench [NAME ...]`` — run named performance benchmarks through the
+  registry + engine, write schema-versioned ``BENCH.json``
+  (``--out FILE``), and optionally gate against a committed baseline
+  (``--compare BASELINE --max-regress 1.25`` exits 1 on regression;
+  ``--write-baseline FILE`` records a new baseline, ``--list`` shows
+  the registry);
 * ``attack NAME`` — run one attack scenario and print the Android vs
   E-Android views plus the detector's verdict (``--trace-out FILE``
   additionally writes a Chrome trace-event JSON of the run,
@@ -137,6 +143,62 @@ def _cmd_check(args: argparse.Namespace) -> int:
         f"{stats.get('misses', 0)} miss(es)"
     )
     return 0 if report.passed else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        SuiteConfig,
+        UnknownBenchError,
+        available_bench_names,
+        compare_benchmarks,
+        load_bench_json,
+        resolve_bench_selection,
+        run_suite,
+        write_bench_json,
+    )
+
+    try:
+        specs = resolve_bench_selection(list(args.names) or None)
+    except UnknownBenchError as exc:
+        print(str(exc), file=sys.stderr)
+        print(f"available: {', '.join(available_bench_names())}", file=sys.stderr)
+        return 2
+    if args.list:
+        for spec in specs:
+            print(f"{spec.name:<22} [{spec.kind}] {spec.description}")
+        return 0
+
+    report = run_suite(
+        SuiteConfig(
+            names=[spec.name for spec in specs],
+            repeats=args.repeats,
+            parallel=args.parallel,
+        )
+    )
+    print(report.render_text())
+    if not report.passed:
+        failed = [r.name for r in report.results if not r.ok]
+        print(f"benchmark failure(s): {', '.join(failed)}", file=sys.stderr)
+        return 1
+
+    if args.out:
+        print(f"wrote {write_bench_json(report, args.out)}")
+    if args.write_baseline:
+        print(f"baseline written to {write_bench_json(report, args.write_baseline)}")
+
+    if args.compare:
+        try:
+            baseline = load_bench_json(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        gate = compare_benchmarks(
+            report.to_dict(), baseline, max_regress=args.max_regress
+        )
+        print()
+        print(gate.render_text())
+        return 0 if gate.passed else 1
+    return 0
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -378,6 +440,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-batch event-bus stats into the manifest",
     )
     check.set_defaults(func=_cmd_check)
+
+    bench = sub.add_parser(
+        "bench", help="run performance benchmarks / gate against a baseline"
+    )
+    bench.add_argument(
+        "names", nargs="*", help="benchmark names (default: the full registry)"
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override every benchmark's repeat count",
+    )
+    bench.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="run up to N benchmarks in worker processes (default: serial)",
+    )
+    bench.add_argument(
+        "--out", default="", help="write the BENCH.json document here"
+    )
+    bench.add_argument(
+        "--compare",
+        default="",
+        help="baseline BENCH.json to gate against (exit 1 on regression)",
+    )
+    bench.add_argument(
+        "--max-regress",
+        type=float,
+        default=1.25,
+        help="max allowed calibration-normalized slowdown (default 1.25)",
+    )
+    bench.add_argument(
+        "--write-baseline",
+        default="",
+        help="record this run as the new baseline BENCH.json",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list the selection and exit"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     attack = sub.add_parser("attack", help="run one attack scenario")
     attack.add_argument(

@@ -14,9 +14,10 @@ clipped to the report interval.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from ..power.meter import EnergyMeter
+from ..power.meter import SCREEN_OWNER, EnergyMeter
 from ..telemetry import AttackWindowBeginEvent, AttackWindowEndEvent, TelemetryBus
 from .energy_map import CollateralEnergyMap, CollateralMapSet
 from .links import SCREEN_TARGET, AttackKind, AttackLink, LinkGraph
@@ -39,9 +40,28 @@ class EAndroidAccounting:
         self._kernel = kernel
         self._meter = meter
         self._telemetry = telemetry
-        self.policy = policy if policy is not None else FullCharge()
+        self._policy = policy if policy is not None else FullCharge()
+        self._policy_token = 0
         self.graph = LinkGraph()
         self.maps = CollateralMapSet()
+        # (host, start, end) -> per-target charge memo.  Each target's
+        # joules are keyed on (element version, target trace epoch,
+        # policy identity), so reconciliation passes reuse every charge
+        # whose windows and underlying trace did not change instead of
+        # rescanning unrelated apps.
+        self._breakdown_cache: "OrderedDict[Tuple[int, float, float], Dict[int, Tuple]]" = (
+            OrderedDict()
+        )
+
+    @property
+    def policy(self) -> ChargePolicy:
+        """The active collateral charge policy."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: ChargePolicy) -> None:
+        self._policy = policy
+        self._policy_token += 1  # invalidate every memoized charge
 
     # ------------------------------------------------------------------
     # link lifecycle (driven by the monitor)
@@ -105,12 +125,34 @@ class EAndroidAccounting:
         (host, target) pair even under multi-collateral attack (Fig. 6).
         """
         window_end = self._kernel.now if end is None else end
+        cache_key = (host_uid, start, window_end)
+        memo = self._breakdown_cache.get(cache_key)
+        if memo is None:
+            memo = {}
+            self._breakdown_cache[cache_key] = memo
+            if len(self._breakdown_cache) > 16:
+                self._breakdown_cache.popitem(last=False)
+        else:
+            self._breakdown_cache.move_to_end(cache_key)
         breakdown: Dict[int, float] = {}
         for target, element in self.maps.map_for(host_uid).items():
-            intervals = element.clipped_intervals(start, window_end)
-            if not intervals:
-                continue
-            total = self.policy.charged_energy(self._meter, target, intervals)
+            trace_owner = SCREEN_OWNER if target == SCREEN_TARGET else target
+            charge_version = (
+                element.version,
+                self._meter.owner_epoch(trace_owner),
+                self._policy_token,
+            )
+            cached = memo.get(target)
+            if cached is not None and cached[0] == charge_version:
+                total = cached[1]
+            else:
+                intervals = element.clipped_intervals(start, window_end)
+                total = (
+                    self.policy.charged_energy(self._meter, target, intervals)
+                    if intervals
+                    else 0.0
+                )
+                memo[target] = (charge_version, total)
             if total > 0:
                 breakdown[target] = total
         return breakdown

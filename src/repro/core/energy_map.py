@@ -27,23 +27,32 @@ class ElementWindow:
     target: int
     closed: List[Tuple[float, float]] = field(default_factory=list)
     open_since: Optional[float] = None
+    #: Monotonic change counter (bumped on open/close); keys the
+    #: accounting layer's per-element charge memoization.
+    version: int = 0
 
     @property
     def is_open(self) -> bool:
         """Whether the element is currently accruing charge."""
         return self.open_since is not None
 
-    def open(self, time: float) -> None:
+    def open(self, time: float) -> bool:
         """Start accruing (no-op while already open)."""
         if self.open_since is None:
             self.open_since = time
+            self.version += 1
+            return True
+        return False
 
-    def close(self, time: float) -> None:
+    def close(self, time: float) -> bool:
         """Stop accruing; the window is archived."""
         if self.open_since is not None:
             if time > self.open_since:
                 self.closed.append((self.open_since, time))
             self.open_since = None
+            self.version += 1
+            return True
+        return False
 
     def intervals(self, until: float) -> List[Tuple[float, float]]:
         """All windows, the open one truncated at ``until``."""
@@ -107,6 +116,17 @@ class CollateralMapSet:
 
     def __init__(self) -> None:
         self._maps: Dict[int, CollateralEnergyMap] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of window open/close events across all maps.
+
+        Keys the E-Android interface's report cache: an unchanged
+        version (plus an unchanged meter epoch) means every collateral
+        charge is bit-identical to the previous snapshot of the window.
+        """
+        return self._version
 
     def map_for(self, host_uid: int) -> CollateralEnergyMap:
         """The map of one host (created on demand)."""
@@ -140,6 +160,8 @@ class CollateralMapSet:
             reachable = graph.reachable_from(host)
             open_now = host_map.open_targets()
             for target in reachable - open_now:
-                host_map.element(target).open(now)
+                if host_map.element(target).open(now):
+                    self._version += 1
             for target in open_now - reachable:
-                host_map.element(target).close(now)
+                if host_map.element(target).close(now):
+                    self._version += 1

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from ..accounting.base import AppEnergyEntry, EnergyProfiler, ProfilerReport
+from ..accounting.base import AppEnergyEntry, EnergyProfiler, ProfilerReport, ReportCache
 from .accounting import EAndroidAccounting
 from .links import SCREEN_TARGET
 
@@ -42,11 +42,35 @@ class EAndroidBatteryInterface(EnergyProfiler):
         self._system = system
         self._baseline = baseline
         self._accounting = accounting
+        self._cache = ReportCache()
         self.name = f"E-Android (revised {baseline.name})"
 
+    def _version(self) -> tuple:
+        """Everything the revised view depends on: the meter's append
+        epoch, the foreground timeline (for the PowerTutor baseline),
+        the collateral window set, and the charge policy."""
+        return (
+            self._system.hardware.meter.epoch,
+            self._system.am.timeline.version,
+            self._accounting.maps.version,
+            self._accounting._policy_token,
+        )
+
     def report(self, start: float = 0.0, end: Optional[float] = None) -> ProfilerReport:
-        """Baseline view with collateral charges added to driving apps."""
+        """Baseline view with collateral charges added to driving apps.
+
+        Incremental: the finalized superimposed rows are memoized on
+        :meth:`_version`, so an unchanged window replays the cached
+        entries; on a miss the baseline rows and every unchanged
+        collateral charge still come from the lower-level caches.
+        """
         window_end = self._system.kernel.now if end is None else end
+        version = self._version()
+        cached = self._cache.get(version, start, window_end)
+        if cached is not None:
+            return ProfilerReport(
+                profiler=self.name, start=start, end=window_end, entries=cached
+            )
         report = self._baseline.report(start, window_end)
         report.profiler = self.name
         pm = self._system.package_manager
@@ -79,6 +103,7 @@ class EAndroidBatteryInterface(EnergyProfiler):
             entry.percent = (
                 100.0 * entry.energy_j / ground_truth if ground_truth > 0 else 0.0
             )
+        self._cache.store(version, start, window_end, report.entries)
         return report
 
     def detailed_inventory(

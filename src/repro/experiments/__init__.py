@@ -6,6 +6,7 @@ engine (:mod:`repro.exec`), the all-in-one runner, and the CLI all drive
 the evaluation through that registry.
 """
 
+from .bench import BenchJobResult, run_bench_job
 from .efficiency import EfficiencyResult, run_efficiency
 from .fig1 import Fig1Result, run_fig1
 from .fig2 import Fig2Result, run_fig2
@@ -43,6 +44,7 @@ __all__ = [
     "run_fig11",
     "run_efficiency",
     "run_fuzz_batch",
+    "run_bench_job",
     "run_all",
     "run_evaluation",
     "save_outcomes",
@@ -58,6 +60,7 @@ __all__ = [
     "Fig11Result",
     "EfficiencyResult",
     "FuzzBatchResult",
+    "BenchJobResult",
     "ExperimentOutcome",
     "ExperimentResultMixin",
     "ExperimentSpec",

@@ -1,0 +1,82 @@
+"""``bench`` — one named benchmark as an engine-drivable experiment.
+
+The benchmark suite (:mod:`repro.bench.suite`) submits each selected
+benchmark through the parallel experiment engine as a ``bench`` job, the
+same way the fuzz campaign submits seed batches — buying process
+fan-out, retries, and telemetry for free.  Caching is intentionally
+disabled by the suite (``use_cache=False``): a benchmark's value *is*
+its fresh wall-clock samples.
+
+Registers as *auxiliary*: it rides on the engine but is not part of the
+paper's evaluation, so plain ``repro experiments`` skips it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional
+
+from .registry import ExperimentResultMixin, ExperimentSpec, register
+
+
+@dataclass
+class BenchJobResult(ExperimentResultMixin):
+    """One benchmark's raw samples and metrics."""
+
+    bench_name: str
+    kind: str
+    times_s: List[float]
+    bench_metrics: Dict[str, Any]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "bench"
+
+    @property
+    def claim_holds(self) -> bool:
+        """A benchmark that ran to completion produced valid samples."""
+        return bool(self.times_s) and all(t >= 0.0 for t in self.times_s)
+
+    def metrics(self) -> Dict[str, Any]:
+        """Everything the suite layer needs to build BENCH.json."""
+        return {
+            "bench": self.bench_name,
+            "kind": self.kind,
+            "times_s": list(self.times_s),
+            "bench_metrics": dict(self.bench_metrics),
+        }
+
+    def render_text(self) -> str:
+        """One-line summary (median over repeats)."""
+        median = sorted(self.times_s)[len(self.times_s) // 2] if self.times_s else 0.0
+        return (
+            f"bench {self.bench_name} [{self.kind}]: "
+            f"median {median * 1000.0:.3f} ms over {len(self.times_s)} repeat(s)"
+        )
+
+
+def run_bench_job(name: str = "calibration", repeats: Optional[int] = None) -> BenchJobResult:
+    """Run one registered benchmark (worker entry point)."""
+    from ..bench.registry import resolve_bench_selection
+
+    spec = resolve_bench_selection([name])[0]
+    effective_repeats = repeats if repeats is not None else spec.repeats
+    measurement = spec.run(effective_repeats)
+    return BenchJobResult(
+        bench_name=spec.name,
+        kind=spec.kind,
+        times_s=measurement.times_s,
+        bench_metrics=measurement.metrics,
+        params={"name": name, "repeats": repeats},
+    )
+
+
+register(
+    ExperimentSpec(
+        name="bench",
+        runner=run_bench_job,
+        description="one named benchmark run (repro bench)",
+        default_params={"name": "calibration", "repeats": None},
+        order=100,
+        auxiliary=True,
+    )
+)

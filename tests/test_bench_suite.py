@@ -1,0 +1,189 @@
+"""The benchmark registry, suite, BENCH.json schema, and perf gate.
+
+The CI gate's contract is two-sided: it must pass on unchanged code
+*and* fail when a real slowdown lands.  The second half is exercised
+exactly as CI does — ``REPRO_BENCH_SELFTEST=1`` inflates every measured
+sample 2x (calibration excluded, so normalization cannot cancel it) and
+the gate must trip.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SELFTEST_ENV,
+    SuiteConfig,
+    UnknownBenchError,
+    available_bench_names,
+    compare_benchmarks,
+    load_bench_json,
+    resolve_bench_selection,
+    run_suite,
+    write_bench_json,
+)
+from repro.bench.suite import BENCH_SCHEMA, CALIBRATION_NAME
+from repro.cli import main
+
+CHEAP = ["calibration", "meter_query_1k"]
+# For gate round-trips: a benchmark long enough (~tens of ms) that
+# scheduler jitter cannot fake a 1.25x swing between two real runs.
+STABLE = ["calibration", "kernel_dispatch"]
+
+
+def _document(**normals):
+    """A synthetic BENCH.json with calibration 1.0 s and given medians."""
+    benchmarks = {
+        CALIBRATION_NAME: {
+            "kind": "calibration",
+            "median_s": 1.0,
+            "min_s": 1.0,
+            "error": None,
+        }
+    }
+    for name, median in normals.items():
+        benchmarks[name] = {
+            "kind": "micro",
+            "median_s": median,
+            "min_s": median,
+            "error": None,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "repro-bench",
+        "calibration_s": 1.0,
+        "benchmarks": benchmarks,
+    }
+
+
+class TestRegistry:
+    def test_registry_has_the_issue_benchmarks(self):
+        names = available_bench_names()
+        for required in (
+            "calibration",
+            "meter_query_1k",
+            "meter_query_50k",
+            "kernel_dispatch",
+            "fig1_end_to_end",
+            "fig9_end_to_end",
+            "fuzz_oracle_step",
+        ):
+            assert required in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownBenchError, match="no_such_bench"):
+            resolve_bench_selection(["no_such_bench"])
+
+    def test_selection_keeps_order_and_dedupes(self):
+        specs = resolve_bench_selection(
+            ["meter_query_1k", "calibration", "meter_query_1k"]
+        )
+        assert [s.name for s in specs] == ["meter_query_1k", "calibration"]
+
+
+class TestSuite:
+    def test_suite_runs_and_serialises(self, tmp_path):
+        report = run_suite(SuiteConfig(names=CHEAP, repeats=2))
+        assert report.passed
+        assert report.calibration_s > 0
+        path = write_bench_json(report, tmp_path / "BENCH.json")
+        document = load_bench_json(path)
+        assert document["schema"] == BENCH_SCHEMA
+        assert set(document["benchmarks"]) == set(CHEAP)
+        record = document["benchmarks"]["meter_query_1k"]
+        assert record["repeats"] == 2
+        assert record["min_s"] <= record["median_s"] <= record["p95_s"]
+        assert record["metrics"]["speedup_vs_naive"] > 5.0
+
+    def test_calibration_always_included(self):
+        report = run_suite(SuiteConfig(names=["meter_query_1k"], repeats=2))
+        assert {r.name for r in report.results} == {
+            CALIBRATION_NAME,
+            "meter_query_1k",
+        }
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ValueError, match="not a repro-bench"):
+            load_bench_json(path)
+
+
+class TestGate:
+    def test_identical_runs_pass(self):
+        gate = compare_benchmarks(_document(a=0.1), _document(a=0.1))
+        assert gate.passed
+        assert gate.comparisons[0].ratio == pytest.approx(1.0)
+
+    def test_regression_beyond_threshold_fails(self):
+        gate = compare_benchmarks(
+            _document(a=0.13, b=0.1), _document(a=0.1, b=0.1), max_regress=1.25
+        )
+        assert not gate.passed
+        assert [c.name for c in gate.regressions] == ["a"]
+        assert "REGRESSION" in gate.render_text()
+
+    def test_calibration_normalization_absorbs_machine_speed(self):
+        # Current machine is uniformly 3x slower — calibration moved too,
+        # so nothing regresses.
+        slow = _document(a=0.3)
+        slow["benchmarks"][CALIBRATION_NAME]["median_s"] = 3.0
+        slow["benchmarks"][CALIBRATION_NAME]["min_s"] = 3.0
+        slow["calibration_s"] = 3.0
+        gate = compare_benchmarks(slow, _document(a=0.1))
+        assert gate.passed
+        assert gate.comparisons[0].ratio == pytest.approx(1.0)
+
+    def test_new_and_removed_benchmarks_are_skipped_not_failed(self):
+        gate = compare_benchmarks(_document(new=0.1), _document(old=0.1))
+        assert gate.passed
+        assert sorted(gate.skipped) == ["new", "old"]
+
+    def test_selftest_injection_fails_the_gate(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(SELFTEST_ENV, raising=False)
+        baseline = run_suite(SuiteConfig(names=STABLE, repeats=2))
+        monkeypatch.setenv(SELFTEST_ENV, "1")
+        inflated = run_suite(SuiteConfig(names=STABLE, repeats=2))
+        gate = compare_benchmarks(
+            inflated.to_dict(), baseline.to_dict(), max_regress=1.25
+        )
+        assert not gate.passed, gate.render_text()
+        assert [c.name for c in gate.regressions] == ["kernel_dispatch"]
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert "meter_query_50k" in capsys.readouterr().out
+
+    def test_unknown_name_exits_two(self, capsys):
+        assert main(["bench", "no_such_bench"]) == 2
+        assert "available:" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["bench", *CHEAP, "--repeats", "1",
+             "--compare", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_gate_round_trip_passes_and_selftest_fails(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv(SELFTEST_ENV, raising=False)
+        baseline = tmp_path / "BENCH_baseline.json"
+        assert main(
+            ["bench", *STABLE, "--repeats", "2",
+             "--write-baseline", str(baseline)]
+        ) == 0
+        assert main(
+            ["bench", *STABLE, "--repeats", "2",
+             "--compare", str(baseline), "--max-regress", "1.25"]
+        ) == 0
+        monkeypatch.setenv(SELFTEST_ENV, "1")
+        assert main(
+            ["bench", *STABLE, "--repeats", "2",
+             "--compare", str(baseline), "--max-regress", "1.25"]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out

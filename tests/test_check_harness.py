@@ -232,7 +232,7 @@ class TestMutationSelfCheck:
             "profiler_conservation",
             "tracker_agreement",
         }
-        assert set(END_ORACLES) == {"differential"}
+        assert set(END_ORACLES) == {"differential", "fastpath_equivalence"}
         assert set(METAMORPHIC_ORACLES) == {
             "observer_purity",
             "time_dilation",

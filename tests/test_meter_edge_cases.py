@@ -1,0 +1,153 @@
+"""Window-validation and boundary behaviour of the energy queries.
+
+The fast-path refactor also fixed a silent-garbage bug: reversed
+windows (``end < start``) used to integrate to nonsense instead of
+raising.  Every query entry point — trace level, meter level, naive
+twins — must now reject them, and the boundary cases (empty traces,
+windows past the last breakpoint, zero-length windows) must agree
+between the prefix-sum and naive paths.
+"""
+
+import pytest
+
+from repro.power.meter import EnergyMeter
+from repro.power.trace import PowerTrace
+from repro.sim.kernel import Kernel
+
+
+def _meter_with_history():
+    kernel = Kernel()
+    meter = EnergyMeter(kernel)
+    meter.set_draw(10, "cpu", 500.0)
+    meter.set_draw(20, "radio", 250.0)
+    kernel.run_for(8.0)
+    return kernel, meter
+
+
+class TestReversedWindows:
+    def test_trace_energy_rejects_reversed_window(self):
+        trace = PowerTrace()
+        trace.append(0.0, 100.0)
+        with pytest.raises(ValueError, match="before start"):
+            trace.energy_j(5.0, 1.0)
+        with pytest.raises(ValueError, match="before start"):
+            trace.naive_energy_j(5.0, 1.0)
+
+    def test_meter_queries_reject_reversed_window(self):
+        _, meter = _meter_with_history()
+        for query in (
+            lambda: meter.energy_j(start=5.0, end=1.0),
+            lambda: meter.energy_j(owner=10, start=5.0, end=1.0),
+            lambda: meter.total_energy_j(start=5.0, end=1.0),
+            lambda: meter.energy_by_owner(start=5.0, end=1.0),
+            lambda: meter.energy_by_component(10, start=5.0, end=1.0),
+            lambda: meter.naive_energy_j(start=5.0, end=1.0),
+            lambda: meter.naive_energy_by_owner(start=5.0, end=1.0),
+            lambda: meter.app_energy_j(10, start=5.0, end=1.0),
+            lambda: meter.screen_energy_j(start=5.0, end=1.0),
+        ):
+            with pytest.raises(ValueError, match="before start"):
+                query()
+
+    def test_default_end_is_now_and_valid(self):
+        kernel, meter = _meter_with_history()
+        assert meter.total_energy_j() == pytest.approx(
+            (500.0 + 250.0) * 8.0 / 1000.0
+        )
+        # start beyond now must still raise (end defaults to now).
+        with pytest.raises(ValueError, match="before start"):
+            meter.total_energy_j(start=kernel.now + 1.0)
+
+
+class TestBoundaries:
+    def test_empty_trace_integrates_to_zero(self):
+        trace = PowerTrace()
+        assert trace.energy_j(0.0, 100.0) == 0.0
+        assert trace.naive_energy_j(0.0, 100.0) == 0.0
+        assert trace.power_at(5.0) == 0.0
+        assert trace.last_power == 0.0
+        assert trace.last_time is None
+
+    def test_zero_length_window_is_zero(self):
+        trace = PowerTrace()
+        trace.append(0.0, 100.0)
+        assert trace.energy_j(3.0, 3.0) == 0.0
+        assert trace.naive_energy_j(3.0, 3.0) == 0.0
+
+    def test_window_before_first_breakpoint_is_zero(self):
+        trace = PowerTrace()
+        trace.append(10.0, 100.0)
+        assert trace.energy_j(0.0, 10.0) == 0.0
+        assert trace.naive_energy_j(0.0, 10.0) == 0.0
+
+    def test_window_past_last_breakpoint_extends_final_draw(self):
+        trace = PowerTrace()
+        trace.append(0.0, 100.0)
+        trace.append(10.0, 400.0)
+        # [5, 25): 5 s at 100 mW + 10 s at 400 mW held past the end.
+        expected = (5 * 100.0 + 15 * 400.0) / 1000.0
+        assert trace.energy_j(5.0, 25.0) == pytest.approx(expected, rel=1e-12)
+        assert trace.naive_energy_j(5.0, 25.0) == pytest.approx(expected, rel=1e-12)
+
+    def test_meter_queries_past_now_extend_final_draw(self):
+        kernel, meter = _meter_with_history()
+        future = kernel.now + 4.0
+        expected = (500.0 + 250.0) * (8.0 + 4.0) / 1000.0
+        assert meter.total_energy_j(end=future) == pytest.approx(expected)
+        assert meter.naive_energy_j(end=future) == pytest.approx(expected)
+
+    def test_unknown_owner_is_zero_not_error(self):
+        _, meter = _meter_with_history()
+        assert meter.energy_j(owner=999) == 0.0
+        assert meter.energy_by_component(999) == {}
+        assert meter.channels_of(999) == []
+        assert meter.current_power_mw(999) == 0.0
+
+    def test_empty_meter_queries(self):
+        meter = EnergyMeter(Kernel())
+        assert meter.total_energy_j() == 0.0
+        assert meter.energy_by_owner() == {}
+        assert meter.naive_energy_by_owner() == {}
+        assert meter.total_power_breakpoints() == []
+
+
+class TestEpochs:
+    def test_epoch_advances_only_on_real_changes(self):
+        kernel = Kernel()
+        meter = EnergyMeter(kernel)
+        assert meter.epoch == 0
+        meter.set_draw(1, "cpu", 100.0)
+        first = meter.epoch
+        assert first > 0
+        meter.set_draw(1, "cpu", 100.0)  # same instant, same value
+        assert meter.epoch == first
+        kernel.run_for(1.0)
+        meter.set_draw(1, "cpu", 100.0)  # redundant draw: trace compacts
+        assert meter.epoch == first
+        meter.set_draw(1, "cpu", 150.0)
+        assert meter.epoch > first
+
+    def test_owner_epochs_are_independent(self):
+        kernel = Kernel()
+        meter = EnergyMeter(kernel)
+        meter.set_draw(1, "cpu", 100.0)
+        kernel.run_for(1.0)
+        meter.set_draw(2, "cpu", 100.0)
+        epoch_1 = meter.owner_epoch(1)
+        kernel.run_for(1.0)
+        meter.set_draw(2, "cpu", 300.0)
+        assert meter.owner_epoch(1) == epoch_1
+        assert meter.owner_epoch(2) > epoch_1
+        assert meter.owner_epoch(999) == 0
+
+    def test_breakpoints_memo_invalidates_on_append(self):
+        kernel = Kernel()
+        meter = EnergyMeter(kernel)
+        meter.set_draw(1, "cpu", 100.0)
+        curve = meter.total_power_breakpoints()
+        assert curve == meter.total_power_breakpoints()
+        curve.append((99.0, 99.0))  # caller mutation must not poison the memo
+        assert (99.0, 99.0) not in meter.total_power_breakpoints()
+        kernel.run_for(1.0)
+        meter.set_draw(1, "cpu", 700.0)
+        assert len(meter.total_power_breakpoints()) == 2
