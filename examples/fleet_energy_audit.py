@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fleet energy audit through the query service.
+
+The serving workflow the ROADMAP's north star describes: capture traces
+from a *fleet* of devices once, ingest them into one
+:class:`~repro.serve.ProfilingService`, then answer many report
+questions without ever rebuilding a simulation.  Here the fleet is
+simulated — three attack scenarios plus one generated full-day device —
+and the audit asks, per device:
+
+* what does the stock Android view blame (``batterystats``)?
+* what does E-Android blame once collateral energy is superimposed?
+* which app is the *biggest mover* between the two views — the
+  fleet-wide malware suspect list.
+
+Run:  python examples/fleet_energy_audit.py
+"""
+
+from repro.offline import capture_trace
+from repro.serve import ProfilingService, ServiceClient, ServiceConfig
+from repro.workloads import run_attack3, run_attack6, run_day, run_scene1
+
+
+def build_fleet(service: ProfilingService) -> None:
+    """Simulate four devices and ingest their traces as sessions."""
+    for name, run in (
+        ("phone-benign", run_scene1()),
+        ("phone-bind-attack", run_attack3()),
+        ("phone-screen-attack", run_attack6()),
+    ):
+        service.ingest_trace(name, capture_trace(run.system, run.eandroid), name)
+    day = run_day(seed=11, hours=2.0, with_malware=True)
+    service.ingest_trace(
+        "phone-full-day", capture_trace(day.system, day.eandroid), "generated day"
+    )
+
+
+def main() -> None:
+    service = ProfilingService(ServiceConfig())
+    build_fleet(service)
+    client = ServiceClient(service)
+
+    print(f"fleet: {len(service.sessions)} device(s) ingested\n")
+    suspects = []
+    for session in service.session_names():
+        android = client.query(session, "batterystats")
+        eandroid = client.query(session, "eandroid")
+        android_rows = {
+            row["label"]: row["energy_j"] for row in android["entries"]
+        }
+        print(f"=== {session} ===")
+        print(f"  total energy: {android['total_j']:.1f} J")
+        mover, delta, collateral = None, 0.0, {}
+        for row in eandroid["entries"]:
+            gained = row["energy_j"] - android_rows.get(row["label"], 0.0)
+            if gained > delta:
+                mover, delta, collateral = row["label"], gained, row["collateral_j"]
+        if mover is None:
+            print("  views agree — no collateral energy on this device")
+        else:
+            print(f"  biggest mover: {mover} (+{delta:.1f} J once E-Android charges collateral)")
+            for source, joules in sorted(collateral.items(), key=lambda kv: -kv[1]):
+                print(f"      draws {joules:.1f} J through {source}")
+            suspects.append((session, mover, delta))
+        print()
+
+    stats = service.manifest()
+    print(f"queries answered: {stats['stats']['answered']}, "
+          f"cache hit-rate {stats['cache']['hit_rate']:.0%}")
+    if suspects:
+        print("\nfleet suspect list (by hidden energy):")
+        for session, label, joules in sorted(suspects, key=lambda s: -s[2]):
+            print(f"  {session:<20} {label:<14} {joules:8.1f} J hidden from stock Android")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..reports.request import ReportRequest
+    from ..reports.view import ProfilerReportView
 
 
 @dataclass
@@ -163,7 +167,31 @@ class EnergyProfiler:
     """Interface every profiler implements."""
 
     name = "abstract"
+    #: Which :data:`repro.reports.BACKENDS` name this profiler answers.
+    backend = "energy"
 
     def report(self, start: float = 0.0, end: Optional[float] = None) -> ProfilerReport:
         """Produce a battery-interface snapshot for [start, end)."""
         raise NotImplementedError
+
+    def report_view(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> "ProfilerReportView":
+        """The unified-API form of :meth:`report` (a ReportView)."""
+        from ..reports.view import ProfilerReportView
+
+        return ProfilerReportView(backend=self.backend, report=self.report(start, end))
+
+    def describe(self, request: "ReportRequest") -> "ProfilerReportView":
+        """Answer a typed :class:`~repro.reports.ReportRequest`.
+
+        Live profilers answer exactly one backend — the one they embody;
+        the offline analyzer overrides this to dispatch all of them.
+        """
+        from ..reports.request import UnknownBackendError
+        from ..reports.view import view_from_report
+
+        if request.backend != self.backend:
+            raise UnknownBackendError(request.backend)
+        report = self.report(request.start, request.end)
+        return view_from_report(report, self.backend, request)

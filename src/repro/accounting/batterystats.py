@@ -28,6 +28,7 @@ class BatteryStats(EnergyProfiler):
     """The stock Android battery interface."""
 
     name = "BatteryStats (Android)"
+    backend = "batterystats"
 
     def __init__(self, system: "AndroidSystem") -> None:
         self._system = system

@@ -29,6 +29,7 @@ class PowerTutor(EnergyProfiler):
     """Screen-to-foreground attribution."""
 
     name = "PowerTutor"
+    backend = "powertutor"
 
     def __init__(self, system: "AndroidSystem") -> None:
         self._system = system

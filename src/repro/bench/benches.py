@@ -207,6 +207,86 @@ def bench_fuzz_oracle_step(repeats: int) -> BenchMeasurement:
     )
 
 
+def _build_serve_service():
+    """One in-process query service over a captured attack trace."""
+    from ..offline import capture_trace
+    from ..serve import ProfilingService, ServiceClient, ServiceConfig
+    from ..workloads import ALL_ATTACKS
+
+    run = ALL_ATTACKS["attack1"](60.0)
+    service = ProfilingService(ServiceConfig(workers=1, telemetry=False))
+    service.ingest_trace("bench", capture_trace(run.system, run.eandroid), "bench")
+    return service, ServiceClient(service)
+
+
+def _serve_query_mix(client, count: int = 150):
+    """A deterministic mixed-backend query batch against one session."""
+    from ..reports import BACKENDS
+
+    windows = _query_windows(60.0, count=(count + len(BACKENDS) - 1) // len(BACKENDS))
+    queries = []
+    for start, end in windows:
+        for backend in BACKENDS:
+            queries.extend(client.build("bench", backend, start=start, end=end))
+    return queries[:count]
+
+
+def bench_serve_throughput(repeats: int) -> BenchMeasurement:
+    """Batch query throughput through the service (warm LRU after rep 1)."""
+    service, client = _build_serve_service()
+    queries = _serve_query_mix(client)
+    times: List[float] = []
+    answered = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        responses = service.serve_batch(queries)
+        times.append(time.perf_counter() - started)
+        answered = sum(1 for r in responses if r.ok)
+    median = sorted(times)[len(times) // 2]
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "queries": len(queries),
+            "answered": answered,
+            "qps": len(queries) / median if median > 0 else float("inf"),
+            "cache_hit_rate": service.cache.hit_rate,
+            "shed": service.stats.shed,
+        },
+    )
+
+
+def bench_serve_latency(repeats: int) -> BenchMeasurement:
+    """Per-query submit latency: cold (LRU cleared) vs warm (all hits)."""
+    service, client = _build_serve_service()
+    queries = _serve_query_mix(client, count=50)
+    times: List[float] = []
+    warm_times: List[float] = []
+    for _ in range(repeats):
+        service.cache.clear()
+        started = time.perf_counter()
+        for query in queries:
+            service.submit(query)
+        times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        for query in queries:
+            service.submit(query)
+        warm_times.append(time.perf_counter() - started)
+    median_cold = sorted(times)[len(times) // 2]
+    median_warm = sorted(warm_times)[len(warm_times) // 2]
+    per_query = len(queries) or 1
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "queries": per_query,
+            "cold_us_per_query": median_cold / per_query * 1e6,
+            "warm_us_per_query": median_warm / per_query * 1e6,
+            "warm_speedup": (
+                median_cold / median_warm if median_warm > 0 else float("inf")
+            ),
+        },
+    )
+
+
 def bench_calibration(repeats: int) -> BenchMeasurement:
     """Fixed pure-python workload measuring machine speed.
 
@@ -283,6 +363,18 @@ for _order, _spec in enumerate(
             runner=bench_fuzz_oracle_step,
             kind="macro",
             description="conformance scenario with step oracles every op",
+        ),
+        BenchSpec(
+            name="serve_throughput",
+            runner=bench_serve_throughput,
+            kind="macro",
+            description="mixed-backend query batches through the service",
+        ),
+        BenchSpec(
+            name="serve_latency",
+            runner=bench_serve_latency,
+            kind="micro",
+            description="per-query serve latency, cold vs warm result LRU",
         ),
     ]
 ):

@@ -300,7 +300,9 @@ def fastpath_equivalence(
     * ``energy_by_owner`` / per-owner ``energy_j`` vs the meter's
       full-rescan ``naive_*`` paths;
     * each profiler's (possibly cached) report vs a fresh profiler
-      instance whose caches are stone cold.
+      instance whose caches are stone cold;
+    * reports served from a captured trace through the query service
+      (:mod:`repro.serve`) vs the live profilers they must reproduce.
     """
     from ..accounting import BatteryStats, PowerTutor
 
@@ -359,6 +361,79 @@ def fastpath_equivalence(
                     f"{cached_profiler.name} uid {uid!r}: cached report row "
                     f"{a!r} J != cold recompute {b!r} J",
                 ))
+
+    out.extend(_served_report_equivalence(system, ea))
+    return out
+
+
+def _served_report_equivalence(
+    system: "AndroidSystem", ea: "EAndroid"
+) -> List[OracleViolation]:
+    """Reports served from a captured trace equal the live profilers.
+
+    The query service answers every backend from an
+    :class:`~repro.offline.OfflineAnalyzer` over a serialised
+    :class:`~repro.offline.DeviceTrace` — an entirely separate code path
+    from the live profilers (plus an LRU and the wire encoding).  Rows
+    are keyed by uid; aggregate rows (``uid is None``) carry fixed
+    per-backend labels, so those match on label.
+    """
+    from ..accounting import BatteryStats, PowerTutor
+    from ..offline import capture_trace
+    from ..serve import ProfilingService, ServiceClient, ServiceConfig
+
+    out: List[OracleViolation] = []
+    service = ProfilingService(ServiceConfig(workers=1, telemetry=False))
+    service.ingest_trace("oracle", capture_trace(system, ea), "fastpath oracle")
+    client = ServiceClient(service)
+
+    for backend, live_report in (
+        ("batterystats", BatteryStats(system).report()),
+        ("powertutor", PowerTutor(system).report()),
+        ("eandroid", ea.report()),
+    ):
+        (query,) = client.build("oracle", backend)
+        response = service.submit(query)
+        if not response.ok:
+            out.append(OracleViolation(
+                "fastpath_equivalence",
+                f"served {backend} query failed: "
+                f"{response.status} ({response.error!r})",
+            ))
+            continue
+        served = response.report or {}
+
+        def _row_key(uid: object, label: str) -> object:
+            return uid if uid is not None else f"label:{label}"
+
+        served_rows = {
+            _row_key(row.get("uid"), row.get("label", "")): row["energy_j"]
+            for row in served.get("entries", [])
+        }
+        live_rows = {
+            _row_key(entry.uid, entry.label): entry.energy_j
+            for entry in live_report.entries
+        }
+        for key in sorted(set(served_rows) | set(live_rows), key=repr):
+            a = served_rows.get(key, 0.0)
+            b = live_rows.get(key, 0.0)
+            if not _close(a, b, rel=DIFF_REL_TOL, abs_tol=DIFF_ABS_TOL):
+                out.append(OracleViolation(
+                    "fastpath_equivalence",
+                    f"served {backend} row {key!r}: {a!r} J != live "
+                    f"profiler row {b!r} J",
+                ))
+        if not _close(
+            served.get("total_j", 0.0),
+            live_report.total_energy_j(),
+            rel=DIFF_REL_TOL,
+            abs_tol=DIFF_ABS_TOL,
+        ):
+            out.append(OracleViolation(
+                "fastpath_equivalence",
+                f"served {backend} total {served.get('total_j')!r} J != "
+                f"live total {live_report.total_energy_j()!r} J",
+            ))
     return out
 
 

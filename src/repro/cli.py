@@ -29,7 +29,20 @@ Commands:
   JSON, and verify the offline analyzer reproduces the live report
   (``--trace-out FILE`` writes the Chrome trace-event view,
   ``--telemetry`` prints bus metrics);
+* ``serve`` — the long-lived energy query service: ``--batch PATH``
+  ingests traces (file / JSONL stream / directory / check corpus),
+  ``--queries FILE`` answers a JSONL query stream in one shot,
+  ``--daemon`` serves JSONL queries from stdin to stdout;
+  ``--workers N`` shards sessions over engine worker processes,
+  ``--queue``/``--burst`` control admission, ``--save DIR`` writes
+  ``manifest.json`` + ``responses.jsonl``;
 * ``chains NAME`` — run an attack and print the attack-graph analysis.
+
+Observability flags are uniform: every run-producing subcommand takes
+``--telemetry`` (print/collect event-bus metrics) and ``--trace-out
+FILE`` (write a Chrome trace-event JSON).  The pre-normalization
+spellings ``--bus-stats`` and ``--chrome-trace`` remain as hidden
+aliases.
 """
 
 from __future__ import annotations
@@ -73,7 +86,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             telemetry=args.telemetry,
         )
     )
-    run = engine.run([spec.name for spec in specs])
+    recorder = None
+    trace_out = _trace_out_if_serial(args, args.parallel)
+    if trace_out:
+        from .telemetry import capture
+
+        with capture() as recorder:
+            run = engine.run([spec.name for spec in specs])
+    else:
+        run = engine.run([spec.name for spec in specs])
     for result in run.results:
         print(f"\n=== {result.name} ===")
         print(result.outcome.text)
@@ -101,7 +122,32 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         written = save_outcomes(outcomes, args.save)
         written.append(str(write_manifest(run, args.save)))
         print(f"wrote {len(written)} artifact files to {args.save}")
+    _write_recorded_trace(trace_out, recorder)
     return 0
+
+
+def _trace_out_if_serial(args: argparse.Namespace, workers: int) -> str:
+    """``--trace-out`` only works when events stay in this process."""
+    if not args.trace_out:
+        return ""
+    if workers > 1:
+        print(
+            "note: --trace-out needs a serial run (worker processes keep "
+            "their events); skipping trace capture",
+            file=sys.stderr,
+        )
+        return ""
+    return args.trace_out
+
+
+def _write_recorded_trace(trace_out: str, recorder) -> None:
+    """Write a capture()'d run's events as a Chrome trace, if asked."""
+    if not trace_out or recorder is None:
+        return
+    from .telemetry import write_chrome_trace
+
+    path = write_chrome_trace(trace_out, recorder.events)
+    print(f"chrome trace written to {path} ({len(recorder.events)} event(s))")
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -135,13 +181,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         refresh=args.refresh,
         telemetry=args.telemetry,
     )
-    report = run_campaign(config)
+    recorder = None
+    trace_out = _trace_out_if_serial(args, args.jobs)
+    if trace_out:
+        from .telemetry import capture
+
+        with capture() as recorder:
+            report = run_campaign(config)
+    else:
+        report = run_campaign(config)
     print(report.render_text())
     stats = report.cache_stats
     print(
         f"cache: {stats.get('hits', 0)} hit(s), "
         f"{stats.get('misses', 0)} miss(es)"
     )
+    _write_recorded_trace(trace_out, recorder)
     return 0 if report.passed else 1
 
 
@@ -292,6 +347,143 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    recorder = None
+    if args.trace_out or args.telemetry:
+        from .telemetry import capture
+
+        with capture() as recorder:
+            code = _serve_run(args)
+    else:
+        code = _serve_run(args)
+    if recorder is not None:
+        _write_recorded_trace(args.trace_out, recorder)
+        if args.telemetry:
+            from .telemetry import render_metrics_text
+
+            print()
+            print(render_metrics_text(recorder.stats()))
+    return code
+
+
+def _serve_run(args: argparse.Namespace) -> int:
+    """The serve command body (telemetry capture wraps this)."""
+    import json
+    from pathlib import Path
+
+    from .offline import TraceFormatError
+    from .serve import (
+        STATUS_ERROR,
+        STATUS_SHED,
+        ProfilingService,
+        ProtocolError,
+        ServiceClient,
+        ServiceConfig,
+        parse_queries_jsonl,
+        responses_to_jsonl,
+    )
+
+    service = ProfilingService(
+        ServiceConfig(
+            max_queue=args.queue,
+            cache_entries=args.cache_entries,
+            workers=args.workers,
+            telemetry=True,
+        )
+    )
+    client = ServiceClient(service)
+    if args.batch:
+        try:
+            names = service.ingest(args.batch)
+        except (TraceFormatError, FileNotFoundError) as exc:
+            print(f"cannot ingest {args.batch}: {exc}", file=sys.stderr)
+            return 2
+        # In daemon mode stdout carries the JSONL responses, nothing else.
+        print(
+            f"ingested {len(names)} session(s) from {args.batch}",
+            file=sys.stderr if args.daemon else sys.stdout,
+        )
+
+    responses = []
+    exit_code = 0
+    if args.queries:
+        try:
+            lines = Path(args.queries).read_text(encoding="utf-8").splitlines()
+            queries = parse_queries_jsonl(lines)
+        except (OSError, ProtocolError) as exc:
+            print(f"cannot load queries: {exc}", file=sys.stderr)
+            return 2
+        expanded = client.expand(queries)
+        responses = service.serve_batch(expanded, burst=args.burst)
+        answered = sum(r.ok for r in responses)
+        shed = sum(r.status == STATUS_SHED for r in responses)
+        errors = sum(r.status == STATUS_ERROR for r in responses)
+        hit_rate = service.cache.hit_rate
+        print(
+            f"served {len(responses)} quer(ies): {answered} answered, "
+            f"{shed} shed, {errors} error(s); "
+            f"cache hit-rate {hit_rate:.1%}"
+        )
+        if errors:
+            exit_code = 1
+    elif args.daemon:
+        _serve_daemon(service, client)
+
+    manifest = service.manifest()
+    if args.save:
+        outdir = Path(args.save)
+        outdir.mkdir(parents=True, exist_ok=True)
+        (outdir / "manifest.json").write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        written = ["manifest.json"]
+        if responses:
+            (outdir / "responses.jsonl").write_text(
+                responses_to_jsonl(responses), encoding="utf-8"
+            )
+            written.append("responses.jsonl")
+        print(
+            f"wrote {' + '.join(written)} to {outdir}",
+            file=sys.stderr if args.daemon else sys.stdout,
+        )
+    if args.fail_on_shed and manifest["stats"]["shed"] > 0:
+        print(
+            f"--fail-on-shed: {manifest['stats']['shed']} quer(ies) shed",
+            file=sys.stderr,
+        )
+        return 1
+    return exit_code
+
+
+def _serve_daemon(service, client) -> None:
+    """JSONL request/response loop on stdin/stdout (until EOF)."""
+    import json
+
+    from .serve import ProtocolError, QueryRequest
+
+    seq = 0
+    for raw in sys.stdin:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        seq += 1
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ProtocolError("query must be a JSON object")
+            query = QueryRequest.from_dict(data, default_id=seq)
+        except (ProtocolError, ValueError, KeyError) as exc:
+            sys.stdout.write(
+                json.dumps({"id": seq, "status": "error", "error": str(exc)}) + "\n"
+            )
+            sys.stdout.flush()
+            continue
+        for expanded in client.expand([query]):
+            response = service.submit(expanded)
+            sys.stdout.write(json.dumps(response.to_dict()) + "\n")
+        sys.stdout.flush()
+
+
 def _cmd_chains(args: argparse.Namespace) -> int:
     from .core import AttackGraphAnalyzer
 
@@ -327,6 +519,28 @@ def _cmd_dumpsys(args: argparse.Namespace) -> int:
     run = run_scene1()
     print(dumpsys(run.system))
     return 0
+
+
+def _add_observability_flags(
+    sub: argparse.ArgumentParser, telemetry_help: str, trace_out_help: str
+) -> None:
+    """The uniform ``--telemetry`` / ``--trace-out`` pair.
+
+    Every run-producing subcommand spells these two the same way; the
+    pre-normalization spellings (``--bus-stats``, ``--chrome-trace``)
+    stay accepted as hidden aliases so existing scripts keep working.
+    """
+    sub.add_argument("--telemetry", action="store_true", help=telemetry_help)
+    sub.add_argument(
+        "--bus-stats",
+        dest="telemetry",
+        action="store_true",
+        help=argparse.SUPPRESS,
+    )
+    sub.add_argument("--trace-out", default="", help=trace_out_help)
+    sub.add_argument(
+        "--chrome-trace", dest="trace_out", default="", help=argparse.SUPPRESS
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -370,10 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--save", default="", help="write text artifacts + manifest.json here"
     )
-    experiments.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="collect per-experiment event-bus stats into the manifest",
+    _add_observability_flags(
+        experiments,
+        telemetry_help="collect per-experiment event-bus stats into the manifest",
+        trace_out_help="write a Chrome trace-event JSON (serial runs only)",
     )
     experiments.add_argument(
         "--list", action="store_true", help="list the selection and exit"
@@ -434,10 +648,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute every batch and overwrite its cache entry",
     )
-    check.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="collect per-batch event-bus stats into the manifest",
+    _add_observability_flags(
+        check,
+        telemetry_help="collect per-batch event-bus stats into the manifest",
+        trace_out_help="write a Chrome trace-event JSON (serial runs only)",
     )
     check.set_defaults(func=_cmd_check)
 
@@ -490,11 +704,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--duration", type=float, default=60.0, help="attack window (virtual s)"
     )
-    attack.add_argument(
-        "--trace-out", default="", help="write a Chrome trace-event JSON here"
-    )
-    attack.add_argument(
-        "--telemetry", action="store_true", help="print event-bus metrics"
+    _add_observability_flags(
+        attack,
+        telemetry_help="print event-bus metrics",
+        trace_out_help="write a Chrome trace-event JSON here",
     )
     attack.set_defaults(func=_cmd_attack)
 
@@ -512,13 +725,69 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("name", help="attack1..attack6, multi, hybrid")
     trace.add_argument("--duration", type=float, default=60.0)
     trace.add_argument("--out", default="", help="write the JSON trace here")
-    trace.add_argument(
-        "--trace-out", default="", help="write a Chrome trace-event JSON here"
-    )
-    trace.add_argument(
-        "--telemetry", action="store_true", help="print event-bus metrics"
+    _add_observability_flags(
+        trace,
+        telemetry_help="print event-bus metrics",
+        trace_out_help="write a Chrome trace-event JSON here",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve", help="long-lived energy query service over ingested traces"
+    )
+    serve.add_argument(
+        "--batch",
+        default="",
+        help="ingest traces from this file / JSONL stream / directory",
+    )
+    serve.add_argument(
+        "--queries",
+        default="",
+        help="answer this JSONL query stream in one shot and exit",
+    )
+    serve.add_argument(
+        "--daemon",
+        action="store_true",
+        help="serve JSONL queries from stdin to stdout until EOF",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard sessions over N engine worker processes (default: in-process)",
+    )
+    serve.add_argument(
+        "--queue",
+        type=int,
+        default=256,
+        help="admission-control queue depth (default 256)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="arrival burst size (default: the queue depth; larger bursts shed)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=512,
+        help="result-LRU capacity (default 512)",
+    )
+    serve.add_argument(
+        "--save", default="", help="write manifest.json + responses.jsonl here"
+    )
+    serve.add_argument(
+        "--fail-on-shed",
+        action="store_true",
+        help="exit 1 if any query was shed (CI smoke gate)",
+    )
+    _add_observability_flags(
+        serve,
+        telemetry_help="print event-bus metrics for the serving run",
+        trace_out_help="write a Chrome trace-event JSON of the serving run",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     chains = sub.add_parser("chains", help="attack-graph analysis of a run")
     chains.add_argument("name", help="attack1..attack6, multi, hybrid")

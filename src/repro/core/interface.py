@@ -33,6 +33,8 @@ SCREEN_SOURCE_LABEL = "Screen"
 class EAndroidBatteryInterface(EnergyProfiler):
     """Baseline profiler + collateral superimposition."""
 
+    backend = "eandroid"
+
     def __init__(
         self,
         system: "AndroidSystem",

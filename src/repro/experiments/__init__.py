@@ -17,6 +17,7 @@ from .fig9 import Fig9Result, PanelResult, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .fig11 import Fig11Result, run_fig11
 from .fuzz import FuzzBatchResult, run_fuzz_batch
+from .serve import ServeShardResult, run_serve_shard
 from .registry import (
     REGISTRY,
     ExperimentOutcome,
@@ -45,6 +46,7 @@ __all__ = [
     "run_efficiency",
     "run_fuzz_batch",
     "run_bench_job",
+    "run_serve_shard",
     "run_all",
     "run_evaluation",
     "save_outcomes",
@@ -61,6 +63,7 @@ __all__ = [
     "EfficiencyResult",
     "FuzzBatchResult",
     "BenchJobResult",
+    "ServeShardResult",
     "ExperimentOutcome",
     "ExperimentResultMixin",
     "ExperimentSpec",

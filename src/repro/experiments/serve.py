@@ -1,0 +1,93 @@
+"""``serve`` — one query-service shard as an engine-drivable job.
+
+With ``workers > 1`` the :class:`~repro.serve.service.ProfilingService`
+fans each batch's cache misses out through the parallel experiment
+engine, one ``serve`` job per shard: the job receives the shard's
+traces (as serialised JSON) plus its queries, rebuilds a miniature
+in-process service, and returns the answered responses in its metrics.
+
+Registers as *auxiliary*: it rides on the engine's fan-out/retries but
+is not part of the paper's evaluation, so plain ``repro experiments``
+skips it.  Caching is disabled by the dispatching service — the result
+LRU in the parent process is the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List
+
+from .registry import ExperimentResultMixin, ExperimentSpec, register
+
+
+@dataclass
+class ServeShardResult(ExperimentResultMixin):
+    """One shard's answered responses."""
+
+    responses: List[Dict[str, Any]]
+    stats: Dict[str, Any]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "serve"
+
+    @property
+    def claim_holds(self) -> bool:
+        """A shard job succeeds when every query got *some* response."""
+        return len(self.responses) == int(self.stats.get("received", -1))
+
+    def metrics(self) -> Dict[str, Any]:
+        """The responses themselves — what the dispatcher folds back."""
+        return {"responses": list(self.responses), "stats": dict(self.stats)}
+
+    def render_text(self) -> str:
+        """One-line shard summary."""
+        answered = self.stats.get("answered", 0)
+        errors = self.stats.get("errors", 0)
+        return (
+            f"serve shard: {len(self.responses)} response(s) "
+            f"({answered} ok, {errors} error)"
+        )
+
+
+def run_serve_shard(
+    traces: Dict[str, str],
+    queries: List[Dict[str, Any]],
+    cache_entries: int = 0,
+) -> ServeShardResult:
+    """Answer one shard's queries in this process (worker entry point).
+
+    ``traces`` maps session name -> serialised DeviceTrace JSON;
+    ``queries`` are QueryRequest wire dicts.  The shard service runs
+    with telemetry off (the parent's bus carries the per-query events)
+    and — by default — no result LRU (the parent's cache is
+    authoritative; only misses reach a shard).
+    """
+    from ..offline.trace import DeviceTrace
+    from ..serve.protocol import QueryRequest
+    from ..serve.service import ProfilingService, ServiceConfig
+
+    service = ProfilingService(
+        ServiceConfig(cache_entries=cache_entries, workers=1, telemetry=False)
+    )
+    for session, trace_json in traces.items():
+        service.ingest_trace(session, DeviceTrace.from_json(trace_json), "shard")
+    responses = [
+        service.submit(QueryRequest.from_dict(query)).to_dict() for query in queries
+    ]
+    return ServeShardResult(
+        responses=responses,
+        stats=service.stats.as_dict(),
+        params={"sessions": sorted(traces), "queries": len(queries)},
+    )
+
+
+register(
+    ExperimentSpec(
+        name="serve",
+        runner=run_serve_shard,
+        description="one query-service shard (repro serve fan-out)",
+        default_params={"traces": {}, "queries": [], "cache_entries": 0},
+        order=102,
+        auxiliary=True,
+    )
+)

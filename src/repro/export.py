@@ -12,10 +12,12 @@ from __future__ import annotations
 import csv
 import io
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Union
 
 from .accounting.base import ProfilerReport
+from .reports.view import ProfilerReportView
 from .core.accounting import EAndroidAccounting
 from .core.links import SCREEN_TARGET
 from .power.battery import BatterySample
@@ -35,25 +37,44 @@ PathLike = Union[str, Path]
 # ----------------------------------------------------------------------
 # profiler reports
 # ----------------------------------------------------------------------
+_warned_report_to_dict = False
+
+
+def _backend_for(report: ProfilerReport) -> str:
+    """Best-effort backend name for a bare report (shim use only)."""
+    profiler = report.profiler
+    if profiler.startswith("BatteryStats"):
+        return "batterystats"
+    if profiler.startswith("PowerTutor"):
+        return "powertutor"
+    if profiler.startswith("E-Android"):
+        return "eandroid"
+    if profiler.startswith("Collateral"):
+        return "collateral"
+    return "energy"
+
+
 def report_to_dict(report: ProfilerReport) -> Dict[str, Any]:
-    """A profiler report as plain JSON-ready data."""
-    return {
-        "profiler": report.profiler,
-        "window": {"start_s": report.start, "end_s": report.end},
-        "entries": [
-            {
-                "uid": entry.uid,
-                "label": entry.label,
-                "energy_j": entry.energy_j,
-                "own_energy_j": entry.own_energy_j,
-                "percent": entry.percent,
-                "is_screen": entry.is_screen,
-                "is_system": entry.is_system,
-                "collateral_j": dict(entry.collateral_j),
-            }
-            for entry in report.entries
-        ],
-    }
+    """Deprecated: a profiler report as plain JSON-ready data.
+
+    Thin shim over :meth:`repro.reports.ProfilerReportView.to_dict` —
+    the unified Report API's wire form.  Emits one
+    :class:`DeprecationWarning` per process; new code should go through
+    ``profiler.report_view(...)`` / ``analyzer.describe(...)`` instead.
+    Output is byte-identical to ``ReportView.to_dict()`` (regression
+    tested).
+    """
+    global _warned_report_to_dict
+    if not _warned_report_to_dict:
+        _warned_report_to_dict = True
+        warnings.warn(
+            "report_to_dict() is deprecated; use "
+            "repro.reports.ProfilerReportView.to_dict() (the unified "
+            "Report API) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return ProfilerReportView(backend=_backend_for(report), report=report).to_dict()
 
 
 def report_to_json(report: ProfilerReport, indent: int = 2) -> str:

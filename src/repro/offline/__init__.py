@@ -1,12 +1,19 @@
 """Offline trace capture and attribution (analysis without the device)."""
 
 from .analyzer import OfflineAnalyzer
-from .trace import ChannelTrace, DeviceTrace, LinkRecord, capture_trace
+from .trace import (
+    ChannelTrace,
+    DeviceTrace,
+    LinkRecord,
+    TraceFormatError,
+    capture_trace,
+)
 
 __all__ = [
     "DeviceTrace",
     "ChannelTrace",
     "LinkRecord",
+    "TraceFormatError",
     "capture_trace",
     "OfflineAnalyzer",
 ]

@@ -17,12 +17,16 @@ portable record — the "offline analysis" form of the paper's system.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..accounting.base import AppEnergyEntry, ProfilerReport
 from ..power.meter import SCREEN_OWNER, SYSTEM_OWNER
 from ..power.trace import PowerTrace
 from .trace import DeviceTrace, LinkRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..reports.request import ReportRequest
+    from ..reports.view import ProfilerReportView
 
 SCREEN_TARGET = -100  # matches repro.core.links.SCREEN_TARGET
 
@@ -286,3 +290,106 @@ class OfflineAnalyzer:
                 100.0 * entry.energy_j / ground_truth if ground_truth > 0 else 0.0
             )
         return report
+
+    # ------------------------------------------------------------------
+    # raw-energy / collateral report forms (for the unified API)
+    # ------------------------------------------------------------------
+    def energy_report(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> ProfilerReport:
+        """Ground-truth per-owner energy, as report rows (no policy).
+
+        One row per owner in the trace — Screen and Android OS keep
+        their aggregate labels, every app keeps its uid — with no
+        redistribution or collateral superimposition at all.
+        """
+        window_end = self.trace.captured_at if end is None else end
+        report = ProfilerReport(
+            profiler="Energy (ground truth)", start=start, end=window_end
+        )
+        for owner in self.owners():
+            energy = self.energy_j(owner=owner, start=start, end=window_end)
+            if energy <= 0:
+                continue
+            if owner == SCREEN_OWNER:
+                entry = AppEnergyEntry(
+                    uid=None, label="Screen", energy_j=energy, is_screen=True
+                )
+            elif owner == SYSTEM_OWNER:
+                entry = AppEnergyEntry(
+                    uid=None, label="Android OS", energy_j=energy, is_system=True
+                )
+            else:
+                entry = AppEnergyEntry(
+                    uid=owner,
+                    label=self.label_for(owner),
+                    energy_j=energy,
+                    is_system=owner in self.trace.system_uids,
+                )
+            report.entries.append(entry)
+        return report.finalize()
+
+    def collateral_report(
+        self,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        hosts: Optional[Tuple[int, ...]] = None,
+    ) -> ProfilerReport:
+        """Per-host collateral inventories as report rows.
+
+        One row per driving host carrying attack links in the window;
+        the row's energy is the collateral total and its
+        ``collateral_j`` map is the per-target breakdown.  ``hosts``
+        restricts which driving uids are rendered.
+        """
+        window_end = self.trace.captured_at if end is None else end
+        report = ProfilerReport(
+            profiler="Collateral (offline)", start=start, end=window_end
+        )
+        all_hosts = sorted({l.driving_uid for l in self.trace.links})
+        if hosts is not None:
+            wanted = set(hosts)
+            all_hosts = [h for h in all_hosts if h in wanted]
+        for host in all_hosts:
+            breakdown = self.collateral_breakdown(host, start, window_end)
+            if not breakdown:
+                continue
+            entry = AppEnergyEntry(
+                uid=host, label=self.label_for(host), energy_j=0.0
+            )
+            for target, joules in breakdown.items():
+                label = (
+                    "Screen" if target == SCREEN_TARGET else self.label_for(target)
+                )
+                entry.collateral_j[label] = (
+                    entry.collateral_j.get(label, 0.0) + joules
+                )
+                entry.energy_j += joules
+            report.entries.append(entry)
+        return report.finalize()
+
+    def describe(self, request: "ReportRequest") -> "ProfilerReportView":
+        """Answer a typed request — any of the five backends, offline.
+
+        This is the dispatch the serving layer relies on: one analyzer
+        (one ingested trace) renders every report surface through the
+        unified :class:`~repro.reports.ReportView` protocol.
+        """
+        from ..reports.request import UnknownBackendError
+        from ..reports.view import ProfilerReportView, view_from_report
+
+        start, end = request.start, request.end
+        if request.backend == "energy":
+            report = self.energy_report(start, end)
+        elif request.backend == "batterystats":
+            report = self.batterystats_report(start, end)
+        elif request.backend == "powertutor":
+            report = self.powertutor_report(start, end)
+        elif request.backend == "eandroid":
+            report = self.eandroid_report(start, end)
+        elif request.backend == "collateral":
+            report = self.collateral_report(start, end, hosts=request.owners)
+            return ProfilerReportView(backend="collateral", report=report)
+        else:  # pragma: no cover - ReportRequest already validates
+            raise UnknownBackendError(request.backend)
+        return view_from_report(report, request.backend, request)

@@ -25,6 +25,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 TRACE_FORMAT_VERSION = 1
 
 
+class TraceFormatError(ValueError):
+    """A trace document is malformed, truncated, or wrongly versioned.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites (and the historical version-check contract) keep working.
+    """
+
+
 @dataclass
 class ChannelTrace:
     """One (owner, component) power channel's breakpoints."""
@@ -94,44 +102,69 @@ class DeviceTrace:
 
     @staticmethod
     def from_json(text: str) -> "DeviceTrace":
-        """Parse a trace serialised by :meth:`to_json`."""
-        data = json.loads(text)
+        """Parse a trace serialised by :meth:`to_json`.
+
+        Malformed input — invalid JSON, a non-object document, a wrong
+        format version, or missing/mistyped fields — raises
+        :class:`TraceFormatError` rather than leaking the parser's raw
+        ``KeyError``/``TypeError``.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"trace is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise TraceFormatError(
+                f"trace document must be a JSON object, got {type(data).__name__}"
+            )
         version = data.get("format_version")
         if version != TRACE_FORMAT_VERSION:
-            raise ValueError(
+            raise TraceFormatError(
                 f"unsupported trace format version {version!r} "
                 f"(expected {TRACE_FORMAT_VERSION})"
             )
-        return DeviceTrace(
-            captured_at=data["captured_at"],
-            battery_capacity_j=data.get("battery_capacity_j", 0.0),
-            apps={int(uid): label for uid, label in data.get("apps", {}).items()},
-            system_uids=list(data.get("system_uids", [])),
-            foreground=[
-                (float(t), None if uid is None else int(uid))
-                for t, uid in data.get("foreground", [])
-            ],
-            channels=[
-                ChannelTrace(
-                    owner=int(ch["owner"]),
-                    component=ch["component"],
-                    breakpoints=[(float(t), float(p)) for t, p in ch["breakpoints"]],
-                )
-                for ch in data.get("channels", [])
-            ],
-            links=[
-                LinkRecord(
-                    kind=link["kind"],
-                    driving_uid=int(link["driving_uid"]),
-                    target=int(link["target"]),
-                    begin_time=float(link["begin_time"]),
-                    end_time=(
-                        None if link["end_time"] is None else float(link["end_time"])
-                    ),
-                )
-                for link in data.get("links", [])
-            ],
-        )
+        try:
+            return DeviceTrace(
+                captured_at=float(data["captured_at"]),
+                battery_capacity_j=float(data.get("battery_capacity_j", 0.0)),
+                apps={int(uid): label for uid, label in data.get("apps", {}).items()},
+                system_uids=list(data.get("system_uids", [])),
+                foreground=[
+                    (float(t), None if uid is None else int(uid))
+                    for t, uid in data.get("foreground", [])
+                ],
+                channels=[
+                    ChannelTrace(
+                        owner=int(ch["owner"]),
+                        component=ch["component"],
+                        breakpoints=[
+                            (float(t), float(p)) for t, p in ch["breakpoints"]
+                        ],
+                    )
+                    for ch in data.get("channels", [])
+                ],
+                links=[
+                    LinkRecord(
+                        kind=link["kind"],
+                        driving_uid=int(link["driving_uid"]),
+                        target=int(link["target"]),
+                        begin_time=float(link["begin_time"]),
+                        end_time=(
+                            None
+                            if link["end_time"] is None
+                            else float(link["end_time"])
+                        ),
+                    )
+                    for link in data.get("links", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            if isinstance(exc, TraceFormatError):  # pragma: no cover
+                raise
+            raise TraceFormatError(
+                f"trace document is truncated or malformed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
 
 def capture_trace(

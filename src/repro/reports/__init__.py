@@ -1,0 +1,27 @@
+"""Unified report API: typed requests, one view protocol for all backends.
+
+Every report surface in the repo — the live profilers in
+:mod:`repro.accounting`, the E-Android battery interface in
+:mod:`repro.core.interface`, and the offline analyzer in
+:mod:`repro.offline` — answers a :class:`ReportRequest` with a
+:class:`ReportView`.  The serving layer (:mod:`repro.serve`) speaks
+nothing else.
+"""
+
+from .request import BACKENDS, ReportRequest, UnknownBackendError
+from .view import (
+    REPORT_SCHEMA,
+    ProfilerReportView,
+    ReportView,
+    view_from_report,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ReportRequest",
+    "UnknownBackendError",
+    "REPORT_SCHEMA",
+    "ReportView",
+    "ProfilerReportView",
+    "view_from_report",
+]

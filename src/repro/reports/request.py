@@ -1,0 +1,96 @@
+"""Typed report requests — the one query shape every backend answers.
+
+A :class:`ReportRequest` names a *backend* (which attribution policy or
+raw view to render), a time *window*, and optionally the *owners* the
+caller cares about.  It is frozen and hashable, so it doubles as the
+cache key for the serving layer's LRU (:mod:`repro.serve.service`) and
+round-trips through JSON for the wire protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Every report surface the unified API can render.
+#:
+#: * ``energy`` — raw per-owner ground truth from the meter/trace;
+#: * ``batterystats`` — the stock Android policy (screen standalone);
+#: * ``powertutor`` — screen redistributed over the foreground timeline;
+#: * ``eandroid`` — baseline plus superimposed collateral charges;
+#: * ``collateral`` — per-host collateral breakdowns only.
+BACKENDS: Tuple[str, ...] = (
+    "energy",
+    "batterystats",
+    "powertutor",
+    "eandroid",
+    "collateral",
+)
+
+
+class UnknownBackendError(ValueError):
+    """Raised when a request names a backend outside :data:`BACKENDS`."""
+
+    def __init__(self, backend: str) -> None:
+        super().__init__(
+            f"unknown report backend {backend!r} "
+            f"(expected one of: {', '.join(BACKENDS)})"
+        )
+        self.backend = backend
+
+
+@dataclass(frozen=True)
+class ReportRequest:
+    """One report query: backend + window + optional owner filter.
+
+    ``end=None`` means "to the end of the data" (a live device's *now*,
+    a trace's ``captured_at``).  ``owners`` restricts the rows returned:
+    for the profiler backends it filters by uid, for ``collateral`` it
+    selects the driving hosts.
+    """
+
+    backend: str
+    start: float = 0.0
+    end: Optional[float] = None
+    owners: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise UnknownBackendError(self.backend)
+        if self.start < 0.0:
+            raise ValueError(f"window start must be >= 0, got {self.start!r}")
+        if self.end is not None and self.end < self.start:
+            raise ValueError(
+                f"window end {self.end!r} precedes start {self.start!r}"
+            )
+        if self.owners is not None:
+            normalized = tuple(sorted(int(uid) for uid in self.owners))
+            object.__setattr__(self, "owners", normalized)
+
+    def key(self) -> Tuple[Any, ...]:
+        """Hashable identity (what result caches key on)."""
+        return (self.backend, self.start, self.end, self.owners)
+
+    def window(self, end_default: float) -> Tuple[float, float]:
+        """The concrete (start, end) given the data's natural end."""
+        return (self.start, end_default if self.end is None else self.end)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the wire shape of one query)."""
+        return {
+            "backend": self.backend,
+            "start": self.start,
+            "end": self.end,
+            "owners": list(self.owners) if self.owners is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReportRequest":
+        """Parse the :meth:`to_dict` shape (validating as it builds)."""
+        owners = data.get("owners")
+        return cls(
+            backend=str(data["backend"]),
+            start=float(data.get("start", 0.0)),
+            end=None if data.get("end") is None else float(data["end"]),
+            owners=None if owners is None else tuple(int(o) for o in owners),
+        )

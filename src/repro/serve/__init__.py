@@ -1,0 +1,55 @@
+"""repro.serve — the long-lived energy query service.
+
+Ingest device traces (files, JSONL streams, directories, the check
+corpus) into sessions once; answer ``energy`` / ``batterystats`` /
+``powertutor`` / ``eandroid`` / ``collateral`` report queries many
+times, through the unified :mod:`repro.reports` API, with an LRU result
+cache, shard-per-worker fan-out over :mod:`repro.exec`, and explicit
+backpressure.  See ``docs/SERVING.md``.
+"""
+
+from .client import QueryFailedError, ServiceClient
+from .ingest import CORPUS_KIND, IngestedTrace, iter_traces, trace_from_document
+from .protocol import (
+    ALL_SESSIONS,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    parse_queries_jsonl,
+    responses_to_jsonl,
+)
+from .service import (
+    ProfilingService,
+    ResultLRU,
+    ServeStats,
+    ServiceConfig,
+    SessionRecord,
+    UnknownSessionError,
+)
+
+__all__ = [
+    "ALL_SESSIONS",
+    "CORPUS_KIND",
+    "IngestedTrace",
+    "ProfilingService",
+    "ProtocolError",
+    "QueryFailedError",
+    "QueryRequest",
+    "QueryResponse",
+    "ResultLRU",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "ServeStats",
+    "ServiceClient",
+    "ServiceConfig",
+    "SessionRecord",
+    "UnknownSessionError",
+    "iter_traces",
+    "parse_queries_jsonl",
+    "responses_to_jsonl",
+    "trace_from_document",
+]

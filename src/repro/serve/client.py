@@ -1,0 +1,146 @@
+"""ServiceClient — the ergonomic front door to a ProfilingService.
+
+The service itself speaks only the wire protocol (QueryRequest in,
+QueryResponse out).  The client adds what callers actually want:
+
+* keyword-style queries (``client.query("phone-a", "eandroid")``);
+* the ``"*"`` session wildcard, expanded over every ingested session;
+* batch submission under the service's admission control, with
+  automatic resubmission of shed responses (bounded retries);
+* typed errors instead of status-code checking.
+
+The client talks to an in-process service object; the daemon mode of
+``python -m repro serve`` wraps the same protocol over stdin/stdout for
+out-of-process callers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..reports.request import ReportRequest
+from .protocol import ALL_SESSIONS, STATUS_SHED, QueryRequest, QueryResponse
+from .service import ProfilingService
+
+
+class QueryFailedError(RuntimeError):
+    """A query came back with ``status: error``."""
+
+    def __init__(self, response: QueryResponse) -> None:
+        super().__init__(
+            f"query {response.id} on session {response.session!r} failed: "
+            f"{response.error}"
+        )
+        self.response = response
+
+
+class ServiceClient:
+    """Keyword-friendly querying over one in-process service."""
+
+    def __init__(self, service: ProfilingService, max_resubmits: int = 3) -> None:
+        self.service = service
+        self.max_resubmits = max_resubmits
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # building queries
+    # ------------------------------------------------------------------
+    def _take_id(self) -> int:
+        qid = self._next_id
+        self._next_id += 1
+        return qid
+
+    def build(
+        self,
+        session: str,
+        backend: str,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        owners: Optional[Sequence[int]] = None,
+    ) -> List[QueryRequest]:
+        """One query — or one per session for the ``"*"`` wildcard."""
+        report = ReportRequest(
+            backend=backend,
+            start=start,
+            end=end,
+            owners=None if owners is None else tuple(owners),
+        )
+        sessions = (
+            self.service.session_names() if session == ALL_SESSIONS else [session]
+        )
+        return [
+            QueryRequest(id=self._take_id(), session=name, report=report)
+            for name in sessions
+        ]
+
+    def expand(self, queries: Sequence[QueryRequest]) -> List[QueryRequest]:
+        """Expand ``"*"`` sessions in an already-built query list."""
+        expanded: List[QueryRequest] = []
+        for query in queries:
+            if query.session == ALL_SESSIONS:
+                expanded.extend(
+                    QueryRequest(
+                        id=self._take_id(), session=name, report=query.report
+                    )
+                    for name in self.service.session_names()
+                )
+            else:
+                expanded.append(query)
+        return expanded
+
+    # ------------------------------------------------------------------
+    # issuing queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        session: str,
+        backend: str,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        owners: Optional[Sequence[int]] = None,
+    ) -> Dict[str, Any]:
+        """One report payload (the ReportView wire form); raises on error.
+
+        With ``session="*"`` returns a ``{session: payload}`` mapping
+        instead.
+        """
+        queries = self.build(session, backend, start, end, owners)
+        responses = self.submit_all(queries)
+        if session == ALL_SESSIONS:
+            return {r.session: r.report for r in responses}
+        return responses[0].report
+
+    def total_j(
+        self,
+        session: str,
+        backend: str,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> float:
+        """Convenience: just the report's total joules."""
+        return float(self.query(session, backend, start, end)["total_j"])
+
+    def submit_all(
+        self, queries: Sequence[QueryRequest], burst: Optional[int] = None
+    ) -> List[QueryResponse]:
+        """Serve a batch, resubmitting shed queries a bounded number of
+        times; raises :class:`QueryFailedError` on the first hard error.
+        """
+        pending = self.expand(list(queries))
+        answered: Dict[int, QueryResponse] = {}
+        arrival = [q.id for q in pending]
+        for _ in range(self.max_resubmits + 1):
+            if not pending:
+                break
+            responses = self.service.serve_batch(pending, burst=burst)
+            by_id = {q.id: q for q in pending}
+            pending = []
+            for response in responses:
+                if response.status == STATUS_SHED:
+                    pending.append(by_id[response.id])
+                    answered[response.id] = response  # kept if retries run out
+                else:
+                    if response.status != "ok":
+                        raise QueryFailedError(response)
+                    answered[response.id] = response
+        return [answered[qid] for qid in arrival]

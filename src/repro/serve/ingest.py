@@ -1,0 +1,100 @@
+"""Trace ingestion: files, JSONL streams, directories, check corpora.
+
+Everything the service can turn into a queryable session:
+
+* a ``.json`` device-trace document (what :meth:`DeviceTrace.to_json`
+  writes);
+* a ``.json`` check-corpus entry (``kind: repro-check-corpus``) — the
+  recorded scenario is replayed on a fresh simulated device and the
+  resulting trace captured, so the conformance corpus doubles as a
+  serving corpus;
+* a ``.jsonl`` stream, one trace document (or corpus entry) per line;
+* a directory of any of the above (sorted, recursive is not needed —
+  corpora are flat).
+
+Session names derive from file stems (``<stem>#<n>`` for JSONL lines),
+so ingesting the same directory twice is idempotent by name.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Union
+
+from ..offline.trace import DeviceTrace, TraceFormatError, capture_trace
+
+PathLike = Union[str, Path]
+
+#: The corpus-entry marker written by the conformance harness.
+CORPUS_KIND = "repro-check-corpus"
+
+
+@dataclass(frozen=True)
+class IngestedTrace:
+    """One trace ready to become a session."""
+
+    session: str
+    trace: DeviceTrace
+    source: str
+
+
+def trace_from_document(data: Dict[str, Any]) -> DeviceTrace:
+    """A DeviceTrace from one parsed JSON document (trace or corpus entry).
+
+    Corpus entries are replayed: the scenario runs on a fresh simulated
+    device with E-Android attached and the full trace is captured.
+    """
+    if data.get("kind") == CORPUS_KIND:
+        from ..check.runner import ScenarioExecutor
+        from ..check.scenario import Scenario
+
+        scenario = Scenario.from_dict(data["scenario"])
+        executor = ScenarioExecutor(scenario)
+        executor.run()
+        return capture_trace(executor.system, executor.ea)
+    # Plain device-trace document: reuse from_json's validation.
+    return DeviceTrace.from_json(json.dumps(data))
+
+
+def iter_traces(path: PathLike) -> Iterator[IngestedTrace]:
+    """Yield every trace reachable from ``path`` (file or directory)."""
+    root = Path(path)
+    if root.is_dir():
+        for child in sorted(root.iterdir()):
+            if child.suffix in (".json", ".jsonl") and child.is_file():
+                yield from iter_traces(child)
+        return
+    if not root.is_file():
+        raise FileNotFoundError(f"no trace file or directory at {root}")
+    if root.suffix == ".jsonl":
+        for index, line in enumerate(root.read_text(encoding="utf-8").splitlines()):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                data = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{root}:{index + 1}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(data, dict):
+                raise TraceFormatError(
+                    f"{root}:{index + 1}: trace line must be a JSON object"
+                )
+            yield IngestedTrace(
+                session=f"{root.stem}#{index + 1}",
+                trace=trace_from_document(data),
+                source=f"{root}:{index + 1}",
+            )
+        return
+    try:
+        data = json.loads(root.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{root}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"{root}: trace document must be a JSON object")
+    yield IngestedTrace(
+        session=root.stem, trace=trace_from_document(data), source=str(root)
+    )

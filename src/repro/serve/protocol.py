@@ -1,0 +1,153 @@
+"""The query service's request/response wire protocol.
+
+One :class:`QueryRequest` names a *session* (an ingested trace) plus a
+:class:`~repro.reports.ReportRequest`; one :class:`QueryResponse`
+carries the answered :class:`~repro.reports.ReportView` wire form (its
+``to_dict()``), or an explicit refusal.  Both round-trip through flat
+JSON objects, one per JSONL line — which is also the daemon's stdin /
+stdout framing.
+
+Response statuses:
+
+* ``ok``    — the report payload is attached;
+* ``shed``  — admission control refused the query (queue full); the
+  caller should back off and resubmit;
+* ``error`` — the query itself was bad (unknown session/backend,
+  malformed window); resubmitting the same query cannot succeed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..reports.request import ReportRequest
+
+STATUS_OK = "ok"
+STATUS_SHED = "shed"
+STATUS_ERROR = "error"
+
+#: Session name that expands to *every* ingested session client-side.
+ALL_SESSIONS = "*"
+
+
+class ProtocolError(ValueError):
+    """A wire document could not be parsed as a query."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query: which session, which report.
+
+    ``id`` is caller-chosen and echoed back verbatim so responses can be
+    matched to requests across batching and shard fan-out.
+    """
+
+    id: int
+    session: str
+    report: ReportRequest
+
+    def key(self):
+        """The result-cache identity: (session, backend, window, owners)."""
+        return (self.session,) + self.report.key()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready form (one JSONL line)."""
+        data: Dict[str, Any] = {"id": self.id, "session": self.session}
+        data.update(self.report.to_dict())
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], default_id: int = 0) -> "QueryRequest":
+        """Parse the :meth:`to_dict` shape (validating as it builds)."""
+        try:
+            session = str(data["session"])
+        except KeyError as exc:
+            raise ProtocolError("query is missing required field 'session'") from exc
+        if "backend" not in data:
+            raise ProtocolError("query is missing required field 'backend'")
+        report = ReportRequest.from_dict(data)
+        return cls(id=int(data.get("id", default_id)), session=session, report=report)
+
+
+@dataclass
+class QueryResponse:
+    """One answered (or refused) query."""
+
+    id: int
+    session: str
+    status: str
+    report: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cached: bool = False
+    latency_us: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query was answered."""
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready form (one JSONL line)."""
+        data: Dict[str, Any] = {
+            "id": self.id,
+            "session": self.session,
+            "status": self.status,
+            "cached": self.cached,
+            "latency_us": self.latency_us,
+        }
+        if self.report is not None:
+            data["report"] = self.report
+        if self.error is not None:
+            data["error"] = self.error
+        data.update(self.extras)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueryResponse":
+        """Rebuild from :meth:`to_dict` data."""
+        known = {"id", "session", "status", "cached", "latency_us", "report", "error"}
+        return cls(
+            id=int(data.get("id", 0)),
+            session=str(data.get("session", "")),
+            status=str(data["status"]),
+            report=data.get("report"),
+            error=data.get("error"),
+            cached=bool(data.get("cached", False)),
+            latency_us=float(data.get("latency_us", 0.0)),
+            extras={k: v for k, v in data.items() if k not in known},
+        )
+
+
+def parse_queries_jsonl(lines: Iterable[str]) -> List[QueryRequest]:
+    """Parse a JSONL query stream (blank lines and ``#`` comments skip).
+
+    Queries without an explicit ``id`` get their (1-based) line sequence
+    number, so responses stay matchable even for anonymous streams.
+    """
+    queries: List[QueryRequest] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"line {lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ProtocolError(
+                f"line {lineno}: query must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        try:
+            queries.append(QueryRequest.from_dict(data, default_id=lineno))
+        except (ProtocolError, KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"line {lineno}: {exc}") from exc
+    return queries
+
+
+def responses_to_jsonl(responses: Iterable[QueryResponse]) -> str:
+    """Serialise responses as JSONL text (one response per line)."""
+    return "\n".join(json.dumps(r.to_dict()) for r in responses) + "\n"

@@ -1,0 +1,488 @@
+"""The profiling query service: sessions, shards, cache, admission.
+
+:class:`ProfilingService` is the long-lived serving path the ROADMAP
+asks for — ingest once, answer many.  One *session* per ingested
+:class:`~repro.offline.trace.DeviceTrace`; every query is a typed
+:class:`~repro.reports.ReportRequest` against one session and is
+answered through the unified :class:`~repro.reports.ReportView`
+protocol, so all five backends come back in one shape.
+
+Scale-out structure:
+
+* **Result LRU** — answered wire payloads are cached on
+  ``(session, backend, window, owners)``; an unchanged question is a
+  dictionary lookup, never a recomputation.
+* **Shard-per-worker** — sessions hash-partition over ``workers``
+  shards (stable crc32 of the session name); with ``workers > 1`` a
+  batch's cache misses fan out through the existing
+  :class:`~repro.exec.engine.ExperimentEngine` process pool, one
+  ``serve`` job per shard.
+* **Admission control** — arrivals are taken in bursts against a
+  bounded queue of depth ``max_queue``; what doesn't fit is *shed* with
+  an explicit ``status: shed`` response (never silently dropped), the
+  signal for callers to back off and resubmit.
+* **Telemetry** — every ingest/serve/shed publishes a typed event on
+  the service's :class:`~repro.telemetry.TelemetryBus`
+  (:data:`~repro.telemetry.Category.SERVE`).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..offline.analyzer import OfflineAnalyzer
+from ..offline.trace import DeviceTrace
+from ..reports.request import UnknownBackendError
+from .ingest import PathLike, iter_traces
+from .protocol import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    QueryRequest,
+    QueryResponse,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for one service instance."""
+
+    max_queue: int = 256
+    cache_entries: int = 512
+    workers: int = 1
+    telemetry: bool = True
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (for the manifest)."""
+        return {
+            "max_queue": self.max_queue,
+            "cache_entries": self.cache_entries,
+            "workers": self.workers,
+            "telemetry": self.telemetry,
+        }
+
+
+class SessionRecord:
+    """One ingested trace, lazily analyzable and lazily re-serialisable."""
+
+    def __init__(self, name: str, trace: DeviceTrace, source: str) -> None:
+        self.name = name
+        self.trace = trace
+        self.source = source
+        self._analyzer: Optional[OfflineAnalyzer] = None
+        self._trace_json: Optional[str] = None
+
+    @property
+    def analyzer(self) -> OfflineAnalyzer:
+        """The session's analyzer (built on first query)."""
+        if self._analyzer is None:
+            self._analyzer = OfflineAnalyzer(self.trace)
+        return self._analyzer
+
+    @property
+    def trace_json(self) -> str:
+        """The trace re-serialised for shipping to shard workers."""
+        if self._trace_json is None:
+            self._trace_json = self.trace.to_json()
+        return self._trace_json
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready session summary (for the manifest)."""
+        return {
+            "source": self.source,
+            "captured_at": self.trace.captured_at,
+            "channels": len(self.trace.channels),
+            "links": len(self.trace.links),
+            "apps": len(self.trace.apps),
+        }
+
+
+class ResultLRU:
+    """Bounded answered-payload cache keyed on the query identity."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[Any, ...], Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple[Any, ...]) -> Optional[Dict[str, Any]]:
+        """The cached payload, refreshed to most-recent, or None."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def store(self, key: Tuple[Any, ...], payload: Dict[str, Any]) -> None:
+        """Record one answered payload, evicting the least recent."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached payload (counters keep running)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ServeStats:
+    """Running counters over the service's lifetime."""
+
+    ingested: int = 0
+    received: int = 0
+    answered: int = 0
+    shed: int = 0
+    errors: int = 0
+    by_backend: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (for the manifest)."""
+        return {
+            "ingested": self.ingested,
+            "received": self.received,
+            "answered": self.answered,
+            "shed": self.shed,
+            "errors": self.errors,
+            "by_backend": dict(self.by_backend),
+        }
+
+
+class UnknownSessionError(KeyError):
+    """A query named a session the service has not ingested."""
+
+    def __init__(self, session: str) -> None:
+        super().__init__(session)
+        self.session = session
+
+    def __str__(self) -> str:
+        return f"unknown session {self.session!r}"
+
+
+class ProfilingService:
+    """Ingest traces once; answer report queries many times."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.sessions: Dict[str, SessionRecord] = {}
+        self.cache = ResultLRU(self.config.cache_entries)
+        self.stats = ServeStats()
+        self.bus = None
+        if self.config.telemetry:
+            from ..telemetry import TelemetryBus
+
+            self.bus = TelemetryBus()
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest_trace(
+        self, name: str, trace: DeviceTrace, source: str = "memory"
+    ) -> SessionRecord:
+        """Register one trace as a queryable session (replaces by name)."""
+        record = SessionRecord(name, trace, source)
+        self.sessions[name] = record
+        self.stats.ingested += 1
+        if self.bus is not None:
+            from ..telemetry import SessionIngestedEvent
+
+            self.bus.publish(
+                SessionIngestedEvent(
+                    time=trace.captured_at,
+                    session=name,
+                    source=source,
+                    channels=len(trace.channels),
+                    links=len(trace.links),
+                )
+            )
+        return record
+
+    def ingest(self, path: PathLike) -> List[str]:
+        """Batch-ingest a trace file, JSONL stream, or directory."""
+        names: List[str] = []
+        for ingested in iter_traces(path):
+            self.ingest_trace(ingested.session, ingested.trace, ingested.source)
+            names.append(ingested.session)
+        return names
+
+    def session_names(self) -> List[str]:
+        """Every ingested session, in ingestion order."""
+        return list(self.sessions)
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+    def shard_of(self, session: str) -> int:
+        """Stable shard assignment for a session name."""
+        workers = max(1, self.config.workers)
+        return zlib.crc32(session.encode("utf-8")) % workers
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def submit(self, query: QueryRequest) -> QueryResponse:
+        """Answer one query in-process (cache first, then compute)."""
+        started = time.perf_counter()
+        self.stats.received += 1
+        cached_payload = self.cache.get(query.key())
+        if cached_payload is not None:
+            return self._finish(query, cached_payload, started, cached=True)
+        try:
+            payload = self._answer(query)
+        except UnknownSessionError as exc:
+            return self._finish_error(query, str(exc), started)
+        except (UnknownBackendError, ValueError) as exc:
+            return self._finish_error(query, str(exc), started)
+        self.cache.store(query.key(), payload)
+        return self._finish(query, payload, started, cached=False)
+
+    def serve_batch(
+        self,
+        queries: Sequence[QueryRequest],
+        burst: Optional[int] = None,
+    ) -> List[QueryResponse]:
+        """Answer a query load under admission control.
+
+        Arrivals are consumed in bursts of ``burst`` (default: the queue
+        depth) against the bounded queue: the first ``max_queue``
+        queries of each burst are admitted and served, the rest are shed
+        with explicit ``status: shed`` responses.  At the default burst
+        size shedding is impossible — backpressure only appears when the
+        caller deliberately delivers bursts larger than the queue.
+
+        Responses come back in arrival order regardless of shard
+        completion order.
+        """
+        burst_size = self.config.max_queue if burst is None else max(1, burst)
+        responses: Dict[int, QueryResponse] = {}
+        order: List[int] = []
+        for begin in range(0, len(queries), burst_size):
+            arrival = queries[begin : begin + burst_size]
+            admitted = list(arrival[: self.config.max_queue])
+            for overflow in arrival[self.config.max_queue :]:
+                responses[overflow.id] = self._shed(overflow)
+                order.append(overflow.id)
+            for query in admitted:
+                order.append(query.id)
+            for answered in self._drain(admitted):
+                responses[answered.id] = answered
+        # Arrival order, not completion order.
+        seen: set = set()
+        ordered: List[QueryResponse] = []
+        for qid in order:
+            if qid in seen:
+                continue
+            seen.add(qid)
+            ordered.append(responses[qid])
+        return ordered
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drain(self, admitted: List[QueryRequest]) -> List[QueryResponse]:
+        """Serve one admitted burst, fanning misses out over shards."""
+        if self.config.workers <= 1 or len(admitted) < 2:
+            return [self.submit(query) for query in admitted]
+
+        responses: List[QueryResponse] = []
+        misses_by_shard: Dict[int, List[QueryRequest]] = {}
+        for query in admitted:
+            self.stats.received += 1
+            started = time.perf_counter()
+            cached_payload = self.cache.get(query.key())
+            if cached_payload is not None:
+                responses.append(
+                    self._finish(query, cached_payload, started, cached=True)
+                )
+                continue
+            if query.session not in self.sessions:
+                responses.append(
+                    self._finish_error(
+                        query, str(UnknownSessionError(query.session)), started
+                    )
+                )
+                continue
+            misses_by_shard.setdefault(self.shard_of(query.session), []).append(query)
+        if misses_by_shard:
+            responses.extend(self._dispatch_shards(misses_by_shard))
+        return responses
+
+    def _dispatch_shards(
+        self, misses_by_shard: Dict[int, List[QueryRequest]]
+    ) -> List[QueryResponse]:
+        """Run one ``serve`` engine job per shard; fold results back."""
+        from ..exec.engine import EngineConfig, ExperimentEngine
+
+        requests = []
+        shard_queries: List[List[QueryRequest]] = []
+        for shard, queries in sorted(misses_by_shard.items()):
+            sessions = {q.session for q in queries}
+            requests.append(
+                (
+                    "serve",
+                    {
+                        "traces": {
+                            name: self.sessions[name].trace_json for name in sessions
+                        },
+                        "queries": [q.to_dict() for q in queries],
+                    },
+                )
+            )
+            shard_queries.append(queries)
+        engine = ExperimentEngine(
+            EngineConfig(parallel=self.config.workers, use_cache=False)
+        )
+        run = engine.run(requests)
+        responses: List[QueryResponse] = []
+        for queries, result in zip(shard_queries, run.results):
+            raw = result.outcome.metrics.get("responses")
+            if raw is None:  # the whole shard job failed — every query errors
+                for query in queries:
+                    responses.append(
+                        self._finish_error(
+                            query,
+                            result.outcome.error or "shard worker failed",
+                            time.perf_counter(),
+                        )
+                    )
+                continue
+            by_id = {int(r["id"]): QueryResponse.from_dict(r) for r in raw}
+            for query in queries:
+                response = by_id.get(query.id)
+                if response is None:
+                    response = QueryResponse(
+                        id=query.id,
+                        session=query.session,
+                        status=STATUS_ERROR,
+                        error="shard worker returned no response",
+                    )
+                if response.ok and response.report is not None:
+                    # The miss was already counted when _drain probed the
+                    # cache; just fold the remote answer in.
+                    self.cache.store(query.key(), response.report)
+                self._note(query, response)
+                responses.append(response)
+        return responses
+
+    def _answer(self, query: QueryRequest) -> Dict[str, Any]:
+        """Compute one report payload (no cache, no stats)."""
+        record = self.sessions.get(query.session)
+        if record is None:
+            raise UnknownSessionError(query.session)
+        return record.analyzer.describe(query.report).to_dict()
+
+    def _finish(
+        self,
+        query: QueryRequest,
+        payload: Dict[str, Any],
+        started: float,
+        cached: bool,
+    ) -> QueryResponse:
+        response = QueryResponse(
+            id=query.id,
+            session=query.session,
+            status=STATUS_OK,
+            report=payload,
+            cached=cached,
+            latency_us=(time.perf_counter() - started) * 1e6,
+        )
+        self._note(query, response)
+        return response
+
+    def _finish_error(
+        self, query: QueryRequest, error: str, started: float
+    ) -> QueryResponse:
+        response = QueryResponse(
+            id=query.id,
+            session=query.session,
+            status=STATUS_ERROR,
+            error=error,
+            latency_us=(time.perf_counter() - started) * 1e6,
+        )
+        self._note(query, response)
+        return response
+
+    def _shed(self, query: QueryRequest) -> QueryResponse:
+        self.stats.received += 1
+        self.stats.shed += 1
+        if self.bus is not None:
+            from ..telemetry import QueryShedEvent
+
+            record = self.sessions.get(query.session)
+            self.bus.publish(
+                QueryShedEvent(
+                    time=record.trace.captured_at if record else 0.0,
+                    session=query.session,
+                    backend=query.report.backend,
+                    queue_depth=self.config.max_queue,
+                )
+            )
+        return QueryResponse(
+            id=query.id,
+            session=query.session,
+            status=STATUS_SHED,
+            error=f"queue full (depth {self.config.max_queue}); back off and resubmit",
+        )
+
+    def _note(self, query: QueryRequest, response: QueryResponse) -> None:
+        """Fold one served/errored response into stats + telemetry."""
+        if response.status == STATUS_OK:
+            self.stats.answered += 1
+            backend = query.report.backend
+            self.stats.by_backend[backend] = self.stats.by_backend.get(backend, 0) + 1
+        else:
+            self.stats.errors += 1
+        if self.bus is not None:
+            from ..telemetry import QueryServedEvent
+
+            record = self.sessions.get(query.session)
+            self.bus.publish(
+                QueryServedEvent(
+                    time=record.trace.captured_at if record else 0.0,
+                    session=query.session,
+                    backend=query.report.backend,
+                    status=response.status,
+                    cached=response.cached,
+                    latency_us=response.latency_us,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict[str, Any]:
+        """The service's run record: config, sessions, stats, cache."""
+        return {
+            "kind": "repro-serve-manifest",
+            "config": self.config.as_dict(),
+            "sessions": {
+                name: record.describe() for name, record in self.sessions.items()
+            },
+            "stats": self.stats.as_dict(),
+            "cache": {
+                "entries": len(self.cache),
+                "capacity": self.cache.capacity,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "telemetry": self.bus.stats_dict() if self.bus is not None else None,
+        }

@@ -35,12 +35,15 @@ from .events import (
     PackageStoppedEvent,
     PhaseBeginEvent,
     PhaseEndEvent,
+    QueryServedEvent,
+    QueryShedEvent,
     ScreenStateEvent,
     ServiceBindEvent,
     ServiceStartEvent,
     ServiceStopEvent,
     ServiceStopSelfEvent,
     ServiceUnbindEvent,
+    SessionIngestedEvent,
     TelemetryEvent,
     TimerFiredEvent,
     WakelockAcquireEvent,
@@ -73,12 +76,15 @@ __all__ = [
     "PackageStoppedEvent",
     "PhaseBeginEvent",
     "PhaseEndEvent",
+    "QueryServedEvent",
+    "QueryShedEvent",
     "ScreenStateEvent",
     "ServiceBindEvent",
     "ServiceStartEvent",
     "ServiceStopEvent",
     "ServiceStopSelfEvent",
     "ServiceUnbindEvent",
+    "SessionIngestedEvent",
     "SubscriberError",
     "Subscription",
     "TelemetryBus",

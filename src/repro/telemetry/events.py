@@ -42,6 +42,7 @@ class Category(Enum):
     SIM = "sim"              # kernel dispatch / timer spans
     ATTACK = "attack"        # collateral attack-window begin/end
     PHASE = "phase"          # experiment / scenario phase marks
+    SERVE = "serve"          # query service: ingests, serves, sheds
 
 
 # Categories the Android framework services publish on — what the
@@ -544,6 +545,53 @@ class AttackWindowEndEvent(TelemetryEvent):
     @property
     def driven_uid(self) -> Optional[int]:
         return self.target if self.target >= 0 else None
+
+
+# ----------------------------------------------------------------------
+# query service (repro.serve)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionIngestedEvent(TelemetryEvent):
+    """A trace became a queryable session in the profiling service.
+
+    ``time`` is the trace's ``captured_at`` (the service has no device
+    clock of its own); ``source`` records where the trace came from
+    (file path, stream name, or ``corpus``).
+    """
+
+    session: str
+    source: str
+    channels: int
+    links: int
+
+    category: ClassVar[Category] = Category.SERVE
+    name: ClassVar[str] = "session_ingested"
+
+
+@dataclass(frozen=True)
+class QueryServedEvent(TelemetryEvent):
+    """One report query was answered (from cache or computed)."""
+
+    session: str
+    backend: str
+    status: str
+    cached: bool
+    latency_us: float
+
+    category: ClassVar[Category] = Category.SERVE
+    name: ClassVar[str] = "query_served"
+
+
+@dataclass(frozen=True)
+class QueryShedEvent(TelemetryEvent):
+    """One query was refused by admission control (queue full)."""
+
+    session: str
+    backend: str
+    queue_depth: int
+
+    category: ClassVar[Category] = Category.SERVE
+    name: ClassVar[str] = "query_shed"
 
 
 # ----------------------------------------------------------------------

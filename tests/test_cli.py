@@ -161,3 +161,119 @@ class TestCliTraceAndChains:
 
     def test_chains_unknown(self, capsys):
         assert main(["chains", "nope"]) == 2
+
+
+class TestCliServe:
+    def _queries_file(self, tmp_path, rows):
+        import json
+
+        path = tmp_path / "queries.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(row) for row in rows) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def test_serve_batch(self, capsys, tmp_path):
+        queries = self._queries_file(
+            tmp_path,
+            [
+                {"session": "*", "backend": "eandroid"},
+                {"session": "*", "backend": "batterystats"},
+                {"session": "*", "backend": "eandroid"},
+            ],
+        )
+        save = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--batch",
+                    "corpus",
+                    "--queries",
+                    str(queries),
+                    "--save",
+                    str(save),
+                    "--fail-on-shed",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ingested" in out and "0 shed" in out
+        import json
+
+        manifest = json.loads((save / "manifest.json").read_text())
+        assert manifest["stats"]["shed"] == 0
+        assert manifest["cache"]["hits"] > 0  # repeated eandroid sweep
+        assert (save / "responses.jsonl").exists()
+
+    def test_serve_bad_batch_path(self, capsys):
+        assert main(["serve", "--batch", "no-such-dir"]) == 2
+        assert "cannot ingest" in capsys.readouterr().err
+
+    def test_serve_fail_on_shed_trips(self, capsys, tmp_path):
+        queries = self._queries_file(
+            tmp_path,
+            [
+                {"session": "*", "backend": "energy", "start": float(i)}
+                for i in range(4)
+            ],
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    "--batch",
+                    "corpus",
+                    "--queries",
+                    str(queries),
+                    "--queue",
+                    "2",
+                    "--burst",
+                    "12",
+                    "--fail-on-shed",
+                ]
+            )
+            == 1
+        )
+        assert "--fail-on-shed" in capsys.readouterr().err
+
+    def test_serve_telemetry_flag(self, capsys, tmp_path):
+        queries = self._queries_file(
+            tmp_path, [{"session": "*", "backend": "powertutor"}]
+        )
+        assert (
+            main(
+                ["serve", "--batch", "corpus", "--queries", str(queries),
+                 "--telemetry"]
+            )
+            == 0
+        )
+        assert "serve" in capsys.readouterr().out  # bus stats name the category
+
+
+class TestObservabilityFlagAliases:
+    """`--bus-stats` / `--chrome-trace` stay accepted as hidden aliases."""
+
+    def test_bus_stats_alias(self, capsys):
+        assert main(["attack", "attack3", "--duration", "20", "--bus-stats"]) == 0
+        assert "wakelock" in capsys.readouterr().out
+
+    def test_chrome_trace_alias(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                ["attack", "attack3", "--duration", "20",
+                 "--chrome-trace", str(out)]
+            )
+            == 0
+        )
+        assert out.exists()
+
+    def test_aliases_hidden_from_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--telemetry" in help_text and "--trace-out" in help_text
+        assert "--bus-stats" not in help_text
+        assert "--chrome-trace" not in help_text
