@@ -287,6 +287,153 @@ def bench_serve_latency(repeats: int) -> BenchMeasurement:
     )
 
 
+def _build_device_trace(channels: int = 8, breakpoints: int = 5_000):
+    """A deterministic many-channel DeviceTrace for codec benchmarks."""
+    from ..offline.trace import ChannelTrace, DeviceTrace
+
+    trace = DeviceTrace(
+        captured_at=breakpoints * 0.01,
+        battery_capacity_j=40_000.0,
+        apps={10_000 + c: f"bench.app{c}" for c in range(channels)},
+        system_uids=[1000],
+        foreground=[(0.0, 10_000)],
+    )
+    for c in range(channels):
+        trace.channels.append(
+            ChannelTrace(
+                owner=10_000 + c,
+                component="cpu" if c % 2 else "radio",
+                breakpoints=[
+                    (i * 0.01, float((i * 7919 + c) % 1000 + 1) / 1000.0)
+                    for i in range(breakpoints)
+                ],
+            )
+        )
+    return trace
+
+
+def bench_store_encode(repeats: int) -> BenchMeasurement:
+    """Binary trace-bin encode vs the JSON path, on a 40k-breakpoint trace."""
+    from ..store import get_codec
+
+    trace = _build_device_trace()
+    bin_codec = get_codec("trace-bin")
+    json_codec = get_codec("trace-json")
+    times: List[float] = []
+    json_times: List[float] = []
+    blob = json_blob = b""
+    for _ in range(repeats):
+        started = time.perf_counter()
+        blob = bin_codec.encode(trace)
+        times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        json_blob = json_codec.encode(trace)
+        json_times.append(time.perf_counter() - started)
+    breakpoints = sum(len(ch.breakpoints) for ch in trace.channels)
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "breakpoints": breakpoints,
+            "binary_bytes": len(blob),
+            "json_bytes": len(json_blob),
+            "compaction_ratio": len(json_blob) / len(blob) if blob else 0.0,
+            "json_encode_median_s": sorted(json_times)[len(json_times) // 2],
+        },
+    )
+
+
+def bench_store_decode(repeats: int) -> BenchMeasurement:
+    """Full binary decode vs JSON parse, plus the lazy windowed path."""
+    from ..store import LazyBinaryTrace, get_codec
+
+    trace = _build_device_trace()
+    blob = get_codec("trace-bin").encode(trace)
+    json_blob = get_codec("trace-json").encode(trace)
+    owner, component = trace.channels[0].owner, trace.channels[0].component
+    times: List[float] = []
+    json_times: List[float] = []
+    lazy_times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        decoded = get_codec("trace-bin").decode(blob)
+        times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        get_codec("trace-json").decode(json_blob)
+        json_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        lazy = LazyBinaryTrace(blob)
+        window = lazy.breakpoints(owner, component, start=10.0, end=20.0)
+        lazy_times.append(time.perf_counter() - started)
+        assert len(decoded.channels) == len(trace.channels)
+        assert window
+    median_full = sorted(times)[len(times) // 2]
+    median_lazy = sorted(lazy_times)[len(lazy_times) // 2]
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "binary_bytes": len(blob),
+            "json_decode_median_s": sorted(json_times)[len(json_times) // 2],
+            "lazy_window_median_s": median_lazy,
+            "lazy_window_speedup": (
+                median_full / median_lazy if median_lazy > 0 else float("inf")
+            ),
+        },
+    )
+
+
+def bench_serve_cold_ingest(repeats: int) -> BenchMeasurement:
+    """Cold corpus re-ingest: digest-memoized replay vs re-simulation.
+
+    Each repeat uses a fresh artifact store: the first
+    ``trace_from_document`` call replays the scenario on a simulated
+    device and captures the trace into the store; the second call loads
+    the memoized ``trace-bin`` artifact instead.  ``times_s`` is the
+    memoized path (what a warm store's cold start costs); the
+    re-simulation medians and the speedup land in ``metrics``.
+    """
+    import tempfile
+
+    from ..check.generator import generate_scenario
+    from ..serve import trace_from_document
+    from ..store import ArtifactStore
+    from ..store.codecs import CORPUS_KIND, CORPUS_SCHEMA
+
+    scenario = generate_scenario(4321, ops=60)
+    document = {
+        "schema": CORPUS_SCHEMA,
+        "kind": CORPUS_KIND,
+        "oracles": ["bench"],
+        "violations": [],
+        "original_ops": len(scenario.ops),
+        "shrunk_ops": len(scenario.ops),
+        "scenario": scenario.to_dict(),
+    }
+    times: List[float] = []
+    resim_times: List[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        for index in range(repeats):
+            store = ArtifactStore(f"{tmp}/store-{index}")
+            started = time.perf_counter()
+            cold = trace_from_document(document, store=store)
+            resim_times.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            warm = trace_from_document(document, store=store)
+            times.append(time.perf_counter() - started)
+            assert len(warm.channels) == len(cold.channels)
+    median_memo = sorted(times)[len(times) // 2]
+    median_resim = sorted(resim_times)[len(resim_times) // 2]
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "scenario_ops": len(scenario.ops),
+            "resimulate_median_s": median_resim,
+            "memoized_speedup": (
+                median_resim / median_memo if median_memo > 0 else float("inf")
+            ),
+        },
+    )
+
+
 def bench_calibration(repeats: int) -> BenchMeasurement:
     """Fixed pure-python workload measuring machine speed.
 
@@ -375,6 +522,24 @@ for _order, _spec in enumerate(
             runner=bench_serve_latency,
             kind="micro",
             description="per-query serve latency, cold vs warm result LRU",
+        ),
+        BenchSpec(
+            name="store_encode",
+            runner=bench_store_encode,
+            kind="micro",
+            description="trace-bin encode of a captured attack trace",
+        ),
+        BenchSpec(
+            name="store_decode",
+            runner=bench_store_decode,
+            kind="micro",
+            description="trace-bin full decode + lazy windowed channel read",
+        ),
+        BenchSpec(
+            name="serve_cold_ingest",
+            runner=bench_serve_cold_ingest,
+            kind="macro",
+            description="corpus re-ingest via digest-memoized replay",
         ),
     ]
 ):

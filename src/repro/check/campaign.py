@@ -23,12 +23,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..sim.rng import derive_seed
+from ..store.codecs import CORPUS_KIND, CORPUS_SCHEMA
 from .generator import generate_scenario
 from .runner import run_scenario
 from .scenario import Scenario
 from .shrinker import oracle_predicate, shrink
 
-CORPUS_SCHEMA = 1
 BENCH_SCHEMA = 1
 MAX_BATCH = 50  # seeds per engine job; keeps cache entries replayable in chunks
 
@@ -49,6 +49,7 @@ class CampaignConfig:
     use_cache: bool = True
     refresh: bool = False
     telemetry: bool = False
+    verbose: bool = False
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (for BENCH_fuzz.json)."""
@@ -161,6 +162,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             use_cache=config.use_cache,
             refresh=config.refresh,
             telemetry=config.telemetry,
+            verbose=config.verbose,
         )
     )
     run = engine.run(requests)
@@ -245,21 +247,34 @@ def write_corpus_entry(
     oracles: List[str],
     violations: List[Dict[str, str]],
     original_ops: int,
+    store: Optional[Any] = None,
 ) -> CorpusEntry:
-    """Write one corpus JSON document; returns its record."""
+    """Write one corpus document via the ``corpus-json`` codec.
+
+    The on-disk bytes are exactly what the codec produces (indent-2,
+    sorted keys — the historical corpus convention), so entries stay
+    diff-friendly and byte-identical whether they were written here or
+    by ``repro store add``.  With a ``store``, the entry is also pinned
+    as a ``refs/corpus/<name>`` artifact.
+    """
+    from ..store import get_codec
+
     corpus_dir.mkdir(parents=True, exist_ok=True)
     name = f"{oracles[0]}-seed{scenario.seed}-{scenario.script_hash()}.json"
     path = corpus_dir / name
     document = {
         "schema": CORPUS_SCHEMA,
-        "kind": "repro-check-corpus",
+        "kind": CORPUS_KIND,
         "oracles": oracles,
         "violations": violations,
         "original_ops": original_ops,
         "shrunk_ops": len(scenario.ops),
         "scenario": scenario.to_dict(),
     }
-    path.write_text(json.dumps(document, indent=2, sort_keys=True), encoding="utf-8")
+    path.write_bytes(get_codec("corpus-json").encode(document))
+    if store is not None:
+        info = store.put(document, "corpus-json", meta={"source": str(path)})
+        store.set_ref("corpus", path.stem, info.digest)
     return CorpusEntry(
         path=path,
         seed=scenario.seed,
@@ -270,13 +285,14 @@ def write_corpus_entry(
 
 
 def load_corpus_entry(path: Path) -> Dict[str, Any]:
-    """Parse one corpus document (validating the schema)."""
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
-    if document.get("kind") != "repro-check-corpus":
-        raise ValueError(f"{path} is not a repro-check corpus entry")
-    if document.get("schema") != CORPUS_SCHEMA:
-        raise ValueError(f"{path}: unsupported corpus schema")
-    return document
+    """Parse one corpus document (validating kind + schema via the codec)."""
+    from ..store import CodecError, get_codec
+
+    raw = Path(path).read_bytes()
+    try:
+        return get_codec("corpus-json").decode(raw)
+    except CodecError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -377,14 +377,27 @@ def _served_report_equivalence(
     from the live profilers (plus an LRU and the wire encoding).  Rows
     are keyed by uid; aggregate rows (``uid is None``) carry fixed
     per-backend labels, so those match on label.
+
+    A second session, ``oracle-bin``, holds the *same* trace after a
+    round trip through the columnar binary codec; every backend's
+    served payload must be **byte-identical** between the two sessions
+    (the binary format stores doubles bit-exactly, so there is no
+    tolerance to hide behind).
     """
+    import json as _json
+
     from ..accounting import BatteryStats, PowerTutor
     from ..offline import capture_trace
     from ..serve import ProfilingService, ServiceClient, ServiceConfig
+    from ..store import decode_trace, encode_trace
 
     out: List[OracleViolation] = []
     service = ProfilingService(ServiceConfig(workers=1, telemetry=False))
-    service.ingest_trace("oracle", capture_trace(system, ea), "fastpath oracle")
+    live_trace = capture_trace(system, ea)
+    service.ingest_trace("oracle", live_trace, "fastpath oracle")
+    service.ingest_trace(
+        "oracle-bin", decode_trace(encode_trace(live_trace)), "fastpath oracle (bin)"
+    )
     client = ServiceClient(service)
 
     for backend, live_report in (
@@ -433,6 +446,27 @@ def _served_report_equivalence(
                 "fastpath_equivalence",
                 f"served {backend} total {served.get('total_j')!r} J != "
                 f"live total {live_report.total_energy_j()!r} J",
+            ))
+
+        # Binary-store byte-identity: the same backend served from the
+        # binary-round-tripped session must produce the same payload,
+        # byte for byte.
+        (bin_query,) = client.build("oracle-bin", backend)
+        bin_response = service.submit(bin_query)
+        if not bin_response.ok:
+            out.append(OracleViolation(
+                "fastpath_equivalence",
+                f"served {backend} query against the binary session failed: "
+                f"{bin_response.status} ({bin_response.error!r})",
+            ))
+            continue
+        json_bytes = _json.dumps(served, sort_keys=True)
+        bin_bytes = _json.dumps(bin_response.report or {}, sort_keys=True)
+        if json_bytes != bin_bytes:
+            out.append(OracleViolation(
+                "fastpath_equivalence",
+                f"served {backend} payload differs between the JSON session "
+                f"and the binary-codec session (not byte-identical)",
             ))
     return out
 

@@ -35,7 +35,13 @@ Commands:
   ``--daemon`` serves JSONL queries from stdin to stdout;
   ``--workers N`` shards sessions over engine worker processes,
   ``--queue``/``--burst`` control admission, ``--save DIR`` writes
-  ``manifest.json`` + ``responses.jsonl``;
+  ``manifest.json`` + ``responses.jsonl``; ``--store DIR`` runs the
+  service against an artifact store (digest-memoized corpus replay,
+  persisted sessions), ``--spill`` releases ingested traces to the
+  store, ``--restore`` re-registers previously persisted sessions;
+* ``store`` — inspect/gc/migrate/add/verify a content-addressed
+  artifact store (``python -m repro store inspect --store DIR``; see
+  ``docs/STORAGE.md``);
 * ``chains NAME`` — run an attack and print the attack-graph analysis.
 
 Observability flags are uniform: every run-producing subcommand takes
@@ -84,6 +90,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             refresh=args.refresh,
             telemetry=args.telemetry,
+            verbose=args.verbose,
         )
     )
     recorder = None
@@ -180,6 +187,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         refresh=args.refresh,
         telemetry=args.telemetry,
+        verbose=args.verbose,
     )
     recorder = None
     trace_out = _trace_out_if_serial(args, args.jobs)
@@ -335,12 +343,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     run, recorder = _run_with_telemetry(runners[args.name], args)
     trace = capture_trace(run.system, run.eandroid)
-    text = trace.to_json(indent=2)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        print(f"trace written to {args.out} ({len(text)} bytes)")
-    analyzer = OfflineAnalyzer(DeviceTrace.from_json(text))
+        from pathlib import Path
+
+        binary = args.binary or Path(args.out).suffix.lower() in (".bin", ".rtb")
+        if binary:
+            path = trace.save(args.out, binary=True)
+        else:
+            path = Path(args.out)
+            path.write_text(trace.to_json(indent=2), encoding="utf-8")
+        print(
+            f"trace written to {path} ({path.stat().st_size} bytes, "
+            f"{'binary' if binary else 'json'})"
+        )
+        restored = DeviceTrace.load(path)
+    else:
+        restored = DeviceTrace.from_json(trace.to_json(indent=2))
+    analyzer = OfflineAnalyzer(restored)
     print("\n--- offline E-Android reconstruction ---")
     print(analyzer.eandroid_report(run.start, run.end).render_text())
     _finish_telemetry(run, recorder, args)
@@ -389,9 +408,20 @@ def _serve_run(args: argparse.Namespace) -> int:
             cache_entries=args.cache_entries,
             workers=args.workers,
             telemetry=True,
+            store_dir=args.store or None,
+            spill=args.spill,
         )
     )
     client = ServiceClient(service)
+    if args.restore:
+        if not args.store:
+            print("--restore needs --store DIR", file=sys.stderr)
+            return 2
+        restored = service.restore_sessions()
+        print(
+            f"restored {len(restored)} session(s) from {args.store}",
+            file=sys.stderr if args.daemon else sys.stdout,
+        )
     if args.batch:
         try:
             names = service.ingest(args.batch)
@@ -482,6 +512,74 @@ def _serve_daemon(service, client) -> None:
             response = service.submit(expanded)
             sys.stdout.write(json.dumps(response.to_dict()) + "\n")
         sys.stdout.flush()
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from .store import (
+        ArtifactStore,
+        CodecError,
+        StoreError,
+        UnknownCodecError,
+        add_file,
+        gc_store,
+        inspect_store,
+        migrate_store,
+    )
+
+    store = ArtifactStore(args.store or None)
+    try:
+        if args.action == "inspect":
+            print(json.dumps(inspect_store(store), indent=2, sort_keys=True))
+            return 0
+        if args.action == "gc":
+            report = gc_store(store, dry_run=args.dry_run)
+            verb = "would remove" if args.dry_run else "removed"
+            print(
+                f"scanned {report.scanned} object(s): {report.live} live, "
+                f"{verb} {report.removed} ({report.freed_bytes} bytes)"
+            )
+            return 0
+        if args.action == "migrate":
+            result = migrate_store(
+                store, args.to_codec, kinds=args.kind or None
+            )
+            print(
+                f"migrated {len(result['migrated'])} artifact(s) to "
+                f"{result['to_codec']!r} ({result['skipped']} already current, "
+                f"{result['refs_repointed']} ref(s) repointed)"
+            )
+            for row in result["migrated"]:
+                print(f"  {row['from'][:12]} -> {row['to'][:12]}")
+            return 0
+        if args.action == "add":
+            result = add_file(
+                store,
+                args.file,
+                args.codec,
+                ref=args.ref or None,
+                namespace=args.namespace,
+            )
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        if args.action == "verify":
+            problems = store.verify()
+            stats = store.stats()
+            if problems:
+                for problem in problems:
+                    print(problem, file=sys.stderr)
+                print(f"{len(problems)} problem(s) found", file=sys.stderr)
+                return 1
+            print(
+                f"ok: {stats['objects']} object(s), {stats['refs']} ref(s), "
+                f"{stats['bytes']} bytes"
+            )
+            return 0
+    except (StoreError, CodecError, UnknownCodecError, OSError, ValueError) as exc:
+        print(f"store {args.action} failed: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled store action {args.action!r}")
 
 
 def _cmd_chains(args: argparse.Namespace) -> int:
@@ -590,6 +688,11 @@ def build_parser() -> argparse.ArgumentParser:
         trace_out_help="write a Chrome trace-event JSON (serial runs only)",
     )
     experiments.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print warnings (e.g. corrupt cache entries) to stderr",
+    )
+    experiments.add_argument(
         "--list", action="store_true", help="list the selection and exit"
     )
     experiments.set_defaults(func=_cmd_experiments)
@@ -652,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
         check,
         telemetry_help="collect per-batch event-bus stats into the manifest",
         trace_out_help="write a Chrome trace-event JSON (serial runs only)",
+    )
+    check.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print warnings (e.g. corrupt cache entries) to stderr",
     )
     check.set_defaults(func=_cmd_check)
 
@@ -721,10 +829,19 @@ def build_parser() -> argparse.ArgumentParser:
     dump = sub.add_parser("dumpsys", help="dump a demo device's state")
     dump.set_defaults(func=_cmd_dumpsys)
 
-    trace = sub.add_parser("trace", help="capture a device trace to JSON")
+    trace = sub.add_parser("trace", help="capture a device trace to a file")
     trace.add_argument("name", help="attack1..attack6, multi, hybrid")
     trace.add_argument("--duration", type=float, default=60.0)
-    trace.add_argument("--out", default="", help="write the JSON trace here")
+    trace.add_argument(
+        "--out",
+        default="",
+        help="write the trace here (.bin/.rtb suffixes pick the binary format)",
+    )
+    trace.add_argument(
+        "--binary",
+        action="store_true",
+        help="force the columnar binary format regardless of suffix",
+    )
     _add_observability_flags(
         trace,
         telemetry_help="print event-bus metrics",
@@ -782,12 +899,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 if any query was shed (CI smoke gate)",
     )
+    serve.add_argument(
+        "--store",
+        default="",
+        help="artifact-store directory: memoize corpus replay + persist sessions",
+    )
+    serve.add_argument(
+        "--spill",
+        action="store_true",
+        help="release ingested traces to the store; fault in lazily on query",
+    )
+    serve.add_argument(
+        "--restore",
+        action="store_true",
+        help="re-register sessions persisted in --store before ingesting",
+    )
     _add_observability_flags(
         serve,
         telemetry_help="print event-bus metrics for the serving run",
         trace_out_help="write a Chrome trace-event JSON of the serving run",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    store = sub.add_parser(
+        "store", help="inspect/gc/migrate a content-addressed artifact store"
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+    for action_name, action_help in (
+        ("inspect", "print the store's artifacts, refs, and stats as JSON"),
+        ("gc", "delete every object no ref reaches"),
+        ("migrate", "transcode stored artifacts to another codec"),
+        ("add", "validate a file through a codec and add it to the store"),
+        ("verify", "re-hash every object and cross-check refs"),
+    ):
+        action = store_sub.add_parser(action_name, help=action_help)
+        action.add_argument(
+            "--store",
+            default="",
+            help="store directory (default: $REPRO_STORE_DIR or "
+            "~/.local/share/repro/store)",
+        )
+        action.set_defaults(func=_cmd_store)
+        if action_name == "gc":
+            action.add_argument(
+                "--dry-run",
+                action="store_true",
+                help="report what would be removed without deleting",
+            )
+        elif action_name == "migrate":
+            action.add_argument(
+                "--to-codec",
+                required=True,
+                help="target codec name (e.g. trace-bin)",
+            )
+            action.add_argument(
+                "--kind",
+                action="append",
+                default=[],
+                help="restrict to artifact kind(s) (default: the codec's kind)",
+            )
+        elif action_name == "add":
+            action.add_argument("file", help="file to add")
+            action.add_argument(
+                "--codec",
+                required=True,
+                help="codec to validate/encode with (json, trace-json, "
+                "trace-bin, corpus-json)",
+            )
+            action.add_argument(
+                "--ref", default="", help="also create refs/<namespace>/<REF>"
+            )
+            action.add_argument(
+                "--namespace", default="manual", help="ref namespace (default: manual)"
+            )
 
     chains = sub.add_parser("chains", help="attack-graph analysis of a run")
     chains.add_argument("name", help="attack1..attack6, multi, hybrid")

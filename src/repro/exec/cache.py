@@ -3,9 +3,16 @@
 A cache entry is keyed by the experiment's canonical name, its resolved
 parameters, and a hash of the whole ``repro`` source tree — so editing
 any module invalidates every entry automatically, and the same
-name+params pair always replays the same result.  Entries are plain JSON
-files (one per key) so they are greppable and survive interpreter
-upgrades; corrupt or truncated entries degrade to a miss.
+name+params pair always replays the same result.
+
+Since the unified artifact store landed, the cache is a thin client of
+:class:`repro.store.ArtifactStore` rooted at the cache directory: each
+entry is a ``refs/exec/<name>-<key24>`` pointer at a digest-keyed JSON
+blob.  The digest check that every read performs turns silent
+corruption into an observable event — a truncated or garbled entry
+still degrades to a miss (the result is recomputed), but a
+:class:`~repro.telemetry.CacheCorruptionEvent` names the bad path, and
+``verbose`` mode prints a warning.
 
 Default location: ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``,
 else ``~/.cache/repro``.
@@ -16,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -25,6 +33,9 @@ PathLike = Union[str, Path]
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 CACHE_SCHEMA = 1
+
+#: Ref namespace cache entries live under in the artifact store.
+CACHE_REF_NAMESPACE = "exec"
 
 _TREE_HASH: Optional[str] = None
 
@@ -68,23 +79,38 @@ def _canonical_params(params: Mapping[str, Any]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one cache instance."""
+    """Hit/miss/store counters for one cache instance.
+
+    ``corruptions`` counts misses caused by an entry that *existed* but
+    failed its digest or parse check — always a subset of ``misses``.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corruptions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """JSON-ready counters (for the run manifest)."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        counters = {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        if self.corruptions:
+            counters["corruptions"] = self.corruptions
+        return counters
 
 
 class ResultCache:
-    """Content-addressed experiment-result store under one directory."""
+    """Experiment-result cache backed by the unified artifact store."""
 
-    def __init__(self, directory: Optional[PathLike] = None) -> None:
+    def __init__(
+        self, directory: Optional[PathLike] = None, verbose: bool = False
+    ) -> None:
+        from ..store import ArtifactStore
+
         self.directory = Path(directory) if directory else default_cache_dir()
+        self.store_backend = ArtifactStore(self.directory)
         self.stats = CacheStats()
+        self.verbose = verbose
+        self._bus = None  # lazily created so capture() can hook it
 
     def key_for(self, name: str, params: Mapping[str, Any]) -> str:
         """The content address of one (experiment, params) pair."""
@@ -93,19 +119,40 @@ class ResultCache:
         )
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
+    def _ref_name(self, name: str, params: Mapping[str, Any]) -> str:
+        return f"{name}-{self.key_for(name, params)[:24]}"
+
     def path_for(self, name: str, params: Mapping[str, Any]) -> Path:
-        """Where the entry lives on disk (name prefix keeps it greppable)."""
-        return self.directory / f"{name}-{self.key_for(name, params)[:24]}.json"
+        """Where the entry's ref lives (name prefix keeps it greppable)."""
+        return self.store_backend.ref_path(
+            CACHE_REF_NAMESPACE, self._ref_name(name, params)
+        )
 
     def load(self, name: str, params: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
-        """Return the stored payload, or None (counting a hit or miss)."""
-        path = self.path_for(name, params)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        """Return the stored payload, or None (counting a hit or miss).
+
+        An entry that is *present but unreadable* — garbled blob, digest
+        mismatch, undecodable JSON — still returns None, but publishes a
+        :class:`~repro.telemetry.CacheCorruptionEvent` naming the bad
+        path (plus a stderr warning in verbose mode) instead of hiding
+        inside the ordinary miss count.
+        """
+        from ..store import ArtifactCorruptError, CodecError, StoreError, get_codec
+
+        digest = self.store_backend.get_ref(
+            CACHE_REF_NAMESPACE, self._ref_name(name, params)
+        )
+        if digest is None:
             self.stats.misses += 1
             return None
-        if payload.get("schema") != CACHE_SCHEMA:
+        blob_path = self.store_backend.object_path(digest)
+        try:
+            payload = get_codec("json").decode(self.store_backend.get_bytes(digest))
+        except (ArtifactCorruptError, CodecError, StoreError) as exc:
+            self._note_corruption(blob_path, str(exc))
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -119,8 +166,7 @@ class ResultCache:
         wall_time_s: float = 0.0,
         telemetry: Optional[Mapping[str, Any]] = None,
     ) -> Path:
-        """Persist one result; the write is atomic (tmp file + rename)."""
-        path = self.path_for(name, params)
+        """Persist one result; returns the path of its digest-keyed blob."""
         payload = {
             "schema": CACHE_SCHEMA,
             "name": name,
@@ -132,18 +178,35 @@ class ResultCache:
         }
         if telemetry is not None:
             payload["telemetry"] = dict(telemetry)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-        tmp.replace(path)
+        info = self.store_backend.put(payload, "json", meta={"experiment": name})
+        self.store_backend.set_ref(
+            CACHE_REF_NAMESPACE, self._ref_name(name, params), info.digest
+        )
         self.stats.stores += 1
-        return path
+        return self.store_backend.object_path(info.digest)
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry; returns how many entries were removed.
+
+        Removes the ``exec`` refs then garbage-collects, so artifacts
+        other tools pinned in the same store survive.
+        """
         removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink(missing_ok=True)
+        for namespace, ref_name in list(self.store_backend.refs(CACHE_REF_NAMESPACE)):
+            if self.store_backend.delete_ref(namespace, ref_name):
                 removed += 1
+        self.store_backend.gc()
         return removed
+
+    def _note_corruption(self, path: Path, reason: str) -> None:
+        from ..telemetry import CacheCorruptionEvent, TelemetryBus
+
+        self.stats.corruptions += 1
+        if self._bus is None:
+            self._bus = TelemetryBus()
+        self._bus.publish(CacheCorruptionEvent(time=0.0, path=str(path), reason=reason))
+        if self.verbose:
+            print(
+                f"warning: corrupt cache entry at {path}: {reason}",
+                file=sys.stderr,
+            )

@@ -49,6 +49,7 @@ class EngineConfig:
     refresh: bool = False
     retries: int = 1  # extra attempts after a worker failure
     telemetry: bool = False  # collect per-experiment event-bus stats
+    verbose: bool = False  # print cache-corruption warnings to stderr
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (for the run manifest)."""
@@ -59,6 +60,7 @@ class EngineConfig:
             "refresh": self.refresh,
             "retries": self.retries,
             "telemetry": self.telemetry,
+            "verbose": self.verbose,
         }
 
 
@@ -147,7 +149,7 @@ class ExperimentEngine:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
-        self.cache = ResultCache(self.config.cache_dir)
+        self.cache = ResultCache(self.config.cache_dir, verbose=self.config.verbose)
 
     # ------------------------------------------------------------------
     # public API

@@ -9,14 +9,18 @@ device required.  (The reproduction-feasibility note for this paper was
 "only offline analysis possible" — this module is that workflow, made
 first-class.)
 
-Traces serialise to a single JSON document.
+Traces serialise to a single JSON document, or — via
+:meth:`DeviceTrace.to_bytes`/:meth:`DeviceTrace.save` — to the compact
+columnar binary format from :mod:`repro.store.binfmt`; :meth:`load` and
+:meth:`from_bytes` auto-detect which of the two they were given.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..android.framework import AndroidSystem
@@ -165,6 +169,46 @@ class DeviceTrace:
                 f"trace document is truncated or malformed: "
                 f"{type(exc).__name__}: {exc}"
             ) from exc
+
+    def to_bytes(self, binary: bool = True) -> bytes:
+        """Serialise to bytes: the columnar binary format, or JSON utf-8."""
+        if binary:
+            from ..store.binfmt import encode_trace
+
+            return encode_trace(self)
+        return self.to_json().encode("utf-8")
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "DeviceTrace":
+        """Parse either serialisation, auto-detected by the binary magic."""
+        from ..store.binfmt import decode_trace, is_binary_trace
+
+        if is_binary_trace(data):
+            return decode_trace(data)
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                f"trace is neither binary (bad magic) nor valid UTF-8 JSON: {exc}"
+            ) from exc
+        return DeviceTrace.from_json(text)
+
+    def save(self, path: Union[str, Path], binary: Optional[bool] = None) -> Path:
+        """Write the trace to ``path``; format defaults from the suffix.
+
+        ``.bin`` / ``.rtb`` suffixes pick the binary format, anything
+        else picks JSON; pass ``binary`` explicitly to override.
+        """
+        path = Path(path)
+        if binary is None:
+            binary = path.suffix.lower() in (".bin", ".rtb")
+        path.write_bytes(self.to_bytes(binary=binary))
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "DeviceTrace":
+        """Read a trace file in either format (auto-detected)."""
+        return DeviceTrace.from_bytes(Path(path).read_bytes())
 
 
 def capture_trace(

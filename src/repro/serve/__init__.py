@@ -9,7 +9,14 @@ backpressure.  See ``docs/SERVING.md``.
 """
 
 from .client import QueryFailedError, ServiceClient
-from .ingest import CORPUS_KIND, IngestedTrace, iter_traces, trace_from_document
+from .ingest import (
+    CORPUS_KIND,
+    REPLAY_REF_NAMESPACE,
+    IngestedTrace,
+    iter_traces,
+    scenario_digest,
+    trace_from_document,
+)
 from .protocol import (
     ALL_SESSIONS,
     STATUS_ERROR,
@@ -22,6 +29,7 @@ from .protocol import (
     responses_to_jsonl,
 )
 from .service import (
+    SESSION_REF_NAMESPACE,
     ProfilingService,
     ResultLRU,
     ServeStats,
@@ -36,6 +44,8 @@ __all__ = [
     "IngestedTrace",
     "ProfilingService",
     "ProtocolError",
+    "REPLAY_REF_NAMESPACE",
+    "SESSION_REF_NAMESPACE",
     "QueryFailedError",
     "QueryRequest",
     "QueryResponse",
@@ -51,5 +61,6 @@ __all__ = [
     "iter_traces",
     "parse_queries_jsonl",
     "responses_to_jsonl",
+    "scenario_digest",
     "trace_from_document",
 ]

@@ -4,6 +4,8 @@ Everything the service can turn into a queryable session:
 
 * a ``.json`` device-trace document (what :meth:`DeviceTrace.to_json`
   writes);
+* a ``.bin`` / ``.rtb`` binary trace (the columnar format from
+  :mod:`repro.store.binfmt`);
 * a ``.json`` check-corpus entry (``kind: repro-check-corpus``) — the
   recorded scenario is replayed on a fresh simulated device and the
   resulting trace captured, so the conformance corpus doubles as a
@@ -12,64 +14,130 @@ Everything the service can turn into a queryable session:
 * a directory of any of the above (sorted, recursive is not needed —
   corpora are flat).
 
-Session names derive from file stems (``<stem>#<n>`` for JSONL lines),
-so ingesting the same directory twice is idempotent by name.
+Session names derive from file stems (``<stem>#<n>`` for JSONL lines).
+Each :class:`IngestedTrace` also carries the content digest of its
+source document, which the service uses to disambiguate same-stem files
+from different directories (``<stem>@<digest8>``) instead of silently
+replacing one with the other.
+
+With an :class:`~repro.store.ArtifactStore`, corpus replay is
+*digest-memoized*: the captured trace is stored under a
+``refs/replay/<scenario-digest>`` pointer, and re-ingesting the same
+entry loads the stored trace instead of re-simulating the scenario —
+the difference between an O(simulation) and an O(decode) cold start.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Union
+from typing import Any, Dict, Iterator, Optional, Union, TYPE_CHECKING
 
 from ..offline.trace import DeviceTrace, TraceFormatError, capture_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import ArtifactStore
 
 PathLike = Union[str, Path]
 
 #: The corpus-entry marker written by the conformance harness.
 CORPUS_KIND = "repro-check-corpus"
 
+#: Store ref namespace for memoized corpus-replay traces.
+REPLAY_REF_NAMESPACE = "replay"
+
+#: Suffixes ingested as binary trace documents.
+BINARY_SUFFIXES = (".bin", ".rtb")
+
 
 @dataclass(frozen=True)
 class IngestedTrace:
-    """One trace ready to become a session."""
+    """One trace ready to become a session.
+
+    ``digest`` is the SHA-256 of the source document's bytes — stable
+    across re-ingests of the same content, different for same-stem
+    files with different contents.
+    """
 
     session: str
     trace: DeviceTrace
     source: str
+    digest: str = ""
 
 
-def trace_from_document(data: Dict[str, Any]) -> DeviceTrace:
+def scenario_digest(data: Dict[str, Any]) -> str:
+    """The memoization key of one corpus entry: SHA-256 of its canonical JSON."""
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _replay_corpus_entry(data: Dict[str, Any]) -> DeviceTrace:
+    from ..check.runner import ScenarioExecutor
+    from ..check.scenario import Scenario
+
+    scenario = Scenario.from_dict(data["scenario"])
+    executor = ScenarioExecutor(scenario)
+    executor.run()
+    return capture_trace(executor.system, executor.ea)
+
+
+def trace_from_document(
+    data: Dict[str, Any], store: Optional["ArtifactStore"] = None
+) -> DeviceTrace:
     """A DeviceTrace from one parsed JSON document (trace or corpus entry).
 
     Corpus entries are replayed: the scenario runs on a fresh simulated
     device with E-Android attached and the full trace is captured.
+    With a ``store``, replay is memoized by scenario digest — a corpus
+    entry the store has seen before loads its captured trace instead of
+    re-simulating (and a fresh replay is captured into the store for
+    next time).
     """
     if data.get("kind") == CORPUS_KIND:
-        from ..check.runner import ScenarioExecutor
-        from ..check.scenario import Scenario
-
-        scenario = Scenario.from_dict(data["scenario"])
-        executor = ScenarioExecutor(scenario)
-        executor.run()
-        return capture_trace(executor.system, executor.ea)
+        if store is None:
+            return _replay_corpus_entry(data)
+        key = scenario_digest(data)
+        memoized = store.get_ref(REPLAY_REF_NAMESPACE, key)
+        if memoized is not None and store.has(memoized):
+            trace = store.get(memoized)
+            if isinstance(trace, DeviceTrace):
+                return trace
+        trace = _replay_corpus_entry(data)
+        info = store.put(trace, "trace-bin", meta={"scenario": key})
+        store.set_ref(REPLAY_REF_NAMESPACE, key, info.digest)
+        return trace
     # Plain device-trace document: reuse from_json's validation.
     return DeviceTrace.from_json(json.dumps(data))
 
 
-def iter_traces(path: PathLike) -> Iterator[IngestedTrace]:
+def iter_traces(
+    path: PathLike, store: Optional["ArtifactStore"] = None
+) -> Iterator[IngestedTrace]:
     """Yield every trace reachable from ``path`` (file or directory)."""
     root = Path(path)
     if root.is_dir():
         for child in sorted(root.iterdir()):
-            if child.suffix in (".json", ".jsonl") and child.is_file():
-                yield from iter_traces(child)
+            if (
+                child.suffix in (".json", ".jsonl") + BINARY_SUFFIXES
+                and child.is_file()
+            ):
+                yield from iter_traces(child, store=store)
         return
     if not root.is_file():
         raise FileNotFoundError(f"no trace file or directory at {root}")
+    raw = root.read_bytes()
+    if root.suffix in BINARY_SUFFIXES:
+        yield IngestedTrace(
+            session=root.stem,
+            trace=DeviceTrace.from_bytes(raw),
+            source=str(root),
+            digest=hashlib.sha256(raw).hexdigest(),
+        )
+        return
     if root.suffix == ".jsonl":
-        for index, line in enumerate(root.read_text(encoding="utf-8").splitlines()):
+        for index, line in enumerate(raw.decode("utf-8").splitlines()):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
                 continue
@@ -85,16 +153,20 @@ def iter_traces(path: PathLike) -> Iterator[IngestedTrace]:
                 )
             yield IngestedTrace(
                 session=f"{root.stem}#{index + 1}",
-                trace=trace_from_document(data),
+                trace=trace_from_document(data, store=store),
                 source=f"{root}:{index + 1}",
+                digest=hashlib.sha256(stripped.encode("utf-8")).hexdigest(),
             )
         return
     try:
-        data = json.loads(root.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise TraceFormatError(f"{root}: not valid JSON: {exc}") from exc
     if not isinstance(data, dict):
         raise TraceFormatError(f"{root}: trace document must be a JSON object")
     yield IngestedTrace(
-        session=root.stem, trace=trace_from_document(data), source=str(root)
+        session=root.stem,
+        trace=trace_from_document(data, store=store),
+        source=str(root),
+        digest=hashlib.sha256(raw).hexdigest(),
     )

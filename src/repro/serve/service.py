@@ -21,6 +21,13 @@ Scale-out structure:
   bounded queue of depth ``max_queue``; what doesn't fit is *shed* with
   an explicit ``status: shed`` response (never silently dropped), the
   signal for callers to back off and resubmit.
+* **Artifact store** — with ``store_dir`` set, the service runs against
+  a :class:`~repro.store.ArtifactStore`: corpus replay is digest-
+  memoized (see :mod:`repro.serve.ingest`), sessions persist as
+  ``refs/session/<name>`` pointers at binary trace artifacts (so a new
+  process can :meth:`~ProfilingService.restore_sessions` without
+  re-ingesting), and ``spill=True`` releases each trace from memory
+  after ingest, faulting it back in lazily on first query.
 * **Telemetry** — every ingest/serve/shed publishes a typed event on
   the service's :class:`~repro.telemetry.TelemetryBus`
   (:data:`~repro.telemetry.Category.SERVE`).
@@ -32,12 +39,12 @@ import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..offline.analyzer import OfflineAnalyzer
 from ..offline.trace import DeviceTrace
 from ..reports.request import UnknownBackendError
-from .ingest import PathLike, iter_traces
+from .ingest import IngestedTrace, PathLike, iter_traces
 from .protocol import (
     STATUS_ERROR,
     STATUS_OK,
@@ -45,6 +52,12 @@ from .protocol import (
     QueryRequest,
     QueryResponse,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import ArtifactStore
+
+#: Store ref namespace persisted sessions live under.
+SESSION_REF_NAMESPACE = "session"
 
 
 @dataclass(frozen=True)
@@ -55,6 +68,8 @@ class ServiceConfig:
     cache_entries: int = 512
     workers: int = 1
     telemetry: bool = True
+    store_dir: Optional[str] = None
+    spill: bool = False
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (for the manifest)."""
@@ -63,18 +78,90 @@ class ServiceConfig:
             "cache_entries": self.cache_entries,
             "workers": self.workers,
             "telemetry": self.telemetry,
+            "store_dir": self.store_dir,
+            "spill": self.spill,
         }
 
 
 class SessionRecord:
-    """One ingested trace, lazily analyzable and lazily re-serialisable."""
+    """One ingested trace, lazily analyzable and lazily re-serialisable.
+
+    The summary fields (``captured_at``, ``channel_count`` …) are cached
+    at construction so manifests and telemetry never fault a spilled
+    trace back into memory just to describe it.
+    """
 
     def __init__(self, name: str, trace: DeviceTrace, source: str) -> None:
         self.name = name
-        self.trace = trace
         self.source = source
+        self._trace: Optional[DeviceTrace] = trace
         self._analyzer: Optional[OfflineAnalyzer] = None
         self._trace_json: Optional[str] = None
+        self._store: Optional["ArtifactStore"] = None
+        self._digest: Optional[str] = None
+        self.captured_at = trace.captured_at
+        self.channel_count = len(trace.channels)
+        self.link_count = len(trace.links)
+        self.app_count = len(trace.apps)
+
+    @classmethod
+    def from_store(
+        cls, name: str, store: "ArtifactStore", digest: str, source: str = "store"
+    ) -> "SessionRecord":
+        """A session backed entirely by a stored artifact (no decode yet)."""
+        record = cls.__new__(cls)
+        record.name = name
+        record.source = source
+        record._trace = None
+        record._analyzer = None
+        record._trace_json = None
+        record._store = store
+        record._digest = digest
+        meta = store.info(digest).meta
+        record.captured_at = float(meta.get("captured_at", 0.0))
+        record.channel_count = int(meta.get("channels", 0))
+        record.link_count = int(meta.get("links", 0))
+        record.app_count = int(meta.get("apps", 0))
+        return record
+
+    @property
+    def spilled(self) -> bool:
+        """Whether the trace currently lives only in the store."""
+        return self._trace is None
+
+    @property
+    def trace(self) -> DeviceTrace:
+        """The session's trace, faulted in from the store if spilled."""
+        if self._trace is None:
+            assert self._store is not None and self._digest is not None
+            self._trace = self._store.get(self._digest)
+        return self._trace
+
+    def spill(self, store: "ArtifactStore") -> str:
+        """Persist the trace to ``store`` and release the in-memory copy.
+
+        Returns the artifact digest; a ``refs/session/<name>`` pointer
+        keeps it gc-reachable and restorable by later processes.
+        """
+        if self._digest is None or self._store is not store:
+            info = store.put(
+                self.trace,
+                "trace-bin",
+                meta={
+                    "session": self.name,
+                    "captured_at": self.captured_at,
+                    "channels": self.channel_count,
+                    "links": self.link_count,
+                    "apps": self.app_count,
+                },
+            )
+            self._store = store
+            self._digest = info.digest
+        store.set_ref(SESSION_REF_NAMESPACE, self.name, self._digest)
+        self._trace = None
+        self._analyzer = None
+        self._trace_json = None
+        return self._digest
 
     @property
     def analyzer(self) -> OfflineAnalyzer:
@@ -94,10 +181,11 @@ class SessionRecord:
         """JSON-ready session summary (for the manifest)."""
         return {
             "source": self.source,
-            "captured_at": self.trace.captured_at,
-            "channels": len(self.trace.channels),
-            "links": len(self.trace.links),
-            "apps": len(self.trace.apps),
+            "captured_at": self.captured_at,
+            "channels": self.channel_count,
+            "links": self.link_count,
+            "apps": self.app_count,
+            "spilled": self.spilled,
         }
 
 
@@ -185,6 +273,11 @@ class ProfilingService:
         self.sessions: Dict[str, SessionRecord] = {}
         self.cache = ResultLRU(self.config.cache_entries)
         self.stats = ServeStats()
+        self.store: Optional["ArtifactStore"] = None
+        if self.config.store_dir:
+            from ..store import ArtifactStore
+
+            self.store = ArtifactStore(self.config.store_dir)
         self.bus = None
         if self.config.telemetry:
             from ..telemetry import TelemetryBus
@@ -206,21 +299,75 @@ class ProfilingService:
 
             self.bus.publish(
                 SessionIngestedEvent(
-                    time=trace.captured_at,
+                    time=record.captured_at,
                     session=name,
                     source=source,
-                    channels=len(trace.channels),
-                    links=len(trace.links),
+                    channels=record.channel_count,
+                    links=record.link_count,
                 )
             )
+        if self.store is not None and self.config.spill:
+            record.spill(self.store)
         return record
+
+    def _session_name(self, ingested: IngestedTrace) -> str:
+        """Disambiguate same-stem ingests from *different* sources.
+
+        Re-ingesting the same file stays idempotent by name; a different
+        file that happens to share the stem gets a short content-digest
+        suffix instead of silently replacing the earlier session.
+        """
+        existing = self.sessions.get(ingested.session)
+        if existing is None or existing.source == ingested.source:
+            return ingested.session
+        suffix = (
+            ingested.digest[:8]
+            if ingested.digest
+            else format(zlib.crc32(ingested.source.encode("utf-8")), "08x")
+        )
+        return f"{ingested.session}@{suffix}"
 
     def ingest(self, path: PathLike) -> List[str]:
         """Batch-ingest a trace file, JSONL stream, or directory."""
         names: List[str] = []
-        for ingested in iter_traces(path):
-            self.ingest_trace(ingested.session, ingested.trace, ingested.source)
-            names.append(ingested.session)
+        for ingested in iter_traces(path, store=self.store):
+            name = self._session_name(ingested)
+            self.ingest_trace(name, ingested.trace, ingested.source)
+            names.append(name)
+        return names
+
+    def restore_sessions(self) -> List[str]:
+        """Re-register every session the store has persisted.
+
+        Traces are *not* decoded here — each restored session reads its
+        summary from the artifact manifest and faults the trace in on
+        first query.  Returns the restored names (existing in-memory
+        sessions with the same name are left alone).
+        """
+        if self.store is None:
+            return []
+        names: List[str] = []
+        for (_, name), digest in sorted(
+            self.store.refs(SESSION_REF_NAMESPACE).items()
+        ):
+            if name in self.sessions or not self.store.has(digest):
+                continue
+            record = SessionRecord.from_store(name, self.store, digest)
+            self.sessions[name] = record
+            self.stats.ingested += 1
+            if self.bus is not None:
+                from ..telemetry import SessionIngestedEvent
+
+                self.bus.publish(
+                    SessionIngestedEvent(
+                        time=record.captured_at,
+                        session=name,
+                        source="store",
+                        channels=record.channel_count,
+                        links=record.link_count,
+                    )
+                )
+            names.append(name)
         return names
 
     def session_names(self) -> List[str]:
@@ -429,7 +576,7 @@ class ProfilingService:
             record = self.sessions.get(query.session)
             self.bus.publish(
                 QueryShedEvent(
-                    time=record.trace.captured_at if record else 0.0,
+                    time=record.captured_at if record else 0.0,
                     session=query.session,
                     backend=query.report.backend,
                     queue_depth=self.config.max_queue,
@@ -456,7 +603,7 @@ class ProfilingService:
             record = self.sessions.get(query.session)
             self.bus.publish(
                 QueryServedEvent(
-                    time=record.trace.captured_at if record else 0.0,
+                    time=record.captured_at if record else 0.0,
                     session=query.session,
                     backend=query.report.backend,
                     status=response.status,
@@ -484,5 +631,6 @@ class ProfilingService:
                 "misses": self.cache.misses,
                 "hit_rate": self.cache.hit_rate,
             },
+            "store": self.store.stats() if self.store is not None else None,
             "telemetry": self.bus.stats_dict() if self.bus is not None else None,
         }

@@ -1,0 +1,87 @@
+"""repro.store — the content-addressed, schema-versioned artifact store.
+
+One substrate for every durable artifact the system produces: exec
+results, device traces (JSON or columnar binary), serve sessions, and
+conformance-corpus entries.  Blobs are keyed by SHA-256 content digest;
+each records the codec and format version that wrote it, and named refs
+make artifacts reachable (and gc-safe).  See ``docs/STORAGE.md``.
+"""
+
+from .artifact import (
+    STORE_ENV_VAR,
+    STORE_SCHEMA,
+    ArtifactCorruptError,
+    ArtifactInfo,
+    ArtifactNotFoundError,
+    ArtifactStore,
+    GcReport,
+    StoreError,
+    content_digest,
+    default_store_dir,
+)
+from .binfmt import (
+    BINARY_FORMAT_VERSION,
+    MAGIC,
+    LazyBinaryTrace,
+    decode_trace,
+    encode_trace,
+    is_binary_trace,
+)
+from .codecs import (
+    CODECS,
+    CORPUS_KIND,
+    CORPUS_SCHEMA,
+    MIGRATIONS,
+    Codec,
+    CodecError,
+    CorpusJsonCodec,
+    JsonCodec,
+    TraceBinaryCodec,
+    TraceJsonCodec,
+    UnknownCodecError,
+    decode_artifact,
+    get_codec,
+    migration_path,
+    register_codec,
+    register_migration,
+)
+from .admin import add_file, gc_store, inspect_store, migrate_store
+
+__all__ = [
+    "ArtifactCorruptError",
+    "ArtifactInfo",
+    "ArtifactNotFoundError",
+    "ArtifactStore",
+    "BINARY_FORMAT_VERSION",
+    "CODECS",
+    "CORPUS_KIND",
+    "CORPUS_SCHEMA",
+    "Codec",
+    "CodecError",
+    "CorpusJsonCodec",
+    "GcReport",
+    "JsonCodec",
+    "LazyBinaryTrace",
+    "MAGIC",
+    "MIGRATIONS",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA",
+    "StoreError",
+    "TraceBinaryCodec",
+    "TraceJsonCodec",
+    "UnknownCodecError",
+    "add_file",
+    "content_digest",
+    "decode_artifact",
+    "decode_trace",
+    "default_store_dir",
+    "encode_trace",
+    "gc_store",
+    "get_codec",
+    "inspect_store",
+    "is_binary_trace",
+    "migrate_store",
+    "migration_path",
+    "register_codec",
+    "register_migration",
+]

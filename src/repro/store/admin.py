@@ -1,0 +1,113 @@
+"""Store administration: the logic behind ``python -m repro store``.
+
+Pure functions over an :class:`~repro.store.ArtifactStore` returning
+JSON-ready dicts, so the CLI stays a thin argument-parsing shell and
+tests can drive maintenance directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .artifact import ArtifactStore, GcReport
+from .codecs import CODECS, get_codec, migration_path
+
+PathLike = Union[str, Path]
+
+
+def inspect_store(store: ArtifactStore) -> Dict[str, Any]:
+    """A full, JSON-ready description of the store's contents."""
+    artifacts: List[Dict[str, Any]] = []
+    for info in store.artifacts():
+        record = info.to_dict()
+        record.pop("schema", None)
+        codec = CODECS.get(info.codec)
+        if codec is not None and info.version < codec.version:
+            record["migration"] = {
+                "current": codec.version,
+                "path": migration_path(info.codec, info.version),
+            }
+        artifacts.append(record)
+    refs = [
+        {"namespace": namespace, "name": name, "digest": digest}
+        for (namespace, name), digest in sorted(store.refs().items())
+    ]
+    return {"stats": store.stats(), "artifacts": artifacts, "refs": refs}
+
+
+def gc_store(store: ArtifactStore, dry_run: bool = False) -> GcReport:
+    """Run (or preview) a reachability garbage collection."""
+    return store.gc(dry_run=dry_run)
+
+
+def migrate_store(
+    store: ArtifactStore, to_codec: str, kinds: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """Transcode stored artifacts to ``to_codec`` and repoint their refs.
+
+    Every artifact whose *kind* matches the target codec's (optionally
+    narrowed by ``kinds``) and that is not already stored by it is
+    decoded through its recorded codec/version — running any pending
+    migrations — and re-encoded.  Refs follow the content to its new
+    digest; the superseded blobs stay until the next :func:`gc_store`.
+    """
+    target = get_codec(to_codec)
+    wanted = set(kinds) if kinds else {target.kind}
+    migrated: List[Dict[str, str]] = []
+    skipped = 0
+    repointed = 0
+    mapping: Dict[str, str] = {}
+    for info in list(store.artifacts()):
+        if info.kind not in wanted:
+            continue
+        if info.codec == target.name and info.version == target.version:
+            skipped += 1
+            continue
+        obj = store.get(info.digest)
+        new_info = store.put(
+            obj, target.name, meta={**info.meta, "migrated_from": info.digest}
+        )
+        mapping[info.digest] = new_info.digest
+        migrated.append({"from": info.digest, "to": new_info.digest})
+    for (namespace, name), digest in store.refs().items():
+        if digest in mapping:
+            store.set_ref(namespace, name, mapping[digest])
+            repointed += 1
+    return {
+        "to_codec": target.name,
+        "kind": sorted(wanted),
+        "migrated": migrated,
+        "skipped": skipped,
+        "refs_repointed": repointed,
+    }
+
+
+def add_file(
+    store: ArtifactStore,
+    path: PathLike,
+    codec_name: str,
+    ref: Optional[str] = None,
+    namespace: str = "manual",
+) -> Dict[str, Any]:
+    """Validate a file through a codec and add it to the store.
+
+    The bytes are decoded first — a file the codec rejects never enters
+    the store — then re-encoded canonically, so equivalent inputs
+    dedupe to one digest.  With ``ref``, a ``refs/<namespace>/<ref>``
+    pointer is created (protecting the artifact from gc).
+    """
+    path = Path(path)
+    codec = get_codec(codec_name)
+    obj = codec.decode(path.read_bytes())
+    info = store.put(obj, codec.name, meta={"source": str(path)})
+    if ref:
+        store.set_ref(namespace, ref, info.digest)
+    return {
+        "digest": info.digest,
+        "kind": info.kind,
+        "codec": info.codec,
+        "version": info.version,
+        "size": info.size,
+        "ref": f"{namespace}/{ref}" if ref else None,
+    }

@@ -1,0 +1,249 @@
+"""Typed codecs — how artifacts turn into bytes and back, with versions.
+
+Every artifact in the :class:`~repro.store.ArtifactStore` records which
+codec produced it and at which *format version*.  A :class:`Codec`
+pairs ``encode(obj) -> bytes`` with ``decode(bytes) -> obj`` for its
+current version; :func:`register_migration` attaches byte-level
+upgrade hooks (``from_version -> from_version + 1``) so a store written
+by an older release decodes through a chain of explicit migrations
+instead of failing (or, worse, mis-parsing).
+
+Built-in codecs:
+
+========== ============== =======================================
+name        kind           payload
+========== ============== =======================================
+json        document       any JSON document (exec-cache entries)
+trace-json  device-trace   ``DeviceTrace.to_json()`` text
+trace-bin   device-trace   the columnar binary format (binfmt)
+corpus-json check-corpus   conformance-corpus entry documents
+========== ============== =======================================
+
+``trace-json`` and ``trace-bin`` share a kind, which is what lets
+``repro store migrate --to-codec trace-bin`` transcode every stored
+trace without knowing anything trace-specific.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..offline.trace import TRACE_FORMAT_VERSION, DeviceTrace, TraceFormatError
+from .binfmt import BINARY_FORMAT_VERSION, decode_trace, encode_trace
+
+#: Schema of conformance-corpus entry documents (mirrored by
+#: :mod:`repro.check.campaign`, which imports it from here).
+CORPUS_SCHEMA = 1
+
+#: The corpus-entry marker (also re-exported by :mod:`repro.serve.ingest`).
+CORPUS_KIND = "repro-check-corpus"
+
+
+class CodecError(ValueError):
+    """An artifact payload could not be encoded or decoded."""
+
+
+class UnknownCodecError(KeyError):
+    """A codec name is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return (
+            f"unknown codec {self.name!r}; "
+            f"registered: {', '.join(sorted(CODECS))}"
+        )
+
+
+class Codec:
+    """One named serialisation format at its current version."""
+
+    name: str = "abstract"
+    kind: str = "object"
+    version: int = 1
+
+    def encode(self, obj: Any) -> bytes:
+        """Serialise ``obj`` at the current format version."""
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> Any:
+        """Parse current-version bytes (raise :class:`CodecError` family)."""
+        raise NotImplementedError
+
+
+CODECS: Dict[str, Codec] = {}
+
+#: (codec name, from_version) -> bytes-level one-step upgrade hook.
+MIGRATIONS: Dict[Tuple[str, int], Callable[[bytes], bytes]] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Add a codec to the registry (re-registration replaces)."""
+    CODECS[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    """Look a codec up by name."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise UnknownCodecError(name) from None
+
+
+def register_migration(
+    name: str, from_version: int, hook: Callable[[bytes], bytes]
+) -> None:
+    """Attach a one-step upgrade: ``from_version -> from_version + 1``."""
+    MIGRATIONS[(name, from_version)] = hook
+
+
+def migration_path(name: str, from_version: int) -> List[int]:
+    """The chain of versions a decode would walk (empty when current)."""
+    codec = get_codec(name)
+    path: List[int] = []
+    version = from_version
+    while version < codec.version:
+        if (name, version) not in MIGRATIONS:
+            return []
+        path.append(version)
+        version += 1
+    return path
+
+
+def decode_artifact(name: str, data: bytes, version: int) -> Any:
+    """Decode stored bytes written at ``version`` by codec ``name``.
+
+    Older versions are upgraded through the registered migration chain
+    first; a missing migration step, or a version *newer* than the
+    codec understands, raises :class:`CodecError`.
+    """
+    codec = get_codec(name)
+    if version > codec.version:
+        raise CodecError(
+            f"artifact was written by codec {name!r} version {version}, "
+            f"newer than this build's {codec.version}"
+        )
+    while version < codec.version:
+        hook = MIGRATIONS.get((name, version))
+        if hook is None:
+            raise CodecError(
+                f"no migration from codec {name!r} version {version} "
+                f"to {version + 1}"
+            )
+        data = hook(data)
+        version += 1
+    return codec.decode(data)
+
+
+# ----------------------------------------------------------------------
+# built-in codecs
+# ----------------------------------------------------------------------
+class JsonCodec(Codec):
+    """Any JSON document, canonically encoded (sorted keys, no spaces)."""
+
+    name = "json"
+    kind = "document"
+    version = 1
+
+    def encode(self, obj: Any) -> bytes:
+        try:
+            return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"document is not JSON-serialisable: {exc}") from exc
+
+    def decode(self, data: bytes) -> Any:
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"document is not valid JSON: {exc}") from exc
+
+
+class TraceJsonCodec(Codec):
+    """A :class:`DeviceTrace` as its single-document JSON text."""
+
+    name = "trace-json"
+    kind = "device-trace"
+    version = TRACE_FORMAT_VERSION
+
+    def encode(self, obj: DeviceTrace) -> bytes:
+        return obj.to_json().encode("utf-8")
+
+    def decode(self, data: bytes) -> DeviceTrace:
+        try:
+            return DeviceTrace.from_json(data.decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(f"trace is not valid UTF-8: {exc}") from exc
+
+
+class TraceBinaryCodec(Codec):
+    """A :class:`DeviceTrace` in the columnar binary format."""
+
+    name = "trace-bin"
+    kind = "device-trace"
+    version = BINARY_FORMAT_VERSION
+
+    def encode(self, obj: DeviceTrace) -> bytes:
+        return encode_trace(obj)
+
+    def decode(self, data: bytes) -> DeviceTrace:
+        return decode_trace(data)
+
+
+class CorpusJsonCodec(Codec):
+    """One conformance-corpus entry document (validating kind + schema).
+
+    Encoding preserves the corpus directory's on-disk convention
+    (indent-2, sorted keys) so store-written and directly-written
+    entries stay byte-identical and diff-friendly.
+    """
+
+    name = "corpus-json"
+    kind = "check-corpus"
+    version = CORPUS_SCHEMA
+
+    def encode(self, obj: Dict[str, Any]) -> bytes:
+        if obj.get("kind") != CORPUS_KIND:
+            raise CodecError(
+                f"document kind {obj.get('kind')!r} is not a "
+                f"{CORPUS_KIND!r} entry"
+            )
+        if obj.get("schema") != CORPUS_SCHEMA:
+            raise CodecError(
+                f"unsupported corpus schema {obj.get('schema')!r} "
+                f"(expected {CORPUS_SCHEMA})"
+            )
+        try:
+            return json.dumps(obj, indent=2, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"corpus entry is not JSON-serialisable: {exc}") from exc
+
+    def decode(self, data: bytes) -> Dict[str, Any]:
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"corpus entry is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise CodecError("corpus entry must be a JSON object")
+        if document.get("kind") != CORPUS_KIND:
+            raise CodecError(
+                f"document is not a {CORPUS_KIND!r} entry "
+                f"(kind={document.get('kind')!r})"
+            )
+        if document.get("schema") != CORPUS_SCHEMA:
+            raise CodecError(
+                f"unsupported corpus schema {document.get('schema')!r} "
+                f"(expected {CORPUS_SCHEMA})"
+            )
+        return document
+
+
+register_codec(JsonCodec())
+register_codec(TraceJsonCodec())
+register_codec(TraceBinaryCodec())
+register_codec(CorpusJsonCodec())

@@ -23,10 +23,12 @@ from .events import (
     ActivityFinishedEvent,
     ActivityMoveToFrontEvent,
     ActivityStartEvent,
+    ArtifactStoredEvent,
     AttackWindowBeginEvent,
     AttackWindowEndEvent,
     BrightnessChangeEvent,
     BrightnessModeChangeEvent,
+    CacheCorruptionEvent,
     Category,
     DrawChangeEvent,
     FRAMEWORK_CATEGORIES,
@@ -63,10 +65,12 @@ __all__ = [
     "ActivityFinishedEvent",
     "ActivityMoveToFrontEvent",
     "ActivityStartEvent",
+    "ArtifactStoredEvent",
     "AttackWindowBeginEvent",
     "AttackWindowEndEvent",
     "BrightnessChangeEvent",
     "BrightnessModeChangeEvent",
+    "CacheCorruptionEvent",
     "Category",
     "CategoryStats",
     "DrawChangeEvent",

@@ -43,6 +43,7 @@ class Category(Enum):
     ATTACK = "attack"        # collateral attack-window begin/end
     PHASE = "phase"          # experiment / scenario phase marks
     SERVE = "serve"          # query service: ingests, serves, sheds
+    STORE = "store"          # artifact store / cache health
 
 
 # Categories the Android framework services publish on — what the
@@ -592,6 +593,43 @@ class QueryShedEvent(TelemetryEvent):
 
     category: ClassVar[Category] = Category.SERVE
     name: ClassVar[str] = "query_shed"
+
+
+# ----------------------------------------------------------------------
+# artifact store / cache health (repro.store, repro.exec.cache)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArtifactStoredEvent(TelemetryEvent):
+    """An artifact entered the store (new blob or idempotent re-put).
+
+    ``time`` is always 0.0 — the store has no device clock; host
+    timestamps live in the artifact manifest's ``created_at``.
+    """
+
+    digest: str
+    kind: str
+    codec: str
+    size: int
+
+    category: ClassVar[Category] = Category.STORE
+    name: ClassVar[str] = "artifact_stored"
+
+
+@dataclass(frozen=True)
+class CacheCorruptionEvent(TelemetryEvent):
+    """A cache/store entry existed but could not be read back.
+
+    Published when a lookup finds an entry on disk that is truncated,
+    garbled, or fails its digest check.  The entry degrades to a miss
+    (the result is recomputed), but the bad path is named so operators
+    see the corruption instead of a silent cache-hit-rate drop.
+    """
+
+    path: str
+    reason: str
+
+    category: ClassVar[Category] = Category.STORE
+    name: ClassVar[str] = "cache_corruption"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,279 @@
+"""The serving layer on the artifact store: spill, memoized replay,
+session persistence, and JSON-vs-binary report identity."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.serve.ingest as ingest_module
+from repro.cli import main
+from repro.offline import capture_trace
+from repro.serve import (
+    REPLAY_REF_NAMESPACE,
+    SESSION_REF_NAMESPACE,
+    ProfilingService,
+    ServiceClient,
+    ServiceConfig,
+    scenario_digest,
+)
+from repro.store import ArtifactStore, decode_trace, encode_trace
+from repro.workloads import run_scene1
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+@pytest.fixture(scope="module")
+def scene_trace():
+    run = run_scene1()
+    return capture_trace(run.system, run.eandroid)
+
+
+def _service(tmp_path, **overrides) -> ProfilingService:
+    config = dict(
+        telemetry=False, store_dir=str(tmp_path / "store"), **overrides
+    )
+    return ProfilingService(ServiceConfig(**config))
+
+
+def _corpus_entry() -> Path:
+    return sorted(CORPUS_DIR.glob("*.json"))[0]
+
+
+# ----------------------------------------------------------------------
+# spill-to-disk
+# ----------------------------------------------------------------------
+class TestSpill:
+    def test_spilled_session_faults_in_on_query(self, tmp_path, scene_trace):
+        svc = _service(tmp_path, spill=True)
+        record = svc.ingest_trace("scene", scene_trace, "test")
+        assert record.spilled
+        assert svc.manifest()["sessions"]["scene"]["spilled"] is True
+        # Summary fields survive the spill without a decode.
+        assert record.channel_count == len(scene_trace.channels)
+        client = ServiceClient(svc)
+        report = client.query("scene", "eandroid")
+        assert report["backend"] == "eandroid"
+        assert not record.spilled  # faulted back in by the query
+
+    def test_spill_pins_a_session_ref(self, tmp_path, scene_trace):
+        svc = _service(tmp_path, spill=True)
+        svc.ingest_trace("scene", scene_trace, "test")
+        store = ArtifactStore(tmp_path / "store")
+        digest = store.get_ref(SESSION_REF_NAMESPACE, "scene")
+        assert digest is not None
+        assert store.info(digest).codec == "trace-bin"
+        assert store.gc(dry_run=True).removed == 0  # ref keeps it live
+
+    def test_manifest_reports_store_stats(self, tmp_path, scene_trace):
+        svc = _service(tmp_path, spill=True)
+        svc.ingest_trace("scene", scene_trace, "test")
+        stats = svc.manifest()["store"]
+        assert stats["objects"] >= 1
+        assert stats["refs"] >= 1
+
+    def test_no_store_manifest_is_none(self, scene_trace):
+        svc = ProfilingService(ServiceConfig(telemetry=False))
+        svc.ingest_trace("scene", scene_trace, "test")
+        assert svc.manifest()["store"] is None
+
+
+# ----------------------------------------------------------------------
+# digest-memoized corpus replay
+# ----------------------------------------------------------------------
+class TestMemoizedReplay:
+    def test_second_ingest_skips_simulation(self, tmp_path, monkeypatch):
+        calls = []
+        real = ingest_module._replay_corpus_entry
+
+        def counting(data):
+            calls.append(1)
+            return real(data)
+
+        monkeypatch.setattr(ingest_module, "_replay_corpus_entry", counting)
+        entry = _corpus_entry()
+        svc = _service(tmp_path)
+        first = svc.ingest(entry)
+        assert len(calls) == 1
+        svc2 = _service(tmp_path)
+        second = svc2.ingest(entry)
+        assert len(calls) == 1  # replayed from the store, not re-simulated
+        assert first == second
+
+    def test_memoized_trace_matches_fresh_replay(self, tmp_path):
+        entry = _corpus_entry()
+        document = json.loads(entry.read_text(encoding="utf-8"))
+        store = ArtifactStore(tmp_path / "store")
+        fresh = ingest_module.trace_from_document(document, store=store)
+        memo = ingest_module.trace_from_document(document, store=store)
+        assert json.loads(memo.to_json()) == json.loads(fresh.to_json())
+        digest = store.get_ref(REPLAY_REF_NAMESPACE, scenario_digest(document))
+        assert digest is not None
+        assert store.info(digest).meta["scenario"] == scenario_digest(document)
+
+    def test_without_store_replay_still_works(self):
+        document = json.loads(_corpus_entry().read_text(encoding="utf-8"))
+        trace = ingest_module.trace_from_document(document)
+        assert trace.channels
+
+
+# ----------------------------------------------------------------------
+# same-stem collision (regression: later file used to replace earlier)
+# ----------------------------------------------------------------------
+class TestStemCollision:
+    def test_same_stem_different_content_gets_digest_suffix(
+        self, tmp_path, scene_trace
+    ):
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        a_dir.mkdir()
+        b_dir.mkdir()
+        (a_dir / "device.json").write_text(
+            scene_trace.to_json(), encoding="utf-8"
+        )
+        other = json.loads(scene_trace.to_json())
+        other["captured_at"] = other["captured_at"] + 1.0
+        (b_dir / "device.json").write_text(json.dumps(other), encoding="utf-8")
+
+        svc = ProfilingService(ServiceConfig(telemetry=False))
+        first = svc.ingest(a_dir / "device.json")
+        second = svc.ingest(b_dir / "device.json")
+        assert first == ["device"]
+        assert len(second) == 1 and second[0].startswith("device@")
+        assert second[0] != "device"
+        # Both sessions answer; neither replaced the other.
+        assert set(svc.session_names()) == {"device", second[0]}
+
+    def test_reingesting_the_same_file_is_idempotent(
+        self, tmp_path, scene_trace
+    ):
+        path = tmp_path / "device.json"
+        path.write_text(scene_trace.to_json(), encoding="utf-8")
+        svc = ProfilingService(ServiceConfig(telemetry=False))
+        assert svc.ingest(path) == ["device"]
+        assert svc.ingest(path) == ["device"]
+        assert svc.session_names() == ["device"]
+
+
+# ----------------------------------------------------------------------
+# session persistence across processes
+# ----------------------------------------------------------------------
+class TestRestoreSessions:
+    def test_restore_reregisters_spilled_sessions(self, tmp_path, scene_trace):
+        svc = _service(tmp_path, spill=True)
+        svc.ingest_trace("scene", scene_trace, "test")
+
+        fresh = _service(tmp_path)
+        assert fresh.session_names() == []
+        assert fresh.restore_sessions() == ["scene"]
+        record = fresh.sessions["scene"]
+        assert record.spilled  # summary only, no decode yet
+        assert record.channel_count == len(scene_trace.channels)
+        report = ServiceClient(fresh).query("scene", "batterystats")
+        assert report["backend"] == "batterystats"
+
+    def test_restore_skips_existing_and_missing(self, tmp_path, scene_trace):
+        svc = _service(tmp_path, spill=True)
+        svc.ingest_trace("scene", scene_trace, "test")
+        store = ArtifactStore(tmp_path / "store")
+        store.set_ref(SESSION_REF_NAMESPACE, "ghost", "0" * 64)
+
+        fresh = _service(tmp_path)
+        fresh.ingest_trace("scene", scene_trace, "test")  # name taken
+        assert fresh.restore_sessions() == []
+
+    def test_restore_without_store_is_a_noop(self, scene_trace):
+        svc = ProfilingService(ServiceConfig(telemetry=False))
+        assert svc.restore_sessions() == []
+
+
+# ----------------------------------------------------------------------
+# JSON-ingested vs binary-ingested sessions serve identical bytes
+# ----------------------------------------------------------------------
+class TestReportByteIdentity:
+    def test_served_payloads_identical_across_formats(
+        self, tmp_path, scene_trace
+    ):
+        json_path = tmp_path / "scene.json"
+        json_path.write_text(scene_trace.to_json(), encoding="utf-8")
+        bin_path = tmp_path / "scene_bin.rtb"
+        bin_path.write_bytes(encode_trace(scene_trace))
+
+        svc = ProfilingService(ServiceConfig(telemetry=False))
+        svc.ingest(json_path)
+        svc.ingest(bin_path)
+        client = ServiceClient(svc)
+        for backend in ("energy", "eandroid", "batterystats", "powertutor"):
+            via_json = client.query("scene", backend, start=0.0, end=30.0)
+            via_bin = client.query("scene_bin", backend, start=0.0, end=30.0)
+            assert json.dumps(via_json, sort_keys=True) == json.dumps(
+                via_bin, sort_keys=True
+            )
+
+    def test_decode_encode_round_trip_through_session(self, scene_trace):
+        svc = ProfilingService(ServiceConfig(telemetry=False))
+        svc.ingest_trace("a", scene_trace, "memory")
+        svc.ingest_trace("b", decode_trace(encode_trace(scene_trace)), "memory")
+        client = ServiceClient(svc)
+        assert json.dumps(client.query("a", "collateral"), sort_keys=True) == (
+            json.dumps(client.query("b", "collateral"), sort_keys=True)
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+class TestServeStoreCli:
+    def _queries_file(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        path.write_text(
+            json.dumps({"session": "*", "backend": "eandroid"}) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_serve_with_store_memoizes_and_persists(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        args = [
+            "serve",
+            "--batch",
+            str(CORPUS_DIR),
+            "--queries",
+            str(self._queries_file(tmp_path)),
+            "--store",
+            str(store_dir),
+            "--spill",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        store = ArtifactStore(store_dir)
+        assert store.refs(REPLAY_REF_NAMESPACE)
+        assert store.refs(SESSION_REF_NAMESPACE)
+        assert store.verify() == []
+
+        # A later process restores the persisted sessions from the store.
+        restore_args = [
+            "serve",
+            "--queries",
+            str(self._queries_file(tmp_path)),
+            "--store",
+            str(store_dir),
+            "--restore",
+        ]
+        assert main(restore_args) == 0
+        out = capsys.readouterr().out
+        assert "restored 3 session(s)" in out
+        assert "3 answered" in out
+
+    def test_restore_without_store_errors(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--queries",
+                    str(self._queries_file(tmp_path)),
+                    "--restore",
+                ]
+            )
+            == 2
+        )
+        assert "--restore" in capsys.readouterr().err
