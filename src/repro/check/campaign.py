@@ -50,10 +50,12 @@ class CampaignConfig:
     refresh: bool = False
     telemetry: bool = False
     verbose: bool = False
+    chaos: bool = False
+    faults_path: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (for BENCH_fuzz.json)."""
-        return {
+        data = {
             "fuzz": self.fuzz,
             "seed": self.seed,
             "jobs": self.jobs,
@@ -61,6 +63,9 @@ class CampaignConfig:
             "stride": self.stride,
             "metamorphic": self.metamorphic,
         }
+        if self.chaos:
+            data["chaos"] = True
+        return data
 
 
 @dataclass
@@ -84,6 +89,7 @@ class CampaignReport:
     wall_time_s: float = 0.0
     cache_stats: Dict[str, Any] = field(default_factory=dict)
     engine_run: Any = None
+    chaos: Optional[Dict[str, Any]] = None
 
     @property
     def failures(self) -> List[Dict[str, Any]]:
@@ -92,7 +98,15 @@ class CampaignReport:
 
     @property
     def passed(self) -> bool:
-        """True when every scenario satisfied every oracle."""
+        """True when every scenario satisfied every oracle.
+
+        Under ``--chaos`` the oracle changes: the fault-free reference
+        leg must pass AND every verdict that completed under faults
+        must be byte-identical to its reference — runs the faults kept
+        from completing surface as DEVIATIONs but are not mismatches.
+        """
+        if self.chaos is not None:
+            return bool(self.chaos.get("passed"))
         return not self.failures
 
     def render_text(self) -> str:
@@ -114,6 +128,19 @@ class CampaignReport:
                 f"  corpus: {entry.path} ({entry.original_ops} -> "
                 f"{entry.shrunk_ops} op(s))"
             )
+        if self.chaos is not None:
+            injected = self.chaos.get("injection", {}).get("injected", {})
+            total = sum(injected.values())
+            lines.append(
+                f"chaos: {total} fault(s) injected across "
+                f"{len(injected)} site(s); "
+                f"{self.chaos['identical']}/{self.chaos['compared']} "
+                f"verdict(s) byte-identical to the fault-free run, "
+                f"{self.chaos['degraded']} degraded gracefully, "
+                f"{self.chaos['incomplete']} did not complete (DEVIATION)"
+            )
+            for seed in self.chaos.get("mismatched_seeds", []):
+                lines.append(f"  CHAOS MISMATCH seed {seed}")
         lines.append(f"wall time {self.wall_time_s:.2f}s")
         return "\n".join(lines)
 
@@ -138,6 +165,9 @@ def _batches(seeds: List[int], jobs: int) -> List[List[int]]:
 def run_campaign(config: CampaignConfig) -> CampaignReport:
     """Run one fuzz campaign end to end."""
     from ..exec import EngineConfig, ExperimentEngine
+
+    if config.chaos:
+        return run_chaos_campaign(config)
 
     started = time.perf_counter()
     seeds = scenario_seeds(config.seed, config.fuzz)
@@ -207,6 +237,154 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     return report
 
 
+# ----------------------------------------------------------------------
+# chaos: the same campaign twice, once under an armed fault plan
+# ----------------------------------------------------------------------
+def run_chaos_campaign(config: CampaignConfig) -> CampaignReport:
+    """``repro check --chaos``: byte-identity under deterministic faults.
+
+    Runs the campaign twice — a fault-free *reference* leg, then the
+    exact same work with the fault plane armed (``--faults PLAN.json``,
+    or the stock 5% mixed plan) — and asserts that every scenario that
+    *completes* under faults produces a verdict byte-identical to its
+    reference.  Verdicts the faults kept from completing (a worker lost
+    even after the requeue) surface as ``harness`` DEVIATIONs and are
+    counted, not compared; anything else that diverges is a chaos
+    mismatch and fails the check.
+
+    Both legs run cache-cold: a cache hit would skip the very store and
+    exec paths the faults exercise, and neither leg may be served
+    results the other computed.
+    """
+    from dataclasses import replace
+
+    from ..faults import FaultPlan, activate
+
+    started = time.perf_counter()
+    plan = (
+        FaultPlan.load(config.faults_path)
+        if config.faults_path
+        else FaultPlan.mixed()
+    )
+    base = replace(
+        config,
+        chaos=False,
+        faults_path=None,
+        use_cache=False,
+        refresh=False,
+        save_dir=None,
+        corpus_dir=None,
+    )
+    reference = run_campaign(base)
+    with activate(plan, config.seed) as plane:
+        disturbed = run_campaign(base)
+        injection = plane.summary()
+
+    by_seed = {v["seed"]: v for v in reference.verdicts}
+    compared = identical = degraded = incomplete = 0
+    mismatched: List[int] = []
+    for verdict in disturbed.verdicts:
+        oracles = {v["oracle"] for v in verdict.get("violations", [])}
+        if not verdict["ok"] and oracles == {"harness"}:
+            incomplete += 1  # did not complete under faults: DEVIATION, not drift
+            continue
+        compared += 1
+        expected = json.dumps(by_seed.get(verdict["seed"]), sort_keys=True)
+        if json.dumps(verdict, sort_keys=True) == expected:
+            identical += 1
+        elif json.dumps(_strip_injected(verdict), sort_keys=True) == expected:
+            # Every extra violation names an injected fault (e.g. the
+            # fastpath oracle's own service queries got a typed refusal)
+            # and nothing else moved: graceful degradation, not drift.
+            degraded += 1
+        else:
+            mismatched.append(verdict["seed"])
+
+    section = {
+        "plan": plan.to_dict(),
+        "seed": config.seed,
+        "injection": injection,
+        "scenarios": len(disturbed.verdicts),
+        "compared": compared,
+        "identical": identical,
+        "degraded": degraded,
+        "incomplete": incomplete,
+        "mismatched_seeds": mismatched,
+        "reference_failures": len(reference.failures),
+        "passed": reference.passed and not mismatched,
+    }
+    report = CampaignReport(
+        config=config,
+        verdicts=disturbed.verdicts,
+        cache_stats=disturbed.cache_stats,
+        engine_run=disturbed.engine_run,
+        chaos=section,
+    )
+    if config.corpus_dir:
+        for seed in mismatched:
+            entry = _chaos_mismatch_to_corpus(seed, config, plan)
+            if entry is not None:
+                report.corpus_entries.append(entry)
+    report.wall_time_s = time.perf_counter() - started
+    if config.save_dir:
+        _save_artifacts(report, disturbed.engine_run)
+    return report
+
+
+#: Substrings that tag a violation as caused by an injected fault.
+_INJECTED_MARKERS = ("injected io-error at", "injected worker crash at")
+
+
+def _strip_injected(verdict: Dict[str, Any]) -> Dict[str, Any]:
+    """The verdict with injected-fault violations removed.
+
+    A process-wide fault plane also hits the services the oracles drive
+    internally; violations whose message names an injected fault are the
+    degradation being *surfaced*, so byte-identity is judged on what
+    remains (with ``ok`` recomputed accordingly).
+    """
+    kept = [
+        violation
+        for violation in verdict.get("violations", [])
+        if not any(
+            marker in violation.get("message", "")
+            for marker in _INJECTED_MARKERS
+        )
+    ]
+    stripped = dict(verdict)
+    stripped["violations"] = kept
+    stripped["ok"] = not kept
+    return stripped
+
+
+def _chaos_mismatch_to_corpus(
+    seed: int, config: CampaignConfig, plan: "Any"
+) -> Optional[CorpusEntry]:
+    """Record one diverged seed as a replayable chaos corpus entry."""
+    scenario = generate_scenario(seed, ops=config.ops)
+    final = run_scenario(
+        scenario, stride=config.stride, metamorphic=config.metamorphic
+    )
+    if not final.passed:
+        return None  # a real oracle failure owns this seed, not chaos
+    return write_corpus_entry(
+        Path(config.corpus_dir),
+        scenario,
+        oracles=["chaos"],
+        violations=[
+            {
+                "oracle": "chaos",
+                "message": (
+                    "verdict diverged from the fault-free run under the "
+                    f"armed fault plan (campaign seed {config.seed})"
+                ),
+            }
+        ],
+        original_ops=len(scenario.ops),
+        chaos={"seed": config.seed, "fault_plan": plan.to_dict()},
+    )
+
+
 def _batch_digest(batch: List[int], config: CampaignConfig) -> str:
     """Combined script hash of a seed batch — the cache key's anchor."""
     import hashlib
@@ -248,6 +426,7 @@ def write_corpus_entry(
     violations: List[Dict[str, str]],
     original_ops: int,
     store: Optional[Any] = None,
+    chaos: Optional[Dict[str, Any]] = None,
 ) -> CorpusEntry:
     """Write one corpus document via the ``corpus-json`` codec.
 
@@ -255,7 +434,10 @@ def write_corpus_entry(
     sorted keys — the historical corpus convention), so entries stay
     diff-friendly and byte-identical whether they were written here or
     by ``repro store add``.  With a ``store``, the entry is also pinned
-    as a ``refs/corpus/<name>`` artifact.
+    as a ``refs/corpus/<name>`` artifact.  ``chaos`` (a
+    ``{"seed": N, "fault_plan": {...}}`` mapping) marks the entry as a
+    chaos finding: :func:`repro.faults.replay_chaos_entry` replays it
+    under the recorded plan and seed.
     """
     from ..store import get_codec
 
@@ -271,6 +453,8 @@ def write_corpus_entry(
         "shrunk_ops": len(scenario.ops),
         "scenario": scenario.to_dict(),
     }
+    if chaos is not None:
+        document["chaos"] = chaos
     path.write_bytes(get_codec("corpus-json").encode(document))
     if store is not None:
         info = store.put(document, "corpus-json", meta={"source": str(path)})
@@ -304,7 +488,12 @@ def _save_artifacts(report: CampaignReport, run: Any) -> List[str]:
 
     directory = Path(report.config.save_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    written = [str(write_manifest(run, directory))]
+    manifest_path = write_manifest(run, directory)
+    if report.chaos is not None:
+        data = json.loads(manifest_path.read_text(encoding="utf-8"))
+        data["chaos"] = report.chaos
+        manifest_path.write_text(json.dumps(data, indent=2), encoding="utf-8")
+    written = [str(manifest_path)]
     bench = directory / "BENCH_fuzz.json"
     bench.write_text(
         json.dumps(build_bench(report), indent=2, sort_keys=True),
@@ -317,7 +506,7 @@ def _save_artifacts(report: CampaignReport, run: Any) -> List[str]:
 def build_bench(report: CampaignReport) -> Dict[str, Any]:
     """The BENCH_fuzz.json payload."""
     scenarios = len(report.verdicts)
-    return {
+    payload = {
         "schema": BENCH_SCHEMA,
         "campaign": report.config.as_dict(),
         "scenarios": scenarios,
@@ -332,3 +521,6 @@ def build_bench(report: CampaignReport) -> Dict[str, Any]:
             scenarios / report.wall_time_s if report.wall_time_s > 0 else 0.0
         ),
     }
+    if report.chaos is not None:
+        payload["chaos"] = report.chaos
+    return payload

@@ -172,7 +172,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         for violation in report.violations:
             print(f"  {violation}")
-        return 0 if report.passed else 1
+        chaos_ok = True
+        if isinstance(document.get("chaos"), dict):
+            from .faults import replay_chaos_entry
+
+            soak = replay_chaos_entry(args.replay)
+            chaos_ok = soak.passed
+            print(
+                f"chaos replay (seed {soak.seed}): "
+                f"{sum(soak.injected.values())} fault(s) injected, "
+                f"{soak.ok_identical}/{soak.queries} quer(ies) "
+                f"byte-identical, {soak.typed_errors} typed error(s), "
+                f"{'PASS' if soak.passed else 'FAIL'}"
+            )
+            for problem in soak.problems:
+                print(f"  {problem}")
+        return 0 if report.passed and chaos_ok else 1
 
     config = CampaignConfig(
         fuzz=args.fuzz,
@@ -188,6 +203,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         refresh=args.refresh,
         telemetry=args.telemetry,
         verbose=args.verbose,
+        chaos=args.chaos,
+        faults_path=args.faults or None,
     )
     recorder = None
     trace_out = _trace_out_if_serial(args, args.jobs)
@@ -760,6 +777,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="print warnings (e.g. corrupt cache entries) to stderr",
+    )
+    check.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "run the campaign twice — fault-free, then under a "
+            "deterministic fault plan — and require byte-identical "
+            "verdicts from every run that completes"
+        ),
+    )
+    check.add_argument(
+        "--faults",
+        default="",
+        help="fault plan JSON for --chaos (default: the stock 5%% mixed plan)",
     )
     check.set_defaults(func=_cmd_check)
 

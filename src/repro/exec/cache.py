@@ -83,18 +83,28 @@ class CacheStats:
 
     ``corruptions`` counts misses caused by an entry that *existed* but
     failed its digest or parse check — always a subset of ``misses``.
+    ``io_errors`` counts reads that kept failing with :class:`OSError`
+    through the whole retry budget; ``write_errors`` counts stores the
+    backing disk refused — both degrade (miss / not cached) rather than
+    raise, because the cache is an optimisation, never ground truth.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corruptions: int = 0
+    io_errors: int = 0
+    write_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """JSON-ready counters (for the run manifest)."""
         counters = {"hits": self.hits, "misses": self.misses, "stores": self.stores}
         if self.corruptions:
             counters["corruptions"] = self.corruptions
+        if self.io_errors:
+            counters["io_errors"] = self.io_errors
+        if self.write_errors:
+            counters["write_errors"] = self.write_errors
         return counters
 
 
@@ -111,6 +121,9 @@ class ResultCache:
         self.stats = CacheStats()
         self.verbose = verbose
         self._bus = None  # lazily created so capture() can hook it
+        # Ref names whose entries were seen corrupt: their replacement
+        # writes go down durably (fsync) so the repair cannot itself tear.
+        self._repair: set = set()
 
     def key_for(self, name: str, params: Mapping[str, Any]) -> str:
         """The content address of one (experiment, params) pair."""
@@ -137,19 +150,34 @@ class ResultCache:
         path (plus a stderr warning in verbose mode) instead of hiding
         inside the ordinary miss count.
         """
+        from ..faults import RetriesExhaustedError, run_with_retry
         from ..store import ArtifactCorruptError, CodecError, StoreError, get_codec
 
-        digest = self.store_backend.get_ref(
-            CACHE_REF_NAMESPACE, self._ref_name(name, params)
-        )
+        ref_name = self._ref_name(name, params)
+        digest = self.store_backend.get_ref(CACHE_REF_NAMESPACE, ref_name)
         if digest is None:
             self.stats.misses += 1
             return None
         blob_path = self.store_backend.object_path(digest)
         try:
-            payload = get_codec("json").decode(self.store_backend.get_bytes(digest))
+            raw = run_with_retry(
+                lambda: self.store_backend.get_bytes(digest),
+                site="cache.read",
+                retry_on=(OSError,),
+            )
+            payload = get_codec("json").decode(raw)
+        except RetriesExhaustedError:
+            # The disk kept failing through the whole retry budget; the
+            # cache is an optimisation, so degrade to a recompute.
+            self.stats.io_errors += 1
+            self.stats.misses += 1
+            return None
         except (ArtifactCorruptError, CodecError, StoreError) as exc:
             self._note_corruption(blob_path, str(exc))
+            # put_bytes is idempotent by digest and would keep the torn
+            # blob; evict it and mark the entry for a durable re-write.
+            self.store_backend.evict(digest)
+            self._repair.add(ref_name)
             self.stats.misses += 1
             return None
         if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
@@ -178,10 +206,28 @@ class ResultCache:
         }
         if telemetry is not None:
             payload["telemetry"] = dict(telemetry)
-        info = self.store_backend.put(payload, "json", meta={"experiment": name})
-        self.store_backend.set_ref(
-            CACHE_REF_NAMESPACE, self._ref_name(name, params), info.digest
-        )
+        ref_name = self._ref_name(name, params)
+        # A replacement for a corrupt entry is written durably so the
+        # repair itself cannot be torn by the next crash.
+        durable = ref_name in self._repair
+        try:
+            info = self.store_backend.put(
+                payload, "json", meta={"experiment": name}, durable=durable
+            )
+            self.store_backend.set_ref(
+                CACHE_REF_NAMESPACE, ref_name, info.digest, durable=durable
+            )
+        except OSError as exc:
+            # Failing to cache must not fail the experiment.
+            self.stats.write_errors += 1
+            if self.verbose:
+                print(
+                    f"warning: could not store cache entry {ref_name}: {exc}",
+                    file=sys.stderr,
+                )
+            return self.path_for(name, params)
+        if durable:
+            self._repair.discard(ref_name)
         self.stats.stores += 1
         return self.store_backend.object_path(info.digest)
 

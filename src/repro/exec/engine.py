@@ -105,6 +105,9 @@ def _execute_job(
     """
     start = time.perf_counter()
     try:
+        from ..faults import fault_point
+
+        fault_point("exec.dispatch")
         load_registry()
         spec = get_spec(name)
         stats: Optional[Dict[str, Any]] = None
@@ -272,10 +275,18 @@ class ExperimentEngine:
         """Run one attempt for every pending job; never raises."""
         if self.config.parallel > 1 and len(wave) > 1:
             return self._run_wave_pool(wave)
-        return [
-            _execute_job(job.name, job.params, self.config.telemetry)
-            for job in wave
-        ]
+        return [self._run_serial(job) for job in wave]
+
+    def _run_serial(self, job: _Pending) -> Dict[str, Any]:
+        """One in-process attempt, with the result-return site injected."""
+        payload = _execute_job(job.name, job.params, self.config.telemetry)
+        try:
+            from ..faults import fault_point
+
+            fault_point("exec.result")
+        except BaseException as exc:  # noqa: BLE001 - injected channel loss
+            return {"ok": False, "error": f"result channel failed: {exc!r}"}
+        return payload
 
     def _run_wave_pool(self, wave: List[_Pending]) -> List[Dict[str, Any]]:
         """Fan a wave out over a fresh process pool; degrade gracefully.
@@ -288,14 +299,14 @@ class ExperimentEngine:
         """
         import concurrent.futures as futures
 
+        from ..faults import fault_point
+
         workers = min(self.config.parallel, len(wave))
         try:
+            fault_point("exec.spawn")
             pool = futures.ProcessPoolExecutor(max_workers=workers)
         except (OSError, ValueError, NotImplementedError):
-            return [
-                _execute_job(job.name, job.params, self.config.telemetry)
-                for job in wave
-            ]
+            return [self._run_serial(job) for job in wave]
         payloads: List[Dict[str, Any]] = []
         with pool:
             submitted = [
@@ -306,7 +317,9 @@ class ExperimentEngine:
             ]
             for future in submitted:
                 try:
-                    payloads.append(future.result())
+                    payload = future.result()
+                    fault_point("exec.result")
+                    payloads.append(payload)
                 except BaseException as exc:  # noqa: BLE001 - pool breakage
                     payloads.append(
                         {"ok": False, "error": f"worker crashed: {exc!r}"}

@@ -1,0 +1,66 @@
+"""repro.faults — deterministic chaos for the store/exec/serve stack.
+
+The fault plane answers one question everywhere the system touches a
+disk, a worker, or a query: *should this operation misbehave right
+now?* — deterministically, from a seed, so every chaos finding replays
+bit-for-bit.  See ``docs/TESTING.md`` ("Chaos testing") for the site ×
+fault degradation matrix, and :mod:`repro.faults.soak` for the
+corpus-wide soak harness behind ``repro check --chaos``.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+from .plane import (
+    PLAN_ENV_VAR,
+    SEED_ENV_VAR,
+    FaultPlane,
+    InjectedIOError,
+    InjectedWorkerCrash,
+    activate,
+    active_plane,
+    fault_point,
+    filter_read,
+    filter_write,
+    is_active,
+)
+from .retry import (
+    DEFAULT_RETRY_POLICY,
+    RetriesExhaustedError,
+    RetryPolicy,
+    retry_rng,
+    run_with_retry,
+)
+from .soak import SOAK_BACKENDS, SoakResult, replay_chaos_entry, run_soak
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultPlane",
+    "FaultSpec",
+    "InjectedIOError",
+    "InjectedWorkerCrash",
+    "KNOWN_SITES",
+    "PLAN_ENV_VAR",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "SEED_ENV_VAR",
+    "SOAK_BACKENDS",
+    "SoakResult",
+    "activate",
+    "active_plane",
+    "fault_point",
+    "filter_read",
+    "filter_write",
+    "is_active",
+    "replay_chaos_entry",
+    "retry_rng",
+    "run_soak",
+    "run_with_retry",
+]

@@ -1,0 +1,283 @@
+"""The process-wide fault-injection plane.
+
+One module-global :class:`FaultPlane` (armed by :func:`activate`)
+decides, deterministically from a seed, whether each *injection site*
+the codebase passes through should misbehave.  Sites are plain string
+labels threaded through the store/exec/serve hot paths:
+
+* :func:`fault_point` — a pure control point; may raise
+  :class:`InjectedIOError` / :class:`InjectedWorkerCrash` or sleep a
+  latency spike, never returns a value.
+* :func:`filter_read` — data flowing *out* of a read; may additionally
+  corrupt one byte (so digest verification downstream sees real
+  corruption).
+* :func:`filter_write` — data flowing *into* a write; may additionally
+  tear (truncate) the payload — but only when the write is not durable,
+  because an fsync'd tmp-file write cannot tear across the rename.
+
+When no plane is armed every helper is a two-global-reads no-op, so
+instrumented paths stay bit-identical in behaviour and inside the
+perf gate.  When armed, each :class:`~repro.faults.plan.FaultSpec`
+draws from its own forked :class:`~repro.sim.rng.SeededRng` stream, so
+adding a spec never perturbs another spec's firing sequence and the
+whole run replays from ``(plan, seed)``.
+
+The plane propagates into pool workers two ways: fork-start workers
+inherit the armed module global directly; spawn-start workers rebuild
+it lazily from ``REPRO_FAULTS_PLAN`` / ``REPRO_FAULTS_SEED`` (exported
+by :func:`activate`) on their first injection check.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..sim.rng import SeededRng, derive_seed
+from .plan import FaultPlan
+
+PLAN_ENV_VAR = "REPRO_FAULTS_PLAN"
+SEED_ENV_VAR = "REPRO_FAULTS_SEED"
+
+#: Fault kinds that act at a bare control point (fault_point).
+_POINT_KINDS = ("io-error", "latency", "crash")
+
+
+class InjectedIOError(OSError):
+    """A deterministic, injected I/O failure (transient by construction)."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected io-error at {site}")
+        self.site = site
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """A deterministic, injected worker death."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected worker crash at {site}")
+        self.site = site
+
+
+class FaultPlane:
+    """One armed (plan, seed) pair with its per-spec rng streams."""
+
+    def __init__(self, plan: FaultPlan, seed: int) -> None:
+        self.plan = plan
+        self.seed = int(seed)
+        # One independent stream per spec: spec i's firing sequence
+        # never shifts when another spec is added, removed, or fires.
+        self._rngs: List[SeededRng] = [
+            SeededRng(derive_seed(self.seed, f"fault:{i}:{spec.site}:{spec.kind}"))
+            for i, spec in enumerate(plan.specs)
+        ]
+        self._spec_counts: List[int] = [0] * len(plan.specs)
+        self.checks = 0
+        self.injected: Dict[str, int] = {}  # "<site>:<kind>" -> count
+        self._site_specs: Dict[str, List[int]] = {}
+        self._bus = None  # lazily created so capture() can hook it
+        self._sleep = time.sleep
+
+    # ------------------------------------------------------------------
+    # injection decisions
+    # ------------------------------------------------------------------
+    def _specs_for(self, site: str) -> List[int]:
+        indices = self._site_specs.get(site)
+        if indices is None:
+            indices = [
+                i
+                for i, spec in enumerate(self.plan.specs)
+                if fnmatchcase(site, spec.site)
+            ]
+            self._site_specs[site] = indices
+        return indices
+
+    def _fires(self, index: int) -> bool:
+        spec = self.plan.specs[index]
+        if spec.probability <= 0.0:
+            return False
+        if (
+            spec.max_injections is not None
+            and self._spec_counts[index] >= spec.max_injections
+        ):
+            return False
+        return self._rngs[index].bernoulli(spec.probability)
+
+    def _record(self, index: int, site: str, kind: str) -> None:
+        self._spec_counts[index] += 1
+        key = f"{site}:{kind}"
+        self.injected[key] = self.injected.get(key, 0) + 1
+        self._publish_injected(site, kind, self.injected[key])
+
+    def check(self, site: str) -> None:
+        """Run the point-fault specs matching ``site`` (may raise/sleep)."""
+        self.checks += 1
+        for index in self._specs_for(site):
+            spec = self.plan.specs[index]
+            if spec.kind not in _POINT_KINDS or not self._fires(index):
+                continue
+            self._record(index, site, spec.kind)
+            if spec.kind == "latency":
+                self._sleep(spec.delay_ms / 1000.0)
+            elif spec.kind == "io-error":
+                raise InjectedIOError(site)
+            else:
+                raise InjectedWorkerCrash(site)
+
+    def filter_read(self, site: str, data: bytes) -> bytes:
+        """Point faults plus possible one-byte corruption of ``data``."""
+        self.checks += 1
+        for index in self._specs_for(site):
+            spec = self.plan.specs[index]
+            if spec.kind == "torn-write" or not self._fires(index):
+                continue
+            self._record(index, site, spec.kind)
+            if spec.kind == "latency":
+                self._sleep(spec.delay_ms / 1000.0)
+            elif spec.kind == "io-error":
+                raise InjectedIOError(site)
+            elif spec.kind == "crash":
+                raise InjectedWorkerCrash(site)
+            elif data:  # corrupt: flip one byte (always changes the value)
+                mutated = bytearray(data)
+                offset = self._rngs[index].randint(0, len(mutated) - 1)
+                mutated[offset] ^= 0xFF
+                data = bytes(mutated)
+        return data
+
+    def filter_write(self, site: str, data: bytes, durable: bool = False) -> bytes:
+        """Point faults plus possible tearing of a non-durable write."""
+        self.checks += 1
+        for index in self._specs_for(site):
+            spec = self.plan.specs[index]
+            if spec.kind == "corrupt":
+                continue
+            if spec.kind == "torn-write" and (durable or not data):
+                continue  # an fsync'd write cannot tear
+            if not self._fires(index):
+                continue
+            self._record(index, site, spec.kind)
+            if spec.kind == "latency":
+                self._sleep(spec.delay_ms / 1000.0)
+            elif spec.kind == "io-error":
+                raise InjectedIOError(site)
+            elif spec.kind == "crash":
+                raise InjectedWorkerCrash(site)
+            else:  # torn-write: keep a strict prefix
+                data = data[: self._rngs[index].randint(0, len(data) - 1)]
+        return data
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready injection accounting (the manifest chaos section)."""
+        return {
+            "seed": self.seed,
+            "specs": len(self.plan),
+            "checks": self.checks,
+            "total_injected": sum(self.injected.values()),
+            "injected": dict(sorted(self.injected.items())),
+        }
+
+    def _publish_injected(self, site: str, kind: str, count: int) -> None:
+        from ..telemetry import FaultInjectedEvent, TelemetryBus
+
+        if self._bus is None:
+            self._bus = TelemetryBus()
+        self._bus.publish(
+            FaultInjectedEvent(time=0.0, site=site, kind=kind, count=count)
+        )
+
+
+# ----------------------------------------------------------------------
+# the module-global plane
+# ----------------------------------------------------------------------
+_PLANE: Optional[FaultPlane] = None
+_ENV_CHECKED = False
+
+
+def active_plane() -> Optional[FaultPlane]:
+    """The armed plane, rebuilding from the environment in fresh workers."""
+    global _PLANE, _ENV_CHECKED
+    plane = _PLANE
+    if plane is not None or _ENV_CHECKED:
+        return plane
+    _ENV_CHECKED = True
+    text = os.environ.get(PLAN_ENV_VAR)
+    if not text:
+        return None
+    from .plan import FaultPlanError
+
+    try:
+        plan = FaultPlan.from_json(text)
+        seed = int(os.environ.get(SEED_ENV_VAR, "0"))
+    except (FaultPlanError, ValueError):
+        return None
+    _PLANE = FaultPlane(plan, seed)
+    return _PLANE
+
+
+def is_active() -> bool:
+    """Whether a fault plane is currently armed in this process."""
+    return active_plane() is not None
+
+
+def fault_point(site: str) -> None:
+    """Control-point injection: no-op unless a plane is armed."""
+    plane = _PLANE
+    if plane is None:
+        if _ENV_CHECKED:
+            return
+        plane = active_plane()
+        if plane is None:
+            return
+    plane.check(site)
+
+
+def filter_read(site: str, data: bytes) -> bytes:
+    """Read-path injection: identity unless a plane is armed."""
+    plane = _PLANE
+    if plane is None:
+        if _ENV_CHECKED:
+            return data
+        plane = active_plane()
+        if plane is None:
+            return data
+    return plane.filter_read(site, data)
+
+
+def filter_write(site: str, data: bytes, durable: bool = False) -> bytes:
+    """Write-path injection: identity unless a plane is armed."""
+    plane = _PLANE
+    if plane is None:
+        if _ENV_CHECKED:
+            return data
+        plane = active_plane()
+        if plane is None:
+            return data
+    return plane.filter_write(site, data, durable=durable)
+
+
+@contextmanager
+def activate(plan: FaultPlan, seed: int) -> Iterator[FaultPlane]:
+    """Arm a fault plane process-wide (and via env for pool workers)."""
+    global _PLANE, _ENV_CHECKED
+    prev_plane, prev_checked = _PLANE, _ENV_CHECKED
+    prev_env = {key: os.environ.get(key) for key in (PLAN_ENV_VAR, SEED_ENV_VAR)}
+    plane = FaultPlane(plan, seed)
+    _PLANE, _ENV_CHECKED = plane, True
+    os.environ[PLAN_ENV_VAR] = plan.to_json(indent=None)
+    os.environ[SEED_ENV_VAR] = str(int(seed))
+    try:
+        yield plane
+    finally:
+        _PLANE, _ENV_CHECKED = prev_plane, prev_checked
+        for key, value in prev_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value

@@ -1,0 +1,236 @@
+"""The chaos soak: serve a corpus under faults, prove nothing is lost.
+
+One soak run answers the acceptance question of the chaos harness in a
+single deterministic pass:
+
+1. a *reference* :class:`~repro.serve.service.ProfilingService` ingests
+   the corpus fault-free and answers every (session × backend) query;
+2. a *chaos* service — spilling sessions through its own store, with
+   lenient ingest — repeats the exact same work under an armed
+   :class:`~repro.faults.FaultPlan`;
+3. the two are reconciled item by item: every corpus source must end as
+   a session or a recorded :class:`~repro.serve.ingest.IngestError`,
+   every query must come back exactly once, every ``ok`` answer must be
+   **byte-identical** to the fault-free answer, and every non-``ok``
+   answer must carry a typed, non-empty error.  Anything else is a
+   *silent drop* and fails the soak.
+
+``repro check --chaos`` and ``tests/test_faults_chaos.py`` both drive
+this; :func:`replay_chaos_entry` replays one checked-in chaos corpus
+document (its recorded seed + fault plan) the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .plan import FaultPlan
+from .plane import activate
+
+PathLike = Union[str, Path]
+
+#: Backends each session is queried under during a soak (a spread of
+#: the cheap baseline, the superimposing profiler, and the breakdown).
+SOAK_BACKENDS = ("energy", "eandroid", "collateral")
+
+#: Suffixes the serving path ingests (mirrors repro.serve.ingest).
+_SOURCE_SUFFIXES = (".json", ".jsonl", ".bin", ".rtb")
+
+
+def canonical_report_bytes(payload: Dict[str, Any]) -> bytes:
+    """The byte-identity form of one report payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass
+class SoakResult:
+    """Everything one soak run established."""
+
+    seed: int
+    plan: Dict[str, Any]
+    sources: int
+    reference_sessions: int
+    chaos_sessions: int
+    ingest_errors: int
+    queries: int
+    ok: int
+    ok_identical: int
+    typed_errors: int
+    injected: Dict[str, int] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no silent drop or divergence was found."""
+        return not self.problems
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the manifest chaos section)."""
+        return {
+            "seed": self.seed,
+            "plan": self.plan,
+            "sources": self.sources,
+            "reference_sessions": self.reference_sessions,
+            "chaos_sessions": self.chaos_sessions,
+            "ingest_errors": self.ingest_errors,
+            "queries": self.queries,
+            "ok": self.ok,
+            "ok_identical": self.ok_identical,
+            "typed_errors": self.typed_errors,
+            "injected": dict(self.injected),
+            "problems": list(self.problems),
+            "passed": self.passed,
+        }
+
+
+def _count_sources(corpus_dir: Path) -> int:
+    if corpus_dir.is_file():
+        return 1
+    return sum(
+        1
+        for child in corpus_dir.iterdir()
+        if child.is_file() and child.suffix in _SOURCE_SUFFIXES
+    )
+
+
+def run_soak(
+    corpus_dir: PathLike,
+    seed: int,
+    plan: Optional[FaultPlan] = None,
+    backends: Sequence[str] = SOAK_BACKENDS,
+) -> SoakResult:
+    """One full reference-vs-chaos pass over ``corpus_dir``."""
+    from ..reports.request import ReportRequest
+    from ..serve.protocol import STATUS_OK
+    from ..serve.service import ProfilingService, ServiceConfig
+
+    plan = plan if plan is not None else FaultPlan.mixed(0.05)
+    corpus = Path(corpus_dir)
+    sources = _count_sources(corpus)
+    problems: List[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        # --- fault-free reference -------------------------------------
+        reference = ProfilingService(
+            ServiceConfig(telemetry=False, store_dir=str(Path(tmp) / "ref"))
+        )
+        ref_names = reference.ingest(corpus)
+        queries = [
+            # Session names sort so query ids are stable run to run.
+            (index, session, backend)
+            for index, (session, backend) in enumerate(
+                (s, b) for s in sorted(ref_names) for b in backends
+            )
+        ]
+        expected: Dict[int, bytes] = {}
+        from ..serve.protocol import QueryRequest
+
+        requests = [
+            QueryRequest(id=qid, session=session, report=ReportRequest(backend=backend))
+            for qid, session, backend in queries
+        ]
+        for request in requests:
+            response = reference.submit(request)
+            if response.status != STATUS_OK or response.report is None:
+                problems.append(
+                    f"reference query {request.id} ({request.session}/"
+                    f"{request.report.backend}) failed fault-free: {response.error}"
+                )
+            else:
+                expected[request.id] = canonical_report_bytes(response.report)
+
+        # --- the same work under faults -------------------------------
+        chaos = ProfilingService(
+            ServiceConfig(
+                telemetry=False,
+                store_dir=str(Path(tmp) / "chaos"),
+                spill=True,
+            )
+        )
+        with activate(plan, seed) as plane:
+            chaos_names = chaos.ingest(corpus, strict=False)
+            responses = [chaos.submit(request) for request in requests]
+            injected = dict(plane.summary()["injected"])
+
+        # --- reconciliation: nothing silently dropped ------------------
+        if len(chaos_names) + len(chaos.ingest_errors) != sources:
+            problems.append(
+                f"ingest accounting broken: {sources} source(s) but "
+                f"{len(chaos_names)} session(s) + "
+                f"{len(chaos.ingest_errors)} error record(s)"
+            )
+        if len(responses) != len(requests):
+            problems.append(
+                f"{len(requests)} queries submitted, {len(responses)} answered"
+            )
+        ok = ok_identical = typed_errors = 0
+        for request, response in zip(requests, responses):
+            label = f"query {request.id} ({request.session}/{request.report.backend})"
+            if response.id != request.id:
+                problems.append(f"{label} answered with id {response.id}")
+            if response.status == STATUS_OK:
+                ok += 1
+                if response.report is None:
+                    problems.append(f"{label} ok without a report payload")
+                elif canonical_report_bytes(response.report) != expected.get(
+                    request.id
+                ):
+                    problems.append(f"{label} diverged from the fault-free report")
+                else:
+                    ok_identical += 1
+            elif response.error:
+                typed_errors += 1
+            else:
+                problems.append(
+                    f"{label} degraded without a typed error "
+                    f"(status {response.status!r})"
+                )
+        received = chaos.stats.received
+        settled = chaos.stats.answered + chaos.stats.errors + chaos.stats.shed
+        if received != settled:
+            problems.append(
+                f"service accounting broken: received {received} != "
+                f"answered+errors+shed {settled}"
+            )
+
+    return SoakResult(
+        seed=int(seed),
+        plan=plan.to_dict(),
+        sources=sources,
+        reference_sessions=len(ref_names),
+        chaos_sessions=len(chaos_names),
+        ingest_errors=len(chaos.ingest_errors),
+        queries=len(requests),
+        ok=ok,
+        ok_identical=ok_identical,
+        typed_errors=typed_errors,
+        injected=injected,
+        problems=problems,
+    )
+
+
+def replay_chaos_entry(path: PathLike) -> SoakResult:
+    """Replay one chaos corpus document under its recorded plan + seed.
+
+    The document is a normal shrunk-scenario corpus entry carrying a
+    ``chaos`` section (``{"seed": N, "fault_plan": {...}}``, written by
+    ``repro check --chaos``); the scenario is served reference-vs-chaos
+    exactly like a full soak, so the finding replays bit-for-bit.
+    """
+    from ..check.campaign import load_corpus_entry
+
+    entry_path = Path(path)
+    document = load_corpus_entry(entry_path)
+    chaos = document.get("chaos")
+    if not isinstance(chaos, dict):
+        raise ValueError(f"{entry_path}: corpus entry has no chaos section")
+    plan = FaultPlan.from_dict(chaos["fault_plan"])
+    seed = int(chaos["seed"])
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-entry-") as tmp:
+        staged = Path(tmp) / entry_path.name
+        staged.write_bytes(entry_path.read_bytes())
+        return run_soak(staged, seed, plan)

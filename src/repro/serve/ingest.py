@@ -33,9 +33,11 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union, TYPE_CHECKING
+from typing import Any, Dict, Iterator, List, Optional, Union, TYPE_CHECKING
 
+from ..faults import fault_point
 from ..offline.trace import DeviceTrace, TraceFormatError, capture_trace
+from ..store import StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..store import ArtifactStore
@@ -65,6 +67,24 @@ class IngestedTrace:
     trace: DeviceTrace
     source: str
     digest: str = ""
+
+
+@dataclass(frozen=True)
+class IngestError:
+    """One source that could not become a session (lenient ingest).
+
+    Collected instead of raised when :func:`iter_traces` is given an
+    ``errors`` list, so one bad file in a directory never drops the
+    rest of the batch — every source ends as a session *or* one of
+    these records.
+    """
+
+    source: str
+    error: str
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-ready form (for the serve manifest)."""
+        return {"source": self.source, "error": self.error}
 
 
 def scenario_digest(data: Dict[str, Any]) -> str:
@@ -101,21 +121,52 @@ def trace_from_document(
         key = scenario_digest(data)
         memoized = store.get_ref(REPLAY_REF_NAMESPACE, key)
         if memoized is not None and store.has(memoized):
-            trace = store.get(memoized)
-            if isinstance(trace, DeviceTrace):
-                return trace
+            try:
+                trace = store.get(memoized)
+            except (StoreError, OSError) as exc:
+                # A corrupt or unreadable memoized replay must not abort
+                # the batch: name it, evict it, and re-simulate.
+                _note_replay_corruption(store.object_path(memoized), str(exc))
+                store.evict(memoized)
+            else:
+                if isinstance(trace, DeviceTrace):
+                    return trace
         trace = _replay_corpus_entry(data)
-        info = store.put(trace, "trace-bin", meta={"scenario": key})
-        store.set_ref(REPLAY_REF_NAMESPACE, key, info.digest)
+        try:
+            info = store.put(trace, "trace-bin", meta={"scenario": key})
+            store.set_ref(REPLAY_REF_NAMESPACE, key, info.digest)
+        except OSError:
+            pass  # memoization is an optimisation; serve the replay anyway
         return trace
     # Plain device-trace document: reuse from_json's validation.
     return DeviceTrace.from_json(json.dumps(data))
 
 
+def _note_replay_corruption(path: Path, reason: str) -> None:
+    from ..telemetry import CacheCorruptionEvent, TelemetryBus
+
+    global _bus
+    if _bus is None:
+        _bus = TelemetryBus()
+    _bus.publish(CacheCorruptionEvent(time=0.0, path=str(path), reason=reason))
+
+
+_bus = None  # lazily created so capture() can hook it
+
+
 def iter_traces(
-    path: PathLike, store: Optional["ArtifactStore"] = None
+    path: PathLike,
+    store: Optional["ArtifactStore"] = None,
+    errors: Optional[List[IngestError]] = None,
 ) -> Iterator[IngestedTrace]:
-    """Yield every trace reachable from ``path`` (file or directory)."""
+    """Yield every trace reachable from ``path`` (file or directory).
+
+    With an ``errors`` list, per-source failures (unreadable file,
+    malformed document, replay crash) are appended as
+    :class:`IngestError` records and iteration continues with the next
+    source — a batch is never dropped part-way.  Without one (the
+    default), the first failure raises, as the CLI expects.
+    """
     root = Path(path)
     if root.is_dir():
         for child in sorted(root.iterdir()):
@@ -123,10 +174,29 @@ def iter_traces(
                 child.suffix in (".json", ".jsonl") + BINARY_SUFFIXES
                 and child.is_file()
             ):
-                yield from iter_traces(child, store=store)
+                yield from iter_traces(child, store=store, errors=errors)
         return
     if not root.is_file():
-        raise FileNotFoundError(f"no trace file or directory at {root}")
+        missing = FileNotFoundError(f"no trace file or directory at {root}")
+        if errors is None:
+            raise missing
+        errors.append(IngestError(source=str(root), error=str(missing)))
+        return
+    try:
+        yield from _iter_file(root, store)
+    except (TraceFormatError, StoreError, OSError, ValueError) as exc:
+        if errors is None:
+            raise
+        errors.append(
+            IngestError(source=str(root), error=f"{type(exc).__name__}: {exc}")
+        )
+
+
+def _iter_file(
+    root: Path, store: Optional["ArtifactStore"] = None
+) -> Iterator[IngestedTrace]:
+    """Yield the traces of one source file (the raising core)."""
+    fault_point("serve.parse")
     raw = root.read_bytes()
     if root.suffix in BINARY_SUFFIXES:
         yield IngestedTrace(

@@ -41,10 +41,12 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from ..faults import RetriesExhaustedError, fault_point, run_with_retry
 from ..offline.analyzer import OfflineAnalyzer
 from ..offline.trace import DeviceTrace
 from ..reports.request import UnknownBackendError
-from .ingest import IngestedTrace, PathLike, iter_traces
+from ..store import StoreError
+from .ingest import IngestedTrace, IngestError, PathLike, iter_traces
 from .protocol import (
     STATUS_ERROR,
     STATUS_OK,
@@ -131,10 +133,28 @@ class SessionRecord:
 
     @property
     def trace(self) -> DeviceTrace:
-        """The session's trace, faulted in from the store if spilled."""
+        """The session's trace, faulted in from the store if spilled.
+
+        The fault-in is retried under the shared policy (transient read
+        failures and one-off digest mismatches recover); persistent
+        failure surfaces as :class:`~repro.faults.RetriesExhaustedError`
+        for the serving path to turn into a typed error response.
+        """
         if self._trace is None:
+            from ..store import ArtifactCorruptError
+
             assert self._store is not None and self._digest is not None
-            self._trace = self._store.get(self._digest)
+            store, digest = self._store, self._digest
+
+            def _fault_in() -> DeviceTrace:
+                fault_point("serve.restore")
+                return store.get(digest)
+
+            self._trace = run_with_retry(
+                _fault_in,
+                site="serve.restore",
+                retry_on=(OSError, ArtifactCorruptError),
+            )
         return self._trace
 
     def spill(self, store: "ArtifactStore") -> str:
@@ -143,6 +163,7 @@ class SessionRecord:
         Returns the artifact digest; a ``refs/session/<name>`` pointer
         keeps it gc-reachable and restorable by later processes.
         """
+        fault_point("serve.spill")
         if self._digest is None or self._store is not store:
             info = store.put(
                 self.trace,
@@ -240,11 +261,13 @@ class ServeStats:
     answered: int = 0
     shed: int = 0
     errors: int = 0
+    ingest_errors: int = 0
+    spill_failures: int = 0
     by_backend: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (for the manifest)."""
-        return {
+        out = {
             "ingested": self.ingested,
             "received": self.received,
             "answered": self.answered,
@@ -252,6 +275,11 @@ class ServeStats:
             "errors": self.errors,
             "by_backend": dict(self.by_backend),
         }
+        if self.ingest_errors:
+            out["ingest_errors"] = self.ingest_errors
+        if self.spill_failures:
+            out["spill_failures"] = self.spill_failures
+        return out
 
 
 class UnknownSessionError(KeyError):
@@ -273,6 +301,7 @@ class ProfilingService:
         self.sessions: Dict[str, SessionRecord] = {}
         self.cache = ResultLRU(self.config.cache_entries)
         self.stats = ServeStats()
+        self.ingest_errors: List[IngestError] = []
         self.store: Optional["ArtifactStore"] = None
         if self.config.store_dir:
             from ..store import ArtifactStore
@@ -307,7 +336,12 @@ class ProfilingService:
                 )
             )
         if self.store is not None and self.config.spill:
-            record.spill(self.store)
+            try:
+                record.spill(self.store)
+            except OSError:
+                # The session simply stays in memory; spilling is a
+                # memory optimisation, not a correctness requirement.
+                self.stats.spill_failures += 1
         return record
 
     def _session_name(self, ingested: IngestedTrace) -> str:
@@ -327,13 +361,24 @@ class ProfilingService:
         )
         return f"{ingested.session}@{suffix}"
 
-    def ingest(self, path: PathLike) -> List[str]:
-        """Batch-ingest a trace file, JSONL stream, or directory."""
+    def ingest(self, path: PathLike, strict: bool = True) -> List[str]:
+        """Batch-ingest a trace file, JSONL stream, or directory.
+
+        ``strict=False`` records per-source failures in
+        :attr:`ingest_errors` and keeps going — every source in the
+        batch ends up as a session or an error record, never silently
+        dropped.  The default raises on the first bad source, as the
+        CLI has always done.
+        """
         names: List[str] = []
-        for ingested in iter_traces(path, store=self.store):
+        errors: Optional[List[IngestError]] = None if strict else []
+        for ingested in iter_traces(path, store=self.store, errors=errors):
             name = self._session_name(ingested)
             self.ingest_trace(name, ingested.trace, ingested.source)
             names.append(name)
+        if errors:
+            self.ingest_errors.extend(errors)
+            self.stats.ingest_errors += len(errors)
         return names
 
     def restore_sessions(self) -> List[str]:
@@ -398,6 +443,12 @@ class ProfilingService:
             return self._finish_error(query, str(exc), started)
         except (UnknownBackendError, ValueError) as exc:
             return self._finish_error(query, str(exc), started)
+        except (RetriesExhaustedError, StoreError, OSError) as exc:
+            # Fault-in kept failing or the query path itself faulted:
+            # the caller gets a typed error naming the failure class.
+            return self._finish_error(
+                query, f"{type(exc).__name__}: {exc}", started
+            )
         self.cache.store(query.key(), payload)
         return self._finish(query, payload, started, cached=False)
 
@@ -478,27 +529,57 @@ class ProfilingService:
         """Run one ``serve`` engine job per shard; fold results back."""
         from ..exec.engine import EngineConfig, ExperimentEngine
 
+        responses: List[QueryResponse] = []
         requests = []
         shard_queries: List[List[QueryRequest]] = []
         for shard, queries in sorted(misses_by_shard.items()):
             sessions = {q.session for q in queries}
+            try:
+                traces = {
+                    name: self.sessions[name].trace_json for name in sessions
+                }
+            except (RetriesExhaustedError, StoreError, OSError) as exc:
+                # A spilled trace would not come back: every query on
+                # this shard errors with the failure named, the other
+                # shards still dispatch.
+                for query in queries:
+                    responses.append(
+                        self._finish_error(
+                            query,
+                            f"{type(exc).__name__}: {exc}",
+                            time.perf_counter(),
+                        )
+                    )
+                continue
             requests.append(
                 (
                     "serve",
                     {
-                        "traces": {
-                            name: self.sessions[name].trace_json for name in sessions
-                        },
+                        "traces": traces,
                         "queries": [q.to_dict() for q in queries],
                     },
                 )
             )
             shard_queries.append(queries)
+        if not requests:
+            return responses
         engine = ExperimentEngine(
             EngineConfig(parallel=self.config.workers, use_cache=False)
         )
-        run = engine.run(requests)
-        responses: List[QueryResponse] = []
+
+        def _dispatch():
+            fault_point("serve.dispatch")
+            return engine.run(requests)
+
+        try:
+            run = run_with_retry(_dispatch, site="serve.dispatch", retry_on=(OSError,))
+        except RetriesExhaustedError as exc:
+            for queries in shard_queries:
+                for query in queries:
+                    responses.append(
+                        self._finish_error(query, str(exc), time.perf_counter())
+                    )
+            return responses
         for queries, result in zip(shard_queries, run.results):
             raw = result.outcome.metrics.get("responses")
             if raw is None:  # the whole shard job failed — every query errors
@@ -531,6 +612,7 @@ class ProfilingService:
 
     def _answer(self, query: QueryRequest) -> Dict[str, Any]:
         """Compute one report payload (no cache, no stats)."""
+        fault_point("serve.query")
         record = self.sessions.get(query.session)
         if record is None:
             raise UnknownSessionError(query.session)
@@ -633,4 +715,9 @@ class ProfilingService:
             },
             "store": self.store.stats() if self.store is not None else None,
             "telemetry": self.bus.stats_dict() if self.bus is not None else None,
+            **(
+                {"ingest_errors": [e.to_dict() for e in self.ingest_errors]}
+                if self.ingest_errors
+                else {}
+            ),
         }

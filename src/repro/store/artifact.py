@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from urllib.parse import quote, unquote
 
+from ..faults import fault_point, filter_read, filter_write
 from .codecs import decode_artifact, get_codec
 
 PathLike = Union[str, Path]
@@ -138,6 +139,20 @@ def content_digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (rename durability); no-op where unsupported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 class ArtifactStore:
     """Digest-keyed blobs + typed codecs + named refs under one root."""
 
@@ -170,8 +185,14 @@ class ArtifactStore:
         codec: str,
         version: int,
         meta: Optional[Dict[str, Any]] = None,
+        durable: bool = False,
     ) -> ArtifactInfo:
-        """Store raw codec output; idempotent by content digest."""
+        """Store raw codec output; idempotent by content digest.
+
+        ``durable=True`` fsyncs the blob and manifest (file and
+        directory) before the publish — the write survives a crash and
+        cannot be torn, at the cost of the syncs.
+        """
         digest = content_digest(data)
         info = ArtifactInfo(
             digest=digest,
@@ -184,24 +205,44 @@ class ArtifactStore:
         )
         blob = self.object_path(digest)
         if not blob.exists():
-            self._atomic_write(blob, data)
+            self._atomic_write(blob, data, durable=durable)
         manifest = self.meta_path(digest)
         if not manifest.exists():
             self._atomic_write(
                 manifest,
                 json.dumps(info.to_dict(), indent=2, sort_keys=True).encode("utf-8"),
+                durable=durable,
             )
         self._publish_stored(info)
         return info
 
     def put(
-        self, obj: Any, codec_name: str, meta: Optional[Dict[str, Any]] = None
+        self,
+        obj: Any,
+        codec_name: str,
+        meta: Optional[Dict[str, Any]] = None,
+        durable: bool = False,
     ) -> ArtifactInfo:
         """Encode ``obj`` with a registered codec and store the bytes."""
         codec = get_codec(codec_name)
         return self.put_bytes(
-            codec.encode(obj), codec.kind, codec.name, codec.version, meta
+            codec.encode(obj), codec.kind, codec.name, codec.version, meta,
+            durable=durable,
         )
+
+    def evict(self, digest: str) -> bool:
+        """Drop one object (blob + manifest) so a re-put can rewrite it.
+
+        The repair path for detected corruption: :meth:`put_bytes` is
+        idempotent by digest and will not overwrite an existing — possibly
+        torn — blob, so the bad bytes must be evicted first.  Returns
+        whether a blob existed.
+        """
+        blob = self.object_path(digest)
+        existed = blob.is_file()
+        blob.unlink(missing_ok=True)
+        self.meta_path(digest).unlink(missing_ok=True)
+        return existed
 
     def has(self, digest: str) -> bool:
         """Whether a blob for ``digest`` exists."""
@@ -213,6 +254,7 @@ class ArtifactStore:
             data = self.object_path(digest).read_bytes()
         except OSError as exc:
             raise ArtifactNotFoundError(digest) from exc
+        data = filter_read("store.read", data)
         if verify:
             actual = content_digest(data)
             if actual != digest:
@@ -254,7 +296,9 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # refs
     # ------------------------------------------------------------------
-    def set_ref(self, namespace: str, name: str, digest: str) -> Path:
+    def set_ref(
+        self, namespace: str, name: str, digest: str, durable: bool = False
+    ) -> Path:
         """Point ``refs/<namespace>/<name>`` at ``digest``."""
         path = self.ref_path(namespace, name)
         self._atomic_write(
@@ -262,6 +306,7 @@ class ArtifactStore:
             json.dumps(
                 {"digest": digest, "updated_at": time.time()}, sort_keys=True
             ).encode("utf-8"),
+            durable=durable,
         )
         return path
 
@@ -378,11 +423,21 @@ class ArtifactStore:
     # internals
     # ------------------------------------------------------------------
     @staticmethod
-    def _atomic_write(path: Path, data: bytes) -> None:
+    def _atomic_write(path: Path, data: bytes, durable: bool = False) -> None:
+        data = filter_write("store.write", data, durable=durable)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(data)
+        if durable:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                fault_point("store.fsync")
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            tmp.write_bytes(data)
         tmp.replace(path)
+        if durable:
+            _fsync_dir(path.parent)
 
     def _publish_stored(self, info: ArtifactInfo) -> None:
         from ..telemetry import ArtifactStoredEvent, TelemetryBus

@@ -44,6 +44,7 @@ class Category(Enum):
     PHASE = "phase"          # experiment / scenario phase marks
     SERVE = "serve"          # query service: ingests, serves, sheds
     STORE = "store"          # artifact store / cache health
+    FAULT = "fault"          # chaos plane: injections + retry attempts
 
 
 # Categories the Android framework services publish on — what the
@@ -630,6 +631,43 @@ class CacheCorruptionEvent(TelemetryEvent):
 
     category: ClassVar[Category] = Category.STORE
     name: ClassVar[str] = "cache_corruption"
+
+
+# ----------------------------------------------------------------------
+# chaos plane (repro.faults)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultInjectedEvent(TelemetryEvent):
+    """The armed fault plane fired one fault at an injection site.
+
+    ``time`` is always 0.0 — the plane has no device clock; ``count``
+    is the running total of this ``site:kind`` pair within the plane,
+    so a recorder can reconstruct the full injection sequence.
+    """
+
+    site: str
+    kind: str
+    count: int
+
+    category: ClassVar[Category] = Category.FAULT
+    name: ClassVar[str] = "fault_injected"
+
+
+@dataclass(frozen=True)
+class RetryAttemptEvent(TelemetryEvent):
+    """A retry policy is about to back off and try a site again.
+
+    Published once per *retry* (never for a first-attempt success), so
+    a quiet system emits nothing.
+    """
+
+    site: str
+    attempt: int
+    delay_s: float
+    error: str
+
+    category: ClassVar[Category] = Category.FAULT
+    name: ClassVar[str] = "retry_attempt"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,220 @@
+"""Property tests for the retry policy and fault-plan codec.
+
+Four guarantees the chaos harness leans on, pinned over generated
+inputs rather than hand-picked examples:
+
+* the un-jittered backoff schedule is monotone non-decreasing and
+  capped at ``max_delay_s``;
+* jitter keeps each delay within ``[backoff, backoff * (1 + jitter)]``;
+* the total time slept across all retries never exceeds ``budget_s``;
+* everything is deterministic under a fixed seed — and a
+  :class:`FaultPlan` survives both dict and JSON round trips, so a
+  chaos finding replays from its corpus document bit-for-bit.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FAULT_KINDS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    RetriesExhaustedError,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.sim.rng import SeededRng
+
+policies = st.builds(
+    RetryPolicy,
+    attempts=st.integers(min_value=1, max_value=8),
+    base_delay_s=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    multiplier=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    max_delay_s=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    budget_s=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+
+@st.composite
+def specs(draw):
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    return FaultSpec(
+        site=draw(st.sampled_from(KNOWN_SITES + ("store.*", "serve.*", "*"))),
+        kind=kind,
+        probability=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        max_injections=draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=50))
+        ),
+        # delay_ms only serialises for latency faults; other kinds keep
+        # the default so the codec round trip is exact.
+        delay_ms=(
+            draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+            if kind == "latency"
+            else 2.0
+        ),
+    )
+
+plans = st.builds(
+    FaultPlan, specs=st.lists(specs(), max_size=8).map(tuple)
+)
+
+
+class _Flaky:
+    """A callable that fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures: int) -> None:
+        self.remaining = failures
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise OSError("flake")
+        return "ok"
+
+
+# ----------------------------------------------------------------------
+# backoff shape
+# ----------------------------------------------------------------------
+class TestBackoff:
+    @given(policy=policies)
+    def test_schedule_is_monotone_and_capped(self, policy):
+        schedule = policy.schedule()
+        assert len(schedule) == policy.attempts - 1
+        for earlier, later in zip(schedule, schedule[1:]):
+            assert later >= earlier
+        for delay in schedule:
+            assert 0.0 <= delay <= policy.max_delay_s
+
+    @given(policy=policies, attempt=st.integers(min_value=0, max_value=30), seed=st.integers(min_value=0, max_value=2**31))
+    def test_jittered_delay_stays_in_band(self, policy, attempt, seed):
+        base = policy.backoff(attempt)
+        delay = policy.delay_for(attempt, SeededRng(seed))
+        assert base <= delay <= base * (1.0 + policy.jitter) + 1e-12
+
+    @given(policy=policies, attempt=st.integers(min_value=0, max_value=30), seed=st.integers(min_value=0, max_value=2**31))
+    def test_jitter_is_deterministic_under_a_fixed_seed(
+        self, policy, attempt, seed
+    ):
+        first = policy.delay_for(attempt, SeededRng(seed))
+        second = policy.delay_for(attempt, SeededRng(seed))
+        assert first == second
+
+    def test_backoff_rejects_negative_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1)
+
+
+# ----------------------------------------------------------------------
+# run_with_retry: budget and determinism
+# ----------------------------------------------------------------------
+class TestRunWithRetry:
+    @settings(deadline=None)
+    @given(
+        policy=policies,
+        failures=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_total_sleep_never_exceeds_the_budget(self, policy, failures, seed):
+        slept = []
+        flaky = _Flaky(failures)
+        try:
+            run_with_retry(
+                flaky,
+                site="prop",
+                policy=policy,
+                rng=SeededRng(seed),
+                sleep=slept.append,
+            )
+        except RetriesExhaustedError as exc:
+            assert exc.attempts <= policy.attempts
+            assert isinstance(exc.last_error, OSError)
+        assert sum(slept) <= policy.budget_s + 1e-9
+        assert flaky.calls <= policy.attempts
+
+    @settings(deadline=None)
+    @given(
+        policy=policies,
+        failures=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_delays_replay_under_a_fixed_seed(self, policy, failures, seed):
+        def trial():
+            slept = []
+            try:
+                run_with_retry(
+                    _Flaky(failures),
+                    site="prop",
+                    policy=policy,
+                    rng=SeededRng(seed),
+                    sleep=slept.append,
+                )
+            except RetriesExhaustedError:
+                pass
+            return slept
+
+        assert trial() == trial()
+
+    def test_success_after_transient_failures(self):
+        flaky = _Flaky(2)
+        result = run_with_retry(
+            flaky,
+            site="prop",
+            policy=RetryPolicy(attempts=3, base_delay_s=0.0),
+            sleep=lambda _d: None,
+        )
+        assert result == "ok"
+        assert flaky.calls == 3
+
+    def test_non_retryable_errors_propagate_unwrapped(self):
+        def boom():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError, match="not transient"):
+            run_with_retry(boom, site="prop", sleep=lambda _d: None)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan codec round trips
+# ----------------------------------------------------------------------
+class TestPlanRoundTrip:
+    @given(plan=plans)
+    def test_dict_round_trip(self, plan):
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    @given(plan=plans)
+    def test_json_round_trip(self, plan):
+        rebuilt = FaultPlan.from_json(plan.to_json())
+        assert rebuilt == plan
+        # The serialised form itself is stable (corpus diff-friendliness).
+        assert rebuilt.to_json() == plan.to_json()
+
+    @given(plan=plans)
+    def test_json_form_is_valid_json_with_the_plan_kind(self, plan):
+        document = json.loads(plan.to_json())
+        assert document["kind"] == "repro-fault-plan"
+        assert len(document["specs"]) == len(plan.specs)
+
+    @given(spec=specs())
+    def test_spec_round_trip_preserves_validation(self, spec):
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_bad_kind_is_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site="store.read", kind="melt", probability=0.5)
+
+    def test_bad_probability_is_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site="store.read", kind="corrupt", probability=1.5)
+
+    def test_mixed_plan_is_valid_and_stable(self):
+        assert FaultPlan.mixed(0.05) == FaultPlan.mixed(0.05)
+        assert all(s.probability == 0.05 for s in FaultPlan.mixed(0.05).specs)

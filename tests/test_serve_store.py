@@ -261,8 +261,9 @@ class TestServeStoreCli:
         ]
         assert main(restore_args) == 0
         out = capsys.readouterr().out
-        assert "restored 3 session(s)" in out
-        assert "3 answered" in out
+        entries = len(list(CORPUS_DIR.glob("*.json")))
+        assert f"restored {entries} session(s)" in out
+        assert f"{entries} answered" in out
 
     def test_restore_without_store_errors(self, tmp_path, capsys):
         assert (
