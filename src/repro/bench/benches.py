@@ -434,6 +434,82 @@ def bench_serve_cold_ingest(repeats: int) -> BenchMeasurement:
     )
 
 
+def _build_aggregate_fleet(sessions: int = 8):
+    """A deterministic multi-session fleet for aggregation benchmarks."""
+    from ..offline import capture_trace
+    from ..serve import ProfilingService, ServiceConfig
+    from ..workloads import ALL_ATTACKS
+
+    names = sorted(ALL_ATTACKS)
+    service = ProfilingService(ServiceConfig(workers=1, telemetry=False))
+    for index in range(sessions):
+        run = ALL_ATTACKS[names[index % len(names)]](30.0)
+        service.ingest_trace(
+            f"fleet-{index:02d}", capture_trace(run.system, run.eandroid), "bench"
+        )
+    return service
+
+
+def bench_aggregate_scatter(repeats: int) -> BenchMeasurement:
+    """Full scatter-gather aggregates over an 8-session fleet (no memo)."""
+    from ..aggregate import AggregateRequest
+
+    service = _build_aggregate_fleet()
+    requests = [
+        AggregateRequest(backend="eandroid", op="sum", group_by="owner"),
+        AggregateRequest(backend="eandroid", op="topk", group_by="category", k=5),
+        AggregateRequest(backend="energy", op="mean", group_by="mechanism"),
+    ]
+    times: List[float] = []
+    answered = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        answered = sum(1 for req in requests if service.aggregate(req).ok)
+        times.append(time.perf_counter() - started)
+    median = sorted(times)[len(times) // 2]
+    per_session = len(requests) * len(service.sessions)
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "requests": len(requests),
+            "sessions": len(service.sessions),
+            "answered": answered,
+            "partials_per_s": per_session / median if median > 0 else float("inf"),
+        },
+    )
+
+
+def bench_aggregate_merge(repeats: int) -> BenchMeasurement:
+    """Pure gather-step merge throughput over synthetic partials."""
+    from ..aggregate import AggregateRequest, GroupedPartial, merge_partials
+
+    request = AggregateRequest(backend="energy", op="sum", group_by="owner")
+    partials = [
+        GroupedPartial.for_session(
+            f"fleet-{index:03d}",
+            {f"com.play.cat{g % 12}.app{g}": float((index * 31 + g) % 97) for g in range(40)},
+        )
+        for index in range(64)
+    ]
+    times: List[float] = []
+    groups = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        merged = merge_partials(partials, request)
+        result = merged.finalize(request)
+        times.append(time.perf_counter() - started)
+        groups = result["group_count"]
+    median = sorted(times)[len(times) // 2]
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "partials": len(partials),
+            "groups": groups,
+            "merges_per_s": len(partials) / median if median > 0 else float("inf"),
+        },
+    )
+
+
 def bench_calibration(repeats: int) -> BenchMeasurement:
     """Fixed pure-python workload measuring machine speed.
 
@@ -540,6 +616,18 @@ for _order, _spec in enumerate(
             runner=bench_serve_cold_ingest,
             kind="macro",
             description="corpus re-ingest via digest-memoized replay",
+        ),
+        BenchSpec(
+            name="aggregate_scatter",
+            runner=bench_aggregate_scatter,
+            kind="macro",
+            description="scatter-gather fleet aggregates, 8-session fleet",
+        ),
+        BenchSpec(
+            name="aggregate_merge",
+            runner=bench_aggregate_merge,
+            kind="micro",
+            description="gather-step partial merges, 64 synthetic partials",
         ),
     ]
 ):

@@ -503,9 +503,15 @@ def _serve_run(args: argparse.Namespace) -> int:
 
 
 def _serve_daemon(service, client) -> None:
-    """JSONL request/response loop on stdin/stdout (until EOF)."""
+    """JSONL request/response loop on stdin/stdout (until EOF).
+
+    A line carrying an ``op`` field is a fleet aggregate
+    (:class:`~repro.aggregate.AggregateRequest`); anything else is a
+    per-session :class:`~repro.serve.QueryRequest`.
+    """
     import json
 
+    from .aggregate import AggregateRequestError, is_aggregate_document
     from .serve import ProtocolError, QueryRequest
 
     seq = 0
@@ -518,8 +524,23 @@ def _serve_daemon(service, client) -> None:
             data = json.loads(line)
             if not isinstance(data, dict):
                 raise ProtocolError("query must be a JSON object")
+            if is_aggregate_document(data):
+                from .aggregate import AggregateRequest
+
+                request = AggregateRequest.from_dict(data)
+                response = service.aggregate(request)
+                out = {"id": data.get("id", seq)}
+                out.update(response.to_dict())
+                sys.stdout.write(json.dumps(out) + "\n")
+                sys.stdout.flush()
+                continue
             query = QueryRequest.from_dict(data, default_id=seq)
-        except (ProtocolError, ValueError, KeyError) as exc:
+        except (
+            ProtocolError,
+            AggregateRequestError,
+            ValueError,
+            KeyError,
+        ) as exc:
             sys.stdout.write(
                 json.dumps({"id": seq, "status": "error", "error": str(exc)}) + "\n"
             )
@@ -529,6 +550,86 @@ def _serve_daemon(service, client) -> None:
             response = service.submit(expanded)
             sys.stdout.write(json.dumps(response.to_dict()) + "\n")
         sys.stdout.flush()
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    """One fleet aggregate over ingested/restored sessions."""
+    import json
+    from pathlib import Path
+
+    from .aggregate import AggregateRequest, AggregateRequestError
+    from .offline import TraceFormatError
+    from .reports import UnknownBackendError
+    from .serve import ProfilingService, ServiceConfig
+
+    service = ProfilingService(
+        ServiceConfig(
+            workers=args.workers,
+            telemetry=False,
+            store_dir=args.store or None,
+        )
+    )
+    if args.restore:
+        if not args.store:
+            print("--restore needs --store DIR", file=sys.stderr)
+            return 2
+        restored = service.restore_sessions()
+        print(f"restored {len(restored)} session(s)", file=sys.stderr)
+    if args.batch:
+        try:
+            names = service.ingest(args.batch)
+        except (TraceFormatError, FileNotFoundError) as exc:
+            print(f"cannot ingest {args.batch}: {exc}", file=sys.stderr)
+            return 2
+        print(f"ingested {len(names)} session(s)", file=sys.stderr)
+    if not service.sessions:
+        print("no sessions: pass --batch and/or --store --restore", file=sys.stderr)
+        return 2
+
+    try:
+        request = AggregateRequest(
+            backend=args.backend,
+            op=args.op,
+            group_by=args.group_by,
+            sessions=tuple(args.sessions) if args.sessions else ("*",),
+            start=args.start,
+            end=args.end,
+            k=args.k,
+            bins=args.bins,
+            bin_width=args.bin_width,
+        )
+    except (AggregateRequestError, UnknownBackendError) as exc:
+        print(f"bad aggregate request: {exc}", file=sys.stderr)
+        return 2
+
+    if args.chaos or args.faults:
+        from .faults import FaultPlan, activate
+
+        plan = FaultPlan.load(args.faults) if args.faults else FaultPlan.mixed()
+        with activate(plan, args.fault_seed):
+            response = service.aggregate(request)
+    else:
+        response = service.aggregate(request)
+
+    payload = response.payload or {}
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    missing = payload.get("missing_sessions", [])
+    print(
+        f"aggregated {len(payload.get('sessions', []))} session(s) "
+        f"({response.memoized} memoized, {response.computed} computed"
+        + (f", {response.shards} shard(s)" if response.shards else "")
+        + ")"
+        + (f"; partial — missing: {', '.join(missing)}" if missing else ""),
+        file=sys.stderr,
+    )
+    if missing and args.fail_on_partial:
+        return 1
+    return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -951,6 +1052,99 @@ def build_parser() -> argparse.ArgumentParser:
         trace_out_help="write a Chrome trace-event JSON of the serving run",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    aggregate = sub.add_parser(
+        "aggregate",
+        help="one fleet aggregate (scatter-gather) across ingested sessions",
+    )
+    aggregate.add_argument(
+        "--batch",
+        default="",
+        help="ingest traces from this file / JSONL stream / directory",
+    )
+    aggregate.add_argument(
+        "--store",
+        default="",
+        help="artifact-store directory: memoize per-session partials",
+    )
+    aggregate.add_argument(
+        "--restore",
+        action="store_true",
+        help="re-register sessions persisted in --store before aggregating",
+    )
+    aggregate.add_argument(
+        "--backend",
+        default="eandroid",
+        help="report backend valuing the rows (default eandroid)",
+    )
+    aggregate.add_argument(
+        "--op",
+        default="sum",
+        choices=["sum", "mean", "topk", "histogram"],
+        help="reduction operator (default sum)",
+    )
+    aggregate.add_argument(
+        "--group-by",
+        default="owner",
+        choices=["owner", "category", "mechanism"],
+        help="grouping dimension (default owner)",
+    )
+    aggregate.add_argument(
+        "--sessions",
+        nargs="*",
+        default=None,
+        metavar="PATTERN",
+        help="fnmatch session selector(s) (default: '*', the whole fleet)",
+    )
+    aggregate.add_argument(
+        "--start", type=float, default=0.0, help="window start (seconds)"
+    )
+    aggregate.add_argument(
+        "--end", type=float, default=None, help="window end (default: trace end)"
+    )
+    aggregate.add_argument(
+        "--k", type=int, default=10, help="groups to keep for --op topk"
+    )
+    aggregate.add_argument(
+        "--bins", type=int, default=16, help="bin count for --op histogram"
+    )
+    aggregate.add_argument(
+        "--bin-width",
+        type=float,
+        default=1.0,
+        help="bin width in joules for --op histogram",
+    )
+    aggregate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scatter shards over N engine worker processes",
+    )
+    aggregate.add_argument(
+        "--out", default="", help="write the repro.aggregate/1 payload here"
+    )
+    aggregate.add_argument(
+        "--chaos",
+        action="store_true",
+        help="arm the stock mixed fault plan around the aggregate",
+    )
+    aggregate.add_argument(
+        "--faults",
+        default="",
+        help="fault plan JSON to arm instead of the stock mixed plan",
+    )
+    aggregate.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="rng seed for the armed fault plan (default 0)",
+    )
+    aggregate.add_argument(
+        "--fail-on-partial",
+        action="store_true",
+        help="exit 1 if any selected session is missing (CI smoke gate)",
+    )
+    aggregate.set_defaults(func=_cmd_aggregate)
 
     store = sub.add_parser(
         "store", help="inspect/gc/migrate a content-addressed artifact store"

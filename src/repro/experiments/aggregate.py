@@ -1,0 +1,96 @@
+"""``aggregate`` — one scatter shard of a fleet aggregate as an engine job.
+
+With ``workers > 1`` :func:`repro.aggregate.run_aggregate` fans the
+sessions that missed the memo cache out through the parallel experiment
+engine, one ``aggregate`` job per shard: the job receives its shard's
+traces (as serialised JSON) plus the request wire dict, computes each
+session's mergeable partial in-process, and returns the partials —
+already in wire form — through its metrics.  A session that fails to
+compute is reported *by name* in ``errors`` rather than failing the
+whole shard, feeding the graceful-degradation (``partial=True``)
+contract.
+
+Registers as *auxiliary*: it rides on the engine's fan-out/retries but
+is not part of the paper's evaluation, so plain ``repro experiments``
+skips it.  Caching is disabled by the dispatcher — partial memoization
+lives in the parent's artifact store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict
+
+from .registry import ExperimentResultMixin, ExperimentSpec, register
+
+
+@dataclass
+class AggregateShardResult(ExperimentResultMixin):
+    """One shard's per-session partials (wire form) and failures."""
+
+    partials: Dict[str, Dict[str, Any]]
+    errors: Dict[str, str]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    experiment_name: ClassVar[str] = "aggregate"
+
+    @property
+    def claim_holds(self) -> bool:
+        """A shard job succeeds when every session resolved either way."""
+        expected = set(self.params.get("sessions", []))
+        return expected == set(self.partials) | set(self.errors)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The partials themselves — what the gather step folds back."""
+        return {"partials": dict(self.partials), "errors": dict(self.errors)}
+
+    def render_text(self) -> str:
+        """One-line shard summary."""
+        return (
+            f"aggregate shard: {len(self.partials)} partial(s), "
+            f"{len(self.errors)} error(s)"
+        )
+
+
+def run_aggregate_shard(
+    traces: Dict[str, str],
+    request: Dict[str, Any],
+) -> AggregateShardResult:
+    """Compute one shard's partials in this process (worker entry point).
+
+    ``traces`` maps session name -> serialised DeviceTrace JSON;
+    ``request`` is the AggregateRequest wire dict.  Each session is
+    computed independently so one bad trace degrades to a named error,
+    not a lost shard.
+    """
+    from ..aggregate.compute import session_partial
+    from ..aggregate.request import AggregateRequest
+    from ..offline.analyzer import OfflineAnalyzer
+    from ..offline.trace import DeviceTrace
+
+    parsed = AggregateRequest.from_dict(request)
+    partials: Dict[str, Dict[str, Any]] = {}
+    errors: Dict[str, str] = {}
+    for session in sorted(traces):
+        try:
+            analyzer = OfflineAnalyzer(DeviceTrace.from_json(traces[session]))
+            partials[session] = session_partial(session, analyzer, parsed).to_dict()
+        except Exception as exc:  # noqa: BLE001 - every failure must be named
+            errors[session] = f"{type(exc).__name__}: {exc}"
+    return AggregateShardResult(
+        partials=partials,
+        errors=errors,
+        params={"sessions": sorted(traces), "op": parsed.op},
+    )
+
+
+register(
+    ExperimentSpec(
+        name="aggregate",
+        runner=run_aggregate_shard,
+        description="one fleet-aggregate scatter shard (repro aggregate fan-out)",
+        default_params={"traces": {}, "request": {"backend": "energy"}},
+        order=103,
+        auxiliary=True,
+    )
+)

@@ -63,6 +63,8 @@ KNOWN_SITES = (
     "serve.restore",    # spilled-session fault-in on first query
     "serve.dispatch",   # shard fan-out through the exec engine
     "serve.query",      # in-process query answer path
+    "aggregate.dispatch",  # per-session partial compute / shard fan-out
+    "aggregate.merge",     # gather-step partial merge
 )
 
 
@@ -231,5 +233,9 @@ class FaultPlan:
             FaultSpec(site="serve.restore", kind="io-error", probability=rate),
             FaultSpec(site="serve.dispatch", kind="io-error", probability=rate),
             FaultSpec(site="serve.query", kind="io-error", probability=rate),
+            # Appended (not inserted) so the earlier specs keep their rng
+            # streams and existing chaos runs stay bit-reproducible.
+            FaultSpec(site="aggregate.dispatch", kind="io-error", probability=rate),
+            FaultSpec(site="aggregate.merge", kind="io-error", probability=rate),
         ]
         return cls(specs=specs)

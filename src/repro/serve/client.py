@@ -16,6 +16,7 @@ out-of-process callers.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..reports.request import ReportRequest
@@ -143,4 +144,16 @@ class ServiceClient:
                     if response.status != "ok":
                         raise QueryFailedError(response)
                     answered[response.id] = response
+        for qid, response in answered.items():
+            if response.status == STATUS_SHED:
+                # Name the query that ran out of resubmits — a bare
+                # "shed" tells the caller nothing about *what* to retry.
+                answered[qid] = replace(
+                    response,
+                    error=(
+                        f"query {response.id} on session {response.session!r} "
+                        f"still shed after {self.max_resubmits} resubmit(s): "
+                        f"{response.error or 'queue full'}"
+                    ),
+                )
         return [answered[qid] for qid in arrival]

@@ -56,6 +56,8 @@ from .protocol import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..aggregate.engine import AggregateResponse
+    from ..aggregate.request import AggregateRequest
     from ..store import ArtifactStore
 
 #: Store ref namespace persisted sessions live under.
@@ -93,7 +95,13 @@ class SessionRecord:
     trace back into memory just to describe it.
     """
 
-    def __init__(self, name: str, trace: DeviceTrace, source: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        trace: DeviceTrace,
+        source: str,
+        digest: Optional[str] = None,
+    ) -> None:
         self.name = name
         self.source = source
         self._trace: Optional[DeviceTrace] = trace
@@ -101,6 +109,9 @@ class SessionRecord:
         self._trace_json: Optional[str] = None
         self._store: Optional["ArtifactStore"] = None
         self._digest: Optional[str] = None
+        #: Stable content identity (source sha256 or artifact digest);
+        #: keys memoized aggregate partials.  None: memoization skipped.
+        self.content_digest: Optional[str] = digest
         self.captured_at = trace.captured_at
         self.channel_count = len(trace.channels)
         self.link_count = len(trace.links)
@@ -119,6 +130,7 @@ class SessionRecord:
         record._trace_json = None
         record._store = store
         record._digest = digest
+        record.content_digest = digest
         meta = store.info(digest).meta
         record.captured_at = float(meta.get("captured_at", 0.0))
         record.channel_count = int(meta.get("channels", 0))
@@ -179,6 +191,8 @@ class SessionRecord:
             self._store = store
             self._digest = info.digest
         store.set_ref(SESSION_REF_NAMESPACE, self.name, self._digest)
+        if self.content_digest is None:
+            self.content_digest = self._digest
         self._trace = None
         self._analyzer = None
         self._trace_json = None
@@ -263,6 +277,7 @@ class ServeStats:
     errors: int = 0
     ingest_errors: int = 0
     spill_failures: int = 0
+    aggregates: int = 0
     by_backend: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -279,6 +294,8 @@ class ServeStats:
             out["ingest_errors"] = self.ingest_errors
         if self.spill_failures:
             out["spill_failures"] = self.spill_failures
+        if self.aggregates:
+            out["aggregates"] = self.aggregates
         return out
 
 
@@ -317,10 +334,18 @@ class ProfilingService:
     # ingestion
     # ------------------------------------------------------------------
     def ingest_trace(
-        self, name: str, trace: DeviceTrace, source: str = "memory"
+        self,
+        name: str,
+        trace: DeviceTrace,
+        source: str = "memory",
+        digest: Optional[str] = None,
     ) -> SessionRecord:
-        """Register one trace as a queryable session (replaces by name)."""
-        record = SessionRecord(name, trace, source)
+        """Register one trace as a queryable session (replaces by name).
+
+        ``digest`` is the trace's content identity (source sha256) when
+        the caller knows it — it keys memoized aggregate partials.
+        """
+        record = SessionRecord(name, trace, source, digest=digest)
         self.sessions[name] = record
         self.stats.ingested += 1
         if self.bus is not None:
@@ -374,7 +399,9 @@ class ProfilingService:
         errors: Optional[List[IngestError]] = None if strict else []
         for ingested in iter_traces(path, store=self.store, errors=errors):
             name = self._session_name(ingested)
-            self.ingest_trace(name, ingested.trace, ingested.source)
+            self.ingest_trace(
+                name, ingested.trace, ingested.source, digest=ingested.digest
+            )
             names.append(name)
         if errors:
             self.ingest_errors.extend(errors)
@@ -397,7 +424,16 @@ class ProfilingService:
         ):
             if name in self.sessions or not self.store.has(digest):
                 continue
-            record = SessionRecord.from_store(name, self.store, digest)
+            try:
+                record = SessionRecord.from_store(name, self.store, digest)
+            except (StoreError, OSError) as exc:
+                # Name the session being restored — a bare store error
+                # gives the operator nothing to delete or re-ingest.
+                raise StoreError(
+                    f"failed to restore session {name!r} "
+                    f"(ref {SESSION_REF_NAMESPACE}/{name}, "
+                    f"artifact {digest[:16]}): {exc}"
+                ) from exc
             self.sessions[name] = record
             self.stats.ingested += 1
             if self.bus is not None:
@@ -451,6 +487,20 @@ class ProfilingService:
             )
         self.cache.store(query.key(), payload)
         return self._finish(query, payload, started, cached=False)
+
+    def aggregate(self, request: "AggregateRequest") -> "AggregateResponse":
+        """Answer one fleet aggregate across this service's sessions.
+
+        Scatter-gather over every session the request's selector
+        matches: partials come from the store memo when fresh, from the
+        shard pool (``workers > 1``) or in-process otherwise, and merge
+        into one ``repro.aggregate/1`` payload.  See
+        :func:`repro.aggregate.run_aggregate`.
+        """
+        from ..aggregate.engine import run_aggregate
+
+        self.stats.aggregates += 1
+        return run_aggregate(self, request)
 
     def serve_batch(
         self,

@@ -45,6 +45,7 @@ class Category(Enum):
     SERVE = "serve"          # query service: ingests, serves, sheds
     STORE = "store"          # artifact store / cache health
     FAULT = "fault"          # chaos plane: injections + retry attempts
+    AGGREGATE = "aggregate"  # fleet aggregation: scatter + gather
 
 
 # Categories the Android framework services publish on — what the
@@ -594,6 +595,59 @@ class QueryShedEvent(TelemetryEvent):
 
     category: ClassVar[Category] = Category.SERVE
     name: ClassVar[str] = "query_shed"
+
+
+# ----------------------------------------------------------------------
+# fleet aggregation (repro.aggregate)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregateIssuedEvent(TelemetryEvent):
+    """A fleet aggregate started its scatter phase.
+
+    ``time`` is always 0.0 — the aggregation layer has no device clock;
+    ``sessions`` is how many sessions the request's selector matched.
+    """
+
+    backend: str
+    op: str
+    group_by: str
+    sessions: int
+
+    category: ClassVar[Category] = Category.AGGREGATE
+    name: ClassVar[str] = "aggregate_issued"
+
+
+@dataclass(frozen=True)
+class AggregatePartialEvent(TelemetryEvent):
+    """One session's partial became available to the gather step.
+
+    ``memoized`` distinguishes a store memo hit from a fresh compute —
+    the signal the re-aggregation-only-recomputes-dirty-sessions
+    contract is monitored by.
+    """
+
+    session: str
+    memoized: bool
+
+    category: ClassVar[Category] = Category.AGGREGATE
+    name: ClassVar[str] = "aggregate_partial"
+
+
+@dataclass(frozen=True)
+class AggregateMergedEvent(TelemetryEvent):
+    """The gather step finished reducing one aggregate.
+
+    A ``partial=True`` merge means ``missing`` sessions dropped out of
+    the answer (the graceful-degradation path) — never silently.
+    """
+
+    op: str
+    merged: int
+    missing: int
+    partial: bool
+
+    category: ClassVar[Category] = Category.AGGREGATE
+    name: ClassVar[str] = "aggregate_merged"
 
 
 # ----------------------------------------------------------------------

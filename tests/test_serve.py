@@ -153,6 +153,23 @@ class TestServing:
         responses = client.submit_all(queries, burst=5)
         assert all(r.status == STATUS_OK for r in responses)
 
+    def test_shed_exhaustion_names_query_and_session(self, scene_trace):
+        """A still-shed response must say which query, where, how hard
+        the client tried — not a bare 'queue full'."""
+        svc = ProfilingService(ServiceConfig(max_queue=2, telemetry=False))
+        svc.ingest_trace("scene", scene_trace, "test")
+        client = ServiceClient(svc, max_resubmits=0)
+        queries = [
+            client.build("scene", "energy", start=float(i))[0] for i in range(5)
+        ]
+        responses = client.submit_all(queries, burst=5)
+        shed = [r for r in responses if r.status == STATUS_SHED]
+        assert len(shed) == 3
+        for response in shed:
+            assert f"query {response.id} " in response.error
+            assert "session 'scene'" in response.error
+            assert "0 resubmit(s)" in response.error
+
     def test_manifest_shape(self, service):
         ServiceClient(service).query("scene", "energy")
         manifest = service.manifest()

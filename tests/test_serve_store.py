@@ -185,6 +185,29 @@ class TestRestoreSessions:
         svc = ProfilingService(ServiceConfig(telemetry=False))
         assert svc.restore_sessions() == []
 
+    def test_restore_failure_names_session_and_source(
+        self, tmp_path, scene_trace
+    ):
+        """A corrupt persisted session must fail naming the session,
+        its ref, and the artifact — not with a bare store error."""
+        from repro.store import StoreError
+
+        svc = _service(tmp_path, spill=True)
+        svc.ingest_trace("scene", scene_trace, "test")
+        store = ArtifactStore(tmp_path / "store")
+        digest = store.get_ref(SESSION_REF_NAMESPACE, "scene")
+        # Corrupt the manifest but leave the blob: has() still answers
+        # True, so restore proceeds until the manifest read blows up.
+        store.meta_path(digest).write_text("{not json", encoding="utf-8")
+
+        fresh = _service(tmp_path)
+        with pytest.raises(StoreError) as excinfo:
+            fresh.restore_sessions()
+        message = str(excinfo.value)
+        assert "failed to restore session 'scene'" in message
+        assert f"ref {SESSION_REF_NAMESPACE}/scene" in message
+        assert digest[:16] in message
+
 
 # ----------------------------------------------------------------------
 # JSON-ingested vs binary-ingested sessions serve identical bytes

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Deterministically partition the test suite into CI shards.
+
+Prints the test files belonging to one shard, space-separated, for
+``pytest`` to consume:
+
+    files=$(python tools/ci_shard.py --shards 2 --index 1)
+    python -m pytest $files
+
+Files are balanced greedily by size (a cheap, deterministic proxy for
+runtime) so the shards finish in comparable wall time; ties break on
+the filename, so every runner computes the same partition with no
+plugin and no shared state.  Every test file lands in exactly one
+shard — the union over indices is always the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+
+def shard_files(test_dir: Path, shards: int, index: int) -> List[Path]:
+    """The sorted test files assigned to 1-based shard ``index``."""
+    files = sorted(test_dir.glob("test_*.py"))
+    if not files:
+        raise SystemExit(f"no test files under {test_dir}")
+    # Largest first, then greedily onto the currently lightest shard.
+    by_weight = sorted(files, key=lambda p: (-p.stat().st_size, p.name))
+    loads = [0] * shards
+    assigned: List[List[Path]] = [[] for _ in range(shards)]
+    for path in by_weight:
+        lightest = min(range(shards), key=lambda i: (loads[i], i))
+        assigned[lightest].append(path)
+        loads[lightest] += path.stat().st_size
+    return sorted(assigned[index - 1])
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2, help="total shard count")
+    parser.add_argument("--index", type=int, required=True, help="1-based shard index")
+    parser.add_argument(
+        "--test-dir", default="tests", help="directory holding test_*.py files"
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1 or not 1 <= args.index <= args.shards:
+        parser.error(f"--index must be in 1..{args.shards}")
+    files = shard_files(Path(args.test_dir), args.shards, args.index)
+    print(" ".join(str(f) for f in files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
