@@ -287,6 +287,90 @@ def bench_serve_latency(repeats: int) -> BenchMeasurement:
     )
 
 
+def bench_serve_net_throughput(repeats: int) -> BenchMeasurement:
+    """Concurrent-client query throughput through the TCP front-end."""
+    import asyncio
+
+    from ..serve import AsyncServiceClient, NetConfig, NetServer
+
+    service, client = _build_serve_service()
+    queries = _serve_query_mix(client, count=100)
+    clients = 4
+
+    async def one_pass() -> int:
+        server = NetServer(service, NetConfig(pool_workers=2))
+        await server.start()
+        host, port = server.address
+        try:
+
+            async def drive() -> int:
+                async with AsyncServiceClient(host, port) as conn:
+                    responses = await conn.submit_all(queries)
+                return sum(1 for r in responses if r.ok)
+
+            answered = sum(await asyncio.gather(*(drive() for _ in range(clients))))
+        finally:
+            await server.shutdown()
+        return answered
+
+    times: List[float] = []
+    answered = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        answered = asyncio.run(one_pass())
+        times.append(time.perf_counter() - started)
+    median = sorted(times)[len(times) // 2]
+    total = clients * len(queries)
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "clients": clients,
+            "queries": total,
+            "answered": answered,
+            "qps": total / median if median > 0 else float("inf"),
+        },
+    )
+
+
+def bench_serve_net_latency(repeats: int) -> BenchMeasurement:
+    """Single-client round-trip latency over localhost TCP (warm LRU)."""
+    import asyncio
+
+    from ..serve import AsyncServiceClient, NetConfig, NetServer
+
+    service, client = _build_serve_service()
+    queries = _serve_query_mix(client, count=50)
+
+    async def one_pass() -> float:
+        server = NetServer(service, NetConfig(pool_workers=1))
+        await server.start()
+        host, port = server.address
+        try:
+            async with AsyncServiceClient(host, port) as conn:
+                for query in queries:  # warm the LRU once
+                    await conn.submit(query)
+                started = time.perf_counter()
+                for query in queries:
+                    await conn.submit(query)
+                elapsed = time.perf_counter() - started
+        finally:
+            await server.shutdown()
+        return elapsed
+
+    times: List[float] = []
+    for _ in range(repeats):
+        times.append(asyncio.run(one_pass()))
+    median = sorted(times)[len(times) // 2]
+    per_query = len(queries) or 1
+    return BenchMeasurement(
+        times_s=times,
+        metrics={
+            "queries": per_query,
+            "warm_us_per_query": median / per_query * 1e6,
+        },
+    )
+
+
 def _build_device_trace(channels: int = 8, breakpoints: int = 5_000):
     """A deterministic many-channel DeviceTrace for codec benchmarks."""
     from ..offline.trace import ChannelTrace, DeviceTrace
@@ -598,6 +682,18 @@ for _order, _spec in enumerate(
             runner=bench_serve_latency,
             kind="micro",
             description="per-query serve latency, cold vs warm result LRU",
+        ),
+        BenchSpec(
+            name="serve_net_throughput",
+            runner=bench_serve_net_throughput,
+            kind="macro",
+            description="4 concurrent TCP clients querying the net front-end",
+        ),
+        BenchSpec(
+            name="serve_net_latency",
+            runner=bench_serve_net_latency,
+            kind="micro",
+            description="single-client TCP round-trip latency, warm LRU",
         ),
         BenchSpec(
             name="store_encode",

@@ -473,6 +473,10 @@ def _serve_run(args: argparse.Namespace) -> int:
         )
         if errors:
             exit_code = 1
+    elif args.listen:
+        code = _serve_listen(service, args)
+        if code != 0:
+            return code
     elif args.daemon:
         _serve_daemon(service, client)
 
@@ -507,12 +511,14 @@ def _serve_daemon(service, client) -> None:
 
     A line carrying an ``op`` field is a fleet aggregate
     (:class:`~repro.aggregate.AggregateRequest`); anything else is a
-    per-session :class:`~repro.serve.QueryRequest`.
+    per-session :class:`~repro.serve.QueryRequest`.  Lines longer than
+    ``MAX_LINE_BYTES`` and lines that fail to parse both come back as
+    typed ``error`` responses — the same degradation contract as the
+    TCP front-end (both go through ``decode_request_line``).
     """
     import json
 
-    from .aggregate import AggregateRequestError, is_aggregate_document
-    from .serve import ProtocolError, QueryRequest
+    from .serve import MAX_LINE_BYTES, decode_request_line
 
     seq = 0
     for raw in sys.stdin:
@@ -520,36 +526,100 @@ def _serve_daemon(service, client) -> None:
         if not line or line.startswith("#"):
             continue
         seq += 1
-        try:
-            data = json.loads(line)
-            if not isinstance(data, dict):
-                raise ProtocolError("query must be a JSON object")
-            if is_aggregate_document(data):
-                from .aggregate import AggregateRequest
-
-                request = AggregateRequest.from_dict(data)
-                response = service.aggregate(request)
-                out = {"id": data.get("id", seq)}
-                out.update(response.to_dict())
-                sys.stdout.write(json.dumps(out) + "\n")
-                sys.stdout.flush()
-                continue
-            query = QueryRequest.from_dict(data, default_id=seq)
-        except (
-            ProtocolError,
-            AggregateRequestError,
-            ValueError,
-            KeyError,
-        ) as exc:
+        if len(raw.encode("utf-8")) > MAX_LINE_BYTES:
             sys.stdout.write(
-                json.dumps({"id": seq, "status": "error", "error": str(exc)}) + "\n"
+                json.dumps(
+                    {
+                        "id": seq,
+                        "status": "error",
+                        "error": (
+                            "line exceeds the maximum line size "
+                            f"({MAX_LINE_BYTES} bytes)"
+                        ),
+                    }
+                )
+                + "\n"
             )
             sys.stdout.flush()
             continue
-        for expanded in client.expand([query]):
+        decoded = decode_request_line(line, default_id=seq)
+        if decoded.kind == "error":
+            sys.stdout.write(
+                json.dumps(
+                    {"id": decoded.id, "status": "error", "error": decoded.error}
+                )
+                + "\n"
+            )
+            sys.stdout.flush()
+            continue
+        if decoded.kind == "aggregate":
+            response = service.aggregate(decoded.aggregate)
+            out = {"id": decoded.id}
+            out.update(response.to_dict())
+            sys.stdout.write(json.dumps(out) + "\n")
+            sys.stdout.flush()
+            continue
+        for expanded in client.expand([decoded.query]):
             response = service.submit(expanded)
             sys.stdout.write(json.dumps(response.to_dict()) + "\n")
         sys.stdout.flush()
+
+
+def _serve_listen(service, args: argparse.Namespace) -> int:
+    """Run the asyncio TCP front-end until SIGINT/SIGTERM."""
+    import asyncio
+    import json
+    import signal
+
+    from .serve import MAX_LINE_BYTES, NetConfig, NetServer
+
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 <= port <= 65535:
+        print(f"--listen needs HOST:PORT, got {args.listen!r}", file=sys.stderr)
+        return 2
+
+    config = NetConfig(
+        host=host,
+        port=port,
+        max_line_bytes=(
+            args.max_line if args.max_line is not None else MAX_LINE_BYTES
+        ),
+        max_connections=args.max_connections,
+        max_pending=args.queue,
+        inflight_per_connection=args.inflight,
+        deadline_s=args.deadline,
+    )
+
+    async def run() -> None:
+        server = NetServer(service, config)
+        await server.start()
+        bound_host, bound_port = server.address
+        # stderr: stdout may be piped, and the port matters for port 0.
+        print(f"listening on {bound_host}:{bound_port}", file=sys.stderr, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print(
+            "shutting down: flushing in-flight responses", file=sys.stderr, flush=True
+        )
+        await server.shutdown()
+        print(
+            "net stats: " + json.dumps(server.stats.as_dict(), sort_keys=True),
+            file=sys.stderr,
+            flush=True,
+        )
+
+    asyncio.run(run())
+    return 0
 
 
 def _cmd_aggregate(args: argparse.Namespace) -> int:
@@ -998,6 +1068,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--daemon",
         action="store_true",
         help="serve JSONL queries from stdin to stdout until EOF",
+    )
+    serve.add_argument(
+        "--listen",
+        default="",
+        metavar="HOST:PORT",
+        help="serve the JSONL protocol over TCP (port 0: ephemeral)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="per-query deadline in seconds for --listen (default 30)",
+    )
+    serve.add_argument(
+        "--max-line",
+        type=int,
+        default=None,
+        help="largest accepted request line in bytes (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="concurrent TCP connection cap for --listen (default 64)",
+    )
+    serve.add_argument(
+        "--inflight",
+        type=int,
+        default=32,
+        help="per-connection in-flight query cap for --listen (default 32)",
     )
     serve.add_argument(
         "--workers",

@@ -35,7 +35,13 @@ from .retry import (
     retry_rng,
     run_with_retry,
 )
-from .soak import SOAK_BACKENDS, SoakResult, replay_chaos_entry, run_soak
+from .soak import (
+    SOAK_BACKENDS,
+    SoakResult,
+    replay_chaos_entry,
+    run_net_soak,
+    run_soak,
+)
 
 __all__ = [
     "DEFAULT_RETRY_POLICY",
@@ -61,6 +67,7 @@ __all__ = [
     "is_active",
     "replay_chaos_entry",
     "retry_rng",
+    "run_net_soak",
     "run_soak",
     "run_with_retry",
 ]

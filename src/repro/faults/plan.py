@@ -65,6 +65,10 @@ KNOWN_SITES = (
     "serve.query",      # in-process query answer path
     "aggregate.dispatch",  # per-session partial compute / shard fan-out
     "aggregate.merge",     # gather-step partial merge
+    "net.accept",       # TCP front-end connection admission
+    "net.read",         # socket read path (request bytes)
+    "net.write",        # socket write path (response lines)
+    "net.latency",      # query dispatch delay (drives the deadline path)
 )
 
 

@@ -9,6 +9,7 @@ backpressure.  See ``docs/SERVING.md``.
 """
 
 from .client import QueryFailedError, ServiceClient
+from .net import AsyncServiceClient, LineAssembler, NetConfig, NetServer, NetStats
 from .ingest import (
     CORPUS_KIND,
     REPLAY_REF_NAMESPACE,
@@ -19,12 +20,15 @@ from .ingest import (
 )
 from .protocol import (
     ALL_SESSIONS,
+    MAX_LINE_BYTES,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_SHED,
+    DecodedLine,
     ProtocolError,
     QueryRequest,
     QueryResponse,
+    decode_request_line,
     parse_queries_jsonl,
     responses_to_jsonl,
 )
@@ -40,8 +44,15 @@ from .service import (
 
 __all__ = [
     "ALL_SESSIONS",
+    "AsyncServiceClient",
     "CORPUS_KIND",
+    "DecodedLine",
     "IngestedTrace",
+    "LineAssembler",
+    "MAX_LINE_BYTES",
+    "NetConfig",
+    "NetServer",
+    "NetStats",
     "ProfilingService",
     "ProtocolError",
     "REPLAY_REF_NAMESPACE",
@@ -58,6 +69,7 @@ __all__ = [
     "ServiceConfig",
     "SessionRecord",
     "UnknownSessionError",
+    "decode_request_line",
     "iter_traces",
     "parse_queries_jsonl",
     "responses_to_jsonl",

@@ -31,6 +31,11 @@ STATUS_ERROR = "error"
 #: Session name that expands to *every* ingested session client-side.
 ALL_SESSIONS = "*"
 
+#: The largest wire line (request side) any serving front-end accepts —
+#: shared by the stdin daemon and the TCP server so an oversized line
+#: degrades to the same typed ``error`` response on both transports.
+MAX_LINE_BYTES = 1 << 20
+
 
 class ProtocolError(ValueError):
     """A wire document could not be parsed as a query."""
@@ -151,3 +156,81 @@ def parse_queries_jsonl(lines: Iterable[str]) -> List[QueryRequest]:
 def responses_to_jsonl(responses: Iterable[QueryResponse]) -> str:
     """Serialise responses as JSONL text (one response per line)."""
     return "\n".join(json.dumps(r.to_dict()) for r in responses) + "\n"
+
+
+@dataclass(frozen=True)
+class DecodedLine:
+    """What one wire line decoded to — a query, an aggregate, or a typed
+    refusal.  Exactly one of ``query`` / ``aggregate`` / ``error`` is
+    set, matching ``kind``.
+    """
+
+    kind: str  # "query" | "aggregate" | "error"
+    id: int
+    query: Optional[QueryRequest] = None
+    aggregate: Optional[Any] = None
+    error: Optional[str] = None
+
+
+def decode_request_line(text: str, default_id: int = 0) -> DecodedLine:
+    """Decode one JSONL wire line; **never raises**.
+
+    This is the single request-parse boundary every serving front-end
+    (stdin daemon, TCP server) goes through: any garbage, truncated,
+    non-object, or otherwise malformed line comes back as a typed
+    ``kind="error"`` result the caller turns into a ``status: error``
+    response — a broken line must never take down a connection handler,
+    and must never be silently dropped.  A line carrying an ``op`` field
+    is routed to the fleet-aggregation request parser, everything else
+    to :meth:`QueryRequest.from_dict`.
+    """
+    from ..aggregate import AggregateRequestError, is_aggregate_document
+
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return DecodedLine(kind="error", id=default_id, error=f"not valid JSON: {exc}")
+    except (RecursionError, ValueError) as exc:  # pathological nesting etc.
+        return DecodedLine(
+            kind="error", id=default_id, error=f"unparseable line: {exc}"
+        )
+    if not isinstance(data, dict):
+        return DecodedLine(
+            kind="error",
+            id=default_id,
+            error=f"query must be a JSON object, got {type(data).__name__}",
+        )
+    try:
+        qid = int(data.get("id", default_id))
+    except (TypeError, ValueError, OverflowError):
+        return DecodedLine(
+            kind="error",
+            id=default_id,
+            error=f"query id must be an integer, got {data.get('id')!r}",
+        )
+    try:
+        if is_aggregate_document(data):
+            from ..aggregate import AggregateRequest
+
+            return DecodedLine(
+                kind="aggregate", id=qid, aggregate=AggregateRequest.from_dict(data)
+            )
+        return DecodedLine(
+            kind="query",
+            id=qid,
+            query=QueryRequest.from_dict(data, default_id=default_id),
+        )
+    except (
+        ProtocolError,
+        AggregateRequestError,
+        KeyError,
+        TypeError,
+        ValueError,
+        OverflowError,
+    ) as exc:
+        return DecodedLine(kind="error", id=qid, error=str(exc))
+    except Exception as exc:  # the never-raise contract is load-bearing:
+        # an exception escaping here would kill a connection handler.
+        return DecodedLine(
+            kind="error", id=qid, error=f"{type(exc).__name__}: {exc}"
+        )

@@ -526,7 +526,7 @@ class ProfilingService:
             arrival = queries[begin : begin + burst_size]
             admitted = list(arrival[: self.config.max_queue])
             for overflow in arrival[self.config.max_queue :]:
-                responses[overflow.id] = self._shed(overflow)
+                responses[overflow.id] = self.shed(overflow)
                 order.append(overflow.id)
             for query in admitted:
                 order.append(query.id)
@@ -699,7 +699,13 @@ class ProfilingService:
         self._note(query, response)
         return response
 
-    def _shed(self, query: QueryRequest) -> QueryResponse:
+    def shed(self, query: QueryRequest) -> QueryResponse:
+        """Refuse one query under admission control (counted, never silent).
+
+        Public because every serving front-end (batch, daemon, TCP) must
+        shed through the same accounting path so
+        ``received == answered + errors + shed`` holds service-wide.
+        """
         self.stats.received += 1
         self.stats.shed += 1
         if self.bus is not None:

@@ -597,6 +597,49 @@ class QueryShedEvent(TelemetryEvent):
     name: ClassVar[str] = "query_shed"
 
 
+@dataclass(frozen=True)
+class ConnectionOpenedEvent(TelemetryEvent):
+    """A TCP client connected to the network front-end.
+
+    ``time`` is always 0.0 — the transport has no device clock;
+    ``open_connections`` is the count *after* admitting this one.
+    """
+
+    peer: str
+    open_connections: int
+
+    category: ClassVar[Category] = Category.SERVE
+    name: ClassVar[str] = "connection_opened"
+
+
+@dataclass(frozen=True)
+class ConnectionClosedEvent(TelemetryEvent):
+    """A TCP connection finished (EOF, disconnect, or shutdown).
+
+    ``lines`` / ``responses`` are that connection's lifetime counts —
+    per-connection accounting for the transport-level invariants.
+    """
+
+    peer: str
+    lines: int
+    responses: int
+
+    category: ClassVar[Category] = Category.SERVE
+    name: ClassVar[str] = "connection_closed"
+
+
+@dataclass(frozen=True)
+class QueryDeadlineExceededEvent(TelemetryEvent):
+    """A network query missed its deadline and was answered ``error``."""
+
+    session: str
+    backend: str
+    deadline_s: float
+
+    category: ClassVar[Category] = Category.SERVE
+    name: ClassVar[str] = "query_deadline_exceeded"
+
+
 # ----------------------------------------------------------------------
 # fleet aggregation (repro.aggregate)
 # ----------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.faults import (
     activate,
     is_active,
     replay_chaos_entry,
+    run_net_soak,
     run_soak,
 )
 from repro.offline import capture_trace
@@ -92,6 +93,45 @@ class TestCorpusSoak:
 
 
 # ----------------------------------------------------------------------
+# the transport soak: net.* sites armed over a real TCP server
+# ----------------------------------------------------------------------
+class TestNetSoak:
+    def test_latency_plan_degrades_to_typed_deadline_errors(self):
+        plan = _plan(
+            "net.latency", "latency", max_injections=2, delay_ms=1500.0
+        )
+        result = run_net_soak(CORPUS_DIR, 0, plan)
+        assert result.passed, "\n".join(result.problems)
+        assert result.injected.get("net.latency:latency", 0) >= 1
+        # Starved queries come back as typed errors naming the deadline;
+        # everything that answered ok is byte-identical to fault-free.
+        assert result.typed_errors >= 1
+        assert result.ok == result.ok_identical
+        assert result.ok + result.typed_errors == result.queries
+
+    def test_connection_faults_resubmit_to_identical_answers(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("net.accept", "io-error", 1.0, max_injections=1),
+                FaultSpec("net.read", "io-error", 1.0, max_injections=1),
+                FaultSpec("net.write", "io-error", 1.0, max_injections=1),
+            )
+        )
+        result = run_net_soak(CORPUS_DIR, 0, plan)
+        assert result.passed, "\n".join(result.problems)
+        assert sum(result.injected.values()) >= 1
+        # Every killed connection was survived by reconnect + resubmit:
+        # all queries end ok and byte-identical, none lost.
+        assert result.ok == result.ok_identical == result.queries
+
+    def test_plane_deactivates_after_net_soak(self):
+        _ = run_net_soak(
+            CORPUS_DIR, 1, _plan("net.latency", "latency", max_injections=1)
+        )
+        assert not is_active()
+
+
+# ----------------------------------------------------------------------
 # chaos corpus entries replay bit-for-bit
 # ----------------------------------------------------------------------
 CHAOS_ENTRIES = [
@@ -112,7 +152,22 @@ def test_chaos_entry_replays_green(path):
     assert sum(result.injected.values()) >= 1, (
         "the recorded plan must actually fire during replay"
     )
-    assert result.ok_identical == result.queries
+    # Store-fault entries answer everything identically; transport-fault
+    # entries may trade answers for typed deadline errors — but every ok
+    # answer is byte-identical and every query is accounted for.
+    assert result.ok == result.ok_identical
+    assert result.ok + result.typed_errors == result.queries
+
+
+def test_net_chaos_entry_pins_the_deadline_path():
+    """The checked-in net entry must actually starve the deadline."""
+    (entry,) = [p for p in CHAOS_ENTRIES if p.stem.startswith("chaos-net")]
+    result = replay_chaos_entry(entry)
+    assert result.passed, "\n".join(result.problems)
+    assert result.injected.get("net.latency:latency", 0) >= 1
+    assert result.typed_errors >= 1, (
+        "injected transport latency must surface as typed deadline errors"
+    )
 
 
 def test_replay_chaos_entry_rejects_plain_entries(tmp_path):

@@ -248,3 +248,65 @@ class TestProtocol:
     def test_bad_backend_is_protocol_error(self):
         with pytest.raises(ProtocolError):
             parse_queries_jsonl([json.dumps({"session": "a", "backend": "nope"})])
+
+
+class TestStdinDaemon:
+    """The stdin/stdout JSONL loop (`repro serve --daemon`)."""
+
+    def _run_daemon(self, service, lines, monkeypatch, capsys):
+        import io
+
+        from repro.cli import _serve_daemon
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+        _serve_daemon(service, ServiceClient(service))
+        return [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+
+    def test_oversized_line_degrades_to_typed_error(
+        self, service, monkeypatch, capsys
+    ):
+        # Regression: an over-long stdin line used to be fed straight to
+        # the JSON parser; it must hit the shared MAX_LINE_BYTES guard
+        # and come back as a typed error, like the TCP front-end.
+        from repro.serve import MAX_LINE_BYTES
+
+        huge = json.dumps(
+            {
+                "id": 5,
+                "session": "scene",
+                "backend": "energy",
+                "pad": "x" * MAX_LINE_BYTES,
+            }
+        )
+        follow_up = json.dumps({"id": 6, "session": "scene", "backend": "energy"})
+        out = self._run_daemon(
+            service, [huge + "\n", follow_up + "\n"], monkeypatch, capsys
+        )
+        assert len(out) == 2
+        assert out[0]["status"] == "error"
+        assert "maximum line size" in out[0]["error"]
+        assert str(MAX_LINE_BYTES) in out[0]["error"]
+        # the loop survives the oversized line and serves the next one
+        assert out[1]["id"] == 6 and out[1]["status"] == STATUS_OK
+
+    def test_garbage_line_is_typed_error_not_crash(
+        self, service, monkeypatch, capsys
+    ):
+        out = self._run_daemon(
+            service,
+            ['{"id": broken\n', "# comment\n", "\n"],
+            monkeypatch,
+            capsys,
+        )
+        assert len(out) == 1
+        assert out[0]["status"] == "error" and out[0]["error"]
+
+    def test_valid_queries_still_answer(self, service, monkeypatch, capsys):
+        line = json.dumps({"id": 3, "session": "scene", "backend": "eandroid"})
+        out = self._run_daemon(service, [line + "\n"], monkeypatch, capsys)
+        assert [r["status"] for r in out] == [STATUS_OK]
+        assert out[0]["report"]["total_j"] > 0.0
